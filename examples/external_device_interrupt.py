@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""External device interrupts through the RCIM's edge-triggered inputs.
+
+The RCIM "provides the ability to connect external edge-triggered
+device interrupts to the system" -- the use case being a lab
+instrument or bus adapter whose events must be serviced within a hard
+bound.  This example connects a simulated instrument emitting aperiodic
+edges to RCIM input line 0 and measures service latency on a shielded
+CPU under full stress-kernel load.
+
+Run:  python examples/external_device_interrupt.py
+"""
+
+from repro import CpuMask, SchedPolicy, UserApi, build_bench, \
+    interrupt_testbed, redhawk_1_4
+from repro.metrics.recorder import LatencyRecorder
+from repro.metrics.report import latency_summary
+from repro.sim.simtime import MSEC
+from repro.workloads.base import WorkloadSpec, spawn, spawn_all
+from repro.workloads.stress_kernel import stress_kernel_suite
+
+EDGES = 3_000
+
+
+def main():
+    bench = build_bench(redhawk_1_4(), interrupt_testbed(), seed=13)
+    bench.start_devices()
+    spawn_all(bench.kernel, stress_kernel_suite(bench.kernel))
+
+    rcim = bench.rcim
+    recorder = LatencyRecorder("edge-service")
+    state = {"served": 0}
+
+    def service_body(api: UserApi):
+        yield from api.mlockall()
+        yield from api.sched_setscheduler(SchedPolicy.FIFO, 92)
+        yield from api.sched_setaffinity(CpuMask.single(1))
+        fd = api.open("/dev/rcim")
+        while state["served"] < EDGES:
+            yield from api.ioctl(fd, "RCIM_WAIT_EDGE:0")
+            t = yield api.tsc()
+            recorder.record_latency(t - rcim.last_edge_ns[0])
+            state["served"] += 1
+            # Service the instrument: read its FIFO (user-mode work).
+            yield from api.compute(15_000, label="instrument:read")
+
+    spawn(bench.kernel, WorkloadSpec("edge-service", service_body,
+                                     policy=SchedPolicy.FIFO, rt_prio=92,
+                                     affinity=CpuMask.single(1)))
+
+    # Shield CPU 1 and steer the RCIM interrupt to it.
+    bench.shield_cpu(1)
+    bench.set_irq_affinity(rcim.irq, 1)
+
+    # The instrument: aperiodic edges, mean rate 700 Hz.
+    rng = bench.sim.rng.stream("instrument")
+
+    def emit():
+        if state["served"] >= EDGES:
+            return
+        rcim.trigger_external(0)
+        bench.sim.after(max(1, int(rng.exponential(1.4 * MSEC))), emit)
+
+    bench.sim.after(1 * MSEC, emit)
+
+    while state["served"] < EDGES:
+        bench.run_for(500 * MSEC)
+
+    print(latency_summary(
+        recorder, f"External edge service latency ({EDGES} edges, "
+                  f"stress-kernel load, shielded CPU 1)"))
+    assert recorder.max() < 100_000
+    print("\nAperiodic external interrupts get the same tens-of-"
+          "microseconds guarantee as the periodic timer (Figure 7).")
+
+
+if __name__ == "__main__":
+    main()

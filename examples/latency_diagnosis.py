@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Diagnosing latency: where does the 2.4 kernel's tail come from?
+
+Attaches a :class:`~repro.analysis.WakeLatencyProbe` to realfeel on
+the stock kernel under stress-kernel load and prints the attribution
+of every slow wakeup -- showing directly that the tail is caused by
+tasks stuck inside non-preemptible kernel sections (and which
+workloads those are), the paper's section 6 diagnosis.
+
+Run:  python examples/latency_diagnosis.py
+"""
+
+from repro.analysis import WakeLatencyProbe
+from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
+from repro.experiments.harness import build_bench
+from repro.hw.machine import interrupt_testbed
+from repro.workloads.base import spawn, spawn_all
+from repro.workloads.realfeel import Realfeel
+from repro.workloads.stress_kernel import stress_kernel_suite
+
+SAMPLES = 6_000
+
+
+def diagnose(config_factory, title):
+    bench = build_bench(config_factory(), interrupt_testbed(), seed=17)
+    bench.add_background_broadcast()
+    bench.start_devices()
+    bench.rtc.enable_periodic()
+    spawn_all(bench.kernel, stress_kernel_suite(bench.kernel))
+    test = Realfeel(bench.rtc, samples=SAMPLES)
+    spawn(bench.kernel, test.spec())
+    probe = WakeLatencyProbe(bench.kernel, "realfeel").install()
+    bench.run_until_done(test, limit_ns=test.estimated_sim_ns())
+    print(f"=== {title}")
+    print(probe.report(threshold_ns=100_000))
+    print()
+
+
+def main():
+    diagnose(vanilla_2_4_21, "kernel.org 2.4.21 (no preemption)")
+    diagnose(redhawk_1_4, "RedHawk 1.4 (preemption + low-latency)")
+    print("Reading the attributions: on stock 2.4 the slow wakeups "
+          "coincide with\nstress tasks executing kernel-mode sections "
+          "(fs:blockmap, nfsd:fs, ...) --\nmulti-tens-of-ms worst "
+          "case.  On RedHawk those sections are preemptible;\nwhat "
+          "remains is bounded bottom-half processing (the "
+          "'bh-backlog' states,\n<= the softirq budget) -- which is "
+          "exactly why the paper adds CPU shielding\nfor the final "
+          "step to a guaranteed sub-millisecond response.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: guarantee sub-millisecond response with a shielded CPU.
+
+Builds a dual-CPU machine running the RedHawk 1.4 kernel model, puts a
+heavy mixed load on it, then compares the interrupt response of a
+periodic real-time task before and after shielding CPU 1 through the
+``/proc/shield`` interface -- the paper's core demonstration, end to
+end, in one script.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CpuMask, build_bench, redhawk_1_4, interrupt_testbed
+from repro.metrics.report import latency_summary
+from repro.workloads.base import spawn, spawn_all
+from repro.workloads.rcim_response import RcimResponseTest
+from repro.workloads.stress_kernel import stress_kernel_suite
+
+SAMPLES = 4_000
+MEASURE_CPU = 1
+
+
+def measure(shielded: bool):
+    bench = build_bench(redhawk_1_4(), interrupt_testbed(), seed=42)
+    bench.start_devices()
+    bench.rcim.enable_timer()
+
+    # Background load: the full Red Hat stress-kernel suite.
+    spawn_all(bench.kernel, stress_kernel_suite(bench.kernel))
+
+    # The real-time task: SCHED_FIFO, mlockall, bound to CPU 1,
+    # blocking on the RCIM's periodic timer interrupt.
+    test = RcimResponseTest(bench.rcim, samples=SAMPLES,
+                            affinity=CpuMask.single(MEASURE_CPU))
+    spawn(bench.kernel, test.spec())
+
+    if shielded:
+        # Exactly what an administrator does on RedHawk:
+        bench.kernel.procfs.write("/proc/shield/procs", "2")
+        bench.kernel.procfs.write("/proc/shield/irqs", "2")
+        bench.kernel.procfs.write("/proc/shield/ltmr", "2")
+        bench.kernel.procfs.write(
+            f"/proc/irq/{bench.rcim.irq}/smp_affinity", "2")
+
+    bench.run_until_done(test, limit_ns=test.estimated_sim_ns())
+    return test.recorder
+
+
+def main():
+    print("Simulating... (two runs of %d samples each)\n" % SAMPLES)
+    unshielded = measure(shielded=False)
+    shielded = measure(shielded=True)
+
+    print(latency_summary(unshielded, "Unshielded CPU 1 (stress load)"))
+    print("  (note: the RCIM count register wraps at the 1 ms period, so")
+    print("   unshielded worst cases beyond 1 ms alias into 0..1 ms)")
+    print()
+    print(latency_summary(shielded, "Shielded CPU 1 (same load)"))
+    print()
+    factor = unshielded.max() / max(1, shielded.max())
+    print(f"Worst-case improvement from shielding: {factor:.1f}x "
+          f"({unshielded.max() / 1e3:.0f}us -> {shielded.max() / 1e3:.0f}us)")
+    assert shielded.max() < 1_000_000, "sub-millisecond guarantee violated!"
+    print("Sub-millisecond guarantee: HOLDS")
+
+
+if __name__ == "__main__":
+    main()

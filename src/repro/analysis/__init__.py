@@ -1,0 +1,14 @@
+"""Analysis tooling: where did my latency go?
+
+:class:`~repro.analysis.probe.WakeLatencyProbe` instruments a kernel
+to measure, for one task, the delay between becoming runnable and
+actually running, capturing what every CPU was executing at the wakeup
+instant.  The aggregated report attributes slow wakeups to their
+causes (non-preemptible kernel sections, softirq processing, lock
+holders...), which is how the per-figure calibrations in this
+repository were diagnosed in the first place.
+"""
+
+from repro.analysis.probe import WakeLatencyProbe, WakeSample
+
+__all__ = ["WakeLatencyProbe", "WakeSample"]

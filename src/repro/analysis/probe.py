@@ -1,0 +1,171 @@
+"""Wake-to-run latency attribution.
+
+The probe wraps two kernel internals (`_make_runnable` and
+`_install_task`) for a single watched task.  At every wakeup it
+snapshots each CPU's state -- current task, syscall depth, frame kinds
+on the execution stack -- and at installation it books the elapsed
+delay against that snapshot.  ``report()`` then shows the slow-wake
+distribution and what the machine was doing when the slow wakeups
+happened.
+
+This is observational only: the probe adds no simulated time and does
+not perturb scheduling.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.task import Task
+
+
+@dataclass(frozen=True)
+class CpuSnapshot:
+    """What one CPU was executing at the wakeup instant."""
+
+    cpu: int
+    task_name: Optional[str]
+    in_syscall: bool
+    syscall_name: Optional[str]
+    frame_kinds: Tuple[str, ...]
+    label: Optional[str]
+    pending_softirq_ns: int = 0
+
+    def describe(self) -> str:
+        if self.task_name is None and not self.frame_kinds:
+            base = "idle"
+        else:
+            mode = "kernel" if self.in_syscall else "user"
+            frames = "+".join(self.frame_kinds) or "boundary"
+            name = self.task_name or "-"
+            base = (f"{name}/{mode}[{frames}]"
+                    f"{':' + self.label if self.label else ''}")
+        if self.pending_softirq_ns > 50_000:
+            # A fat bottom-half backlog will run before the reschedule
+            # at the next interrupt exit on this CPU.
+            base += f" +{self.pending_softirq_ns // 1000}us-bh-backlog"
+        return base
+
+
+@dataclass(frozen=True)
+class WakeSample:
+    """One wakeup of the watched task."""
+
+    woke_at: int
+    ran_at: int
+    snapshots: Tuple[CpuSnapshot, ...]
+
+    @property
+    def delay_ns(self) -> int:
+        return self.ran_at - self.woke_at
+
+
+class WakeLatencyProbe:
+    """Attributes wake-to-run delays of one task to machine state."""
+
+    def __init__(self, kernel: "Kernel", task_name: str) -> None:
+        self.kernel = kernel
+        self.task_name = task_name
+        self.samples: List[WakeSample] = []
+        self._pending: Optional[Tuple[int, Tuple[CpuSnapshot, ...]]] = None
+        self._installed = False
+        self._orig_make_runnable = None
+        self._orig_install = None
+
+    # ------------------------------------------------------------------
+    def install(self) -> "WakeLatencyProbe":
+        if self._installed:
+            return self
+        self._installed = True
+        kernel = self.kernel
+        self._orig_make_runnable = kernel._make_runnable
+        self._orig_install = kernel._install_task
+
+        def make_runnable(task: "Task", from_cpu) -> None:
+            if task.name == self.task_name:
+                self._pending = (kernel.sim.now, self._snapshot())
+            self._orig_make_runnable(task, from_cpu)
+
+        def install_task(cpu_idx: int, task: "Task") -> None:
+            if task.name == self.task_name and self._pending is not None:
+                woke_at, snaps = self._pending
+                self._pending = None
+                self.samples.append(
+                    WakeSample(woke_at, kernel.sim.now, snaps))
+            self._orig_install(cpu_idx, task)
+
+        kernel._make_runnable = make_runnable
+        kernel._install_task = install_task
+        return self
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        # Remove the instance-level overrides so attribute lookup falls
+        # back to the class methods (a clean restore even if probes
+        # were stacked in install order).
+        del self.kernel._make_runnable
+        del self.kernel._install_task
+        self._installed = False
+
+    def _snapshot(self) -> Tuple[CpuSnapshot, ...]:
+        kernel = self.kernel
+        snaps = []
+        for idx, cpu in enumerate(kernel.machine.cpus):
+            task = kernel.current[idx]
+            label = None
+            if task is not None and task.current_compute is not None:
+                label = task.current_compute.label or None
+            snaps.append(CpuSnapshot(
+                cpu=idx,
+                task_name=task.name if task else None,
+                in_syscall=bool(task and task.in_syscall),
+                syscall_name=task.syscall_name if task else None,
+                frame_kinds=tuple(f.kind.value for f in cpu.frames),
+                label=label,
+                pending_softirq_ns=kernel.softirqq[idx].pending_work_ns(),
+            ))
+        return tuple(snaps)
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def delays(self) -> np.ndarray:
+        return np.array([s.delay_ns for s in self.samples], dtype=np.int64)
+
+    def slow_samples(self, threshold_ns: int = 100_000) -> List[WakeSample]:
+        return [s for s in self.samples if s.delay_ns >= threshold_ns]
+
+    def attribute_slow(self, threshold_ns: int = 100_000) -> Counter:
+        """Histogram of machine states during slow wakeups."""
+        counter: Counter = Counter()
+        for sample in self.slow_samples(threshold_ns):
+            for snap in sample.snapshots:
+                counter[snap.describe()] += 1
+        return counter
+
+    def report(self, threshold_ns: int = 100_000, top: int = 10) -> str:
+        delays = self.delays()
+        if delays.size == 0:
+            return f"{self.task_name}: no wakeups observed"
+        lines = [
+            f"wake-to-run latency of {self.task_name!r}: "
+            f"{delays.size} wakeups",
+            f"  mean {delays.mean() / 1e3:.1f} us   "
+            f"p99 {np.percentile(delays, 99) / 1e3:.1f} us   "
+            f"max {delays.max() / 1e3:.1f} us",
+            f"  slow (>= {threshold_ns / 1e3:.0f} us): "
+            f"{len(self.slow_samples(threshold_ns))}",
+        ]
+        attribution = self.attribute_slow(threshold_ns)
+        if attribution:
+            lines.append("  machine state during slow wakeups:")
+            for state, count in attribution.most_common(top):
+                lines.append(f"    {count:>6}  {state}")
+        return "\n".join(lines)

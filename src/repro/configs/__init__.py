@@ -1,0 +1,16 @@
+"""Calibrated kernel configurations for the paper's testbeds."""
+
+from repro.configs.calibration import (
+    base_timing_table,
+    redhawk_timing_table,
+    vanilla_timing_table,
+)
+from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
+
+__all__ = [
+    "base_timing_table",
+    "vanilla_timing_table",
+    "redhawk_timing_table",
+    "vanilla_2_4_21",
+    "redhawk_1_4",
+]

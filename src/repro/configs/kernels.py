@@ -1,0 +1,55 @@
+"""Factory functions for the kernels the paper benchmarks."""
+
+from __future__ import annotations
+
+from repro.configs.calibration import redhawk_timing_table, vanilla_timing_table
+from repro.kernel.config import KernelConfig
+from repro.sim.simtime import MSEC, USEC
+
+
+def vanilla_2_4_21() -> KernelConfig:
+    """kernel.org 2.4.21: the paper's unpatched baseline.
+
+    No preemption, no low-latency patches, goodness scheduler, softirqs
+    drained without bound at interrupt exit, jiffies-resolution timers,
+    no shield support.
+    """
+    return KernelConfig(
+        name="kernel.org-2.4.21",
+        version="2.4.21",
+        preemptible=False,
+        low_latency=False,
+        o1_scheduler=False,
+        shield_support=False,
+        bkl_ioctl_flag=False,
+        softirq_exit_budget_ns=50 * MSEC,
+        ksoftirqd=True,
+        highres_timers=False,
+        hz=100,
+        timing=vanilla_timing_table(),
+    )
+
+
+def redhawk_1_4() -> KernelConfig:
+    """RedHawk Linux 1.4 (based on kernel.org 2.4.21).
+
+    MontaVista preemption patch, Morton low-latency patches, Molnar
+    O(1) scheduler, POSIX/high-res timers patch, shielded-processor
+    support, the generic-ioctl BKL-avoidance flag, and bounded softirq
+    processing at interrupt exit.
+    """
+    return KernelConfig(
+        name="redhawk-1.4",
+        version="2.4.21-rh1.4",
+        preemptible=True,
+        low_latency=True,
+        o1_scheduler=True,
+        shield_support=True,
+        bkl_ioctl_flag=True,
+        softirq_exit_budget_ns=400 * USEC,
+        softirq_syscall_exit_drain=False,
+        ksoftirqd=True,
+        highres_timers=True,
+        hz=100,
+        timing=redhawk_timing_table(),
+    )

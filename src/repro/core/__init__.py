@@ -1,0 +1,20 @@
+"""The paper's primary contribution: shielded-processor support.
+
+:mod:`repro.core.affinity` provides CPU-mask arithmetic and the
+effective-affinity semantics; :mod:`repro.core.shield` implements the
+``/proc/shield`` controller that rewrites process and interrupt
+affinities and gates the local timer interrupt.
+"""
+
+from repro.core.affinity import CpuMask, effective_affinity
+from repro.core.shield import ShieldController, ShieldState
+from repro.core.shield_cmd import ShieldCommand, ShieldCommandError
+
+__all__ = [
+    "CpuMask",
+    "effective_affinity",
+    "ShieldController",
+    "ShieldState",
+    "ShieldCommand",
+    "ShieldCommandError",
+]

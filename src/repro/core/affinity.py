@@ -1,0 +1,158 @@
+"""CPU masks and the shielded-CPU affinity semantics.
+
+A :class:`CpuMask` is an immutable set of CPU indices backed by an
+integer bitmask, mirroring the kernel's ``cpumask_t``.  The function
+:func:`effective_affinity` implements the interaction rule from the
+paper (section 3):
+
+    "In general, the CPUs that are shielded are removed from the CPU
+    affinity of a process or interrupt.  The only processes or
+    interrupts that are allowed to execute on a shielded CPU are
+    processes or interrupts that would otherwise be precluded from
+    running unless they are allowed to run on a shielded CPU.  In
+    other words, to run on a shielded CPU, a process must set its CPU
+    affinity such that it contains only shielded CPUs."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Union
+
+from repro.sim.errors import InvalidMaskError
+
+MaskLike = Union["CpuMask", int, Iterable[int]]
+
+
+class CpuMask:
+    """Immutable set of CPU indices.
+
+    Accepts an integer bitmask, an iterable of CPU indices, or another
+    mask.  Supports the usual set algebra through operators.
+    """
+
+    __slots__ = ("bits",)
+
+    def __init__(self, value: MaskLike = 0) -> None:
+        if isinstance(value, CpuMask):
+            bits = value.bits
+        elif isinstance(value, int):
+            if value < 0:
+                raise InvalidMaskError(f"negative bitmask {value:#x}")
+            bits = value
+        else:
+            bits = 0
+            for cpu in value:
+                if cpu < 0:
+                    raise InvalidMaskError(f"negative cpu index {cpu}")
+                bits |= 1 << cpu
+        object.__setattr__(self, "bits", bits)
+
+    # Immutability ------------------------------------------------------
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("CpuMask is immutable")
+
+    # Constructors ------------------------------------------------------
+    @classmethod
+    def all(cls, ncpus: int) -> "CpuMask":
+        """Mask with CPUs 0..ncpus-1 set."""
+        return cls((1 << ncpus) - 1)
+
+    @classmethod
+    def single(cls, cpu: int) -> "CpuMask":
+        """Mask with exactly one CPU set."""
+        return cls(1 << cpu)
+
+    @classmethod
+    def parse(cls, text: str) -> "CpuMask":
+        """Parse the hex form used by ``/proc`` files (e.g. ``\"2\"``)."""
+        return cls(int(text.strip(), 16))
+
+    # Set algebra -------------------------------------------------------
+    def __and__(self, other: MaskLike) -> "CpuMask":
+        return CpuMask(self.bits & CpuMask(other).bits)
+
+    def __or__(self, other: MaskLike) -> "CpuMask":
+        return CpuMask(self.bits | CpuMask(other).bits)
+
+    def __sub__(self, other: MaskLike) -> "CpuMask":
+        return CpuMask(self.bits & ~CpuMask(other).bits)
+
+    def __xor__(self, other: MaskLike) -> "CpuMask":
+        return CpuMask(self.bits ^ CpuMask(other).bits)
+
+    def issubset(self, other: MaskLike) -> bool:
+        other_bits = CpuMask(other).bits
+        return (self.bits & ~other_bits) == 0
+
+    def intersects(self, other: MaskLike) -> bool:
+        return (self.bits & CpuMask(other).bits) != 0
+
+    def __contains__(self, cpu: int) -> bool:
+        return bool(self.bits >> cpu & 1)
+
+    # Queries -----------------------------------------------------------
+    def __bool__(self) -> bool:
+        return self.bits != 0
+
+    def __len__(self) -> int:
+        return self.bits.bit_count()
+
+    def __iter__(self) -> Iterator[int]:
+        bits = self.bits
+        cpu = 0
+        while bits:
+            if bits & 1:
+                yield cpu
+            bits >>= 1
+            cpu += 1
+
+    def first(self) -> int:
+        """Lowest CPU index in the mask (raises on empty mask)."""
+        if not self.bits:
+            raise InvalidMaskError("first() on empty mask")
+        return (self.bits & -self.bits).bit_length() - 1
+
+    def cpus(self) -> list:
+        """CPU indices as a sorted list."""
+        return list(self)
+
+    # Identity ----------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CpuMask):
+            return self.bits == other.bits
+        if isinstance(other, int):
+            return self.bits == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("CpuMask", self.bits))
+
+    def __repr__(self) -> str:
+        return f"CpuMask({self.cpus()})"
+
+    def to_proc(self) -> str:
+        """Hex string as written to ``/proc`` affinity files."""
+        return f"{self.bits:x}"
+
+
+def effective_affinity(requested: CpuMask, shielded: CpuMask) -> CpuMask:
+    """Apply the paper's shield-interaction rule to one affinity mask.
+
+    * If the requested mask contains only shielded CPUs, it is honoured
+      unchanged: the owner asked to run *on* the shield.
+    * Otherwise all shielded CPUs are removed from the mask.
+    * If removal would empty the mask entirely (impossible when the
+      requested mask is non-empty, since the only-shielded case was
+      handled above) the requested mask is returned as a safety net.
+
+    Raises :class:`InvalidMaskError` for an empty requested mask, which
+    has no meaning for either a process or an interrupt.
+    """
+    if not requested:
+        raise InvalidMaskError("requested affinity mask is empty")
+    if requested.issubset(shielded):
+        return requested
+    stripped = requested - shielded
+    if not stripped:  # pragma: no cover - unreachable, kept as a guard
+        return requested
+    return stripped

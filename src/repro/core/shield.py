@@ -1,0 +1,156 @@
+"""The shielded-processor controller (``/proc/shield``).
+
+This is the paper's contribution (section 3).  Three independent masks
+select which CPUs are shielded from:
+
+* ``procs`` -- ordinary processes,
+* ``irqs``  -- device interrupts that have a settable affinity,
+* ``ltmr``  -- the per-CPU local timer interrupt.
+
+Writing a mask dynamically re-applies the shield: every task's and
+every IRQ's *effective* affinity is recomputed from its *requested*
+affinity via :func:`repro.core.affinity.effective_affinity`, tasks
+currently on a newly shielded CPU are migrated off it, and the local
+timer is stopped or restarted per CPU.
+
+The controller talks to the kernel through a deliberately narrow
+interface (``iter_tasks``, ``reapply_task_affinity``,
+``set_local_timer_enabled``) so that the shielding semantics are
+testable in isolation from the full kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.affinity import CpuMask, effective_affinity
+from repro.sim.errors import InvalidMaskError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw.machine import Machine
+
+
+@dataclass(frozen=True)
+class ShieldState:
+    """Snapshot of the three shield masks."""
+
+    procs: CpuMask
+    irqs: CpuMask
+    ltmr: CpuMask
+
+    def shields_anything(self) -> bool:
+        return bool(self.procs) or bool(self.irqs) or bool(self.ltmr)
+
+
+class ShieldController:
+    """Implements the ``/proc/shield`` semantics."""
+
+    def __init__(self, machine: "Machine", kernel) -> None:
+        self.machine = machine
+        self.kernel = kernel
+        self._procs = CpuMask(0)
+        self._irqs = CpuMask(0)
+        self._ltmr = CpuMask(0)
+        self.enabled = True  # cleared on kernels without shield support
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> ShieldState:
+        return ShieldState(self._procs, self._irqs, self._ltmr)
+
+    @property
+    def procs_mask(self) -> CpuMask:
+        return self._procs
+
+    @property
+    def irqs_mask(self) -> CpuMask:
+        return self._irqs
+
+    @property
+    def ltmr_mask(self) -> CpuMask:
+        return self._ltmr
+
+    # ------------------------------------------------------------------
+    # Mask updates (the /proc/shield write path)
+    # ------------------------------------------------------------------
+    def set_masks(self, procs: Optional[CpuMask] = None,
+                  irqs: Optional[CpuMask] = None,
+                  ltmr: Optional[CpuMask] = None) -> None:
+        """Update any subset of the masks and re-apply shielding."""
+        if not self.enabled:
+            raise InvalidMaskError(
+                "this kernel was built without shielded-processor support")
+        ncpus = self.machine.ncpus
+        allcpus = CpuMask.all(ncpus)
+        for mask in (procs, irqs, ltmr):
+            if mask is not None and not mask.issubset(allcpus):
+                raise InvalidMaskError(
+                    f"shield mask {mask} references CPUs beyond 0..{ncpus - 1}")
+        if procs is not None and procs == allcpus:
+            raise InvalidMaskError(
+                "cannot shield every CPU from processes: nothing could run")
+        if procs is not None:
+            self._procs = procs
+        if irqs is not None:
+            self._irqs = irqs
+        if ltmr is not None:
+            self._ltmr = ltmr
+        self.reapply()
+
+    def shield_cpu(self, cpu: int, procs: bool = True, irqs: bool = True,
+                   ltmr: bool = True) -> None:
+        """Convenience: add *cpu* to the selected masks."""
+        one = CpuMask.single(cpu)
+        self.set_masks(
+            procs=(self._procs | one) if procs else None,
+            irqs=(self._irqs | one) if irqs else None,
+            ltmr=(self._ltmr | one) if ltmr else None,
+        )
+
+    def unshield_cpu(self, cpu: int) -> None:
+        """Remove *cpu* from all three masks."""
+        one = CpuMask.single(cpu)
+        self.set_masks(procs=self._procs - one, irqs=self._irqs - one,
+                       ltmr=self._ltmr - one)
+
+    def clear(self) -> None:
+        """Drop all shielding."""
+        self.set_masks(procs=CpuMask(0), irqs=CpuMask(0), ltmr=CpuMask(0))
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def reapply(self) -> None:
+        """Recompute every effective affinity and migrate/stop as needed.
+
+        This is the "dynamically enabled" behaviour from the paper:
+        modifying one of the /proc files immediately examines and
+        modifies the affinity masks of all processes and interrupts.
+        """
+        for desc in self.machine.apic.irqs.values():
+            desc.effective_affinity = effective_affinity(
+                desc.requested_affinity, self._irqs)
+        for task in self.kernel.iter_tasks():
+            self.kernel.reapply_task_affinity(task)
+        for cpu in self.machine.cpus:
+            self.kernel.set_local_timer_enabled(
+                cpu.index, cpu.index not in self._ltmr)
+
+    def effective_task_affinity(self, requested: CpuMask) -> CpuMask:
+        """Effective affinity of a task under the current procs mask."""
+        return effective_affinity(requested, self._procs)
+
+    def effective_irq_affinity(self, requested: CpuMask) -> CpuMask:
+        """Effective affinity of an IRQ under the current irqs mask."""
+        return effective_affinity(requested, self._irqs)
+
+    def is_shielded(self, cpu: int) -> bool:
+        """True if *cpu* appears in any shield mask."""
+        return (cpu in self._procs) or (cpu in self._irqs) or (cpu in self._ltmr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Shield procs={self._procs.to_proc()} "
+                f"irqs={self._irqs.to_proc()} ltmr={self._ltmr.to_proc()}>")

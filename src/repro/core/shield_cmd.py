@@ -1,0 +1,130 @@
+"""The ``shield(1)`` command: RedHawk's administrator front end.
+
+RedHawk ships a ``shield`` utility so administrators do not poke
+``/proc/shield`` masks by hand.  This module reproduces its interface
+against the simulated kernel's procfs:
+
+    shield                     # show current shielding
+    shield -a 1                # shield CPU 1 from everything (all)
+    shield -p 1 -i 1           # processes + interrupts only
+    shield -l 1                # local timer only
+    shield -r                  # reset (remove all shielding)
+    shield -c                  # show per-CPU status listing
+
+Masks accumulate the way the real flags do: each flag names the CPUs
+(comma-separated list or hex mask with a ``0x`` prefix) that should be
+shielded for that category; flags given together are applied in one
+update.  All writes go through the same ``/proc/shield`` files a human
+would use, so everything the command does is reproducible by hand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.core.affinity import CpuMask
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+
+
+class ShieldCommandError(Exception):
+    """Bad usage of the shield command."""
+
+
+def parse_cpu_list(text: str, ncpus: int) -> CpuMask:
+    """Parse ``1``, ``0,1``, ``0x2`` into a mask, validating range."""
+    text = text.strip()
+    try:
+        if text.lower().startswith("0x"):
+            mask = CpuMask(int(text, 16))
+        else:
+            mask = CpuMask([int(part) for part in text.split(",") if part])
+    except (ValueError, TypeError) as exc:
+        raise ShieldCommandError(f"bad CPU list {text!r}") from exc
+    if not mask.issubset(CpuMask.all(ncpus)):
+        raise ShieldCommandError(
+            f"CPU list {text!r} references CPUs beyond 0..{ncpus - 1}")
+    return mask
+
+
+class ShieldCommand:
+    """Programmatic ``shield(1)``."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+
+    # ------------------------------------------------------------------
+    def run(self, argv: Optional[List[str]] = None) -> str:
+        """Execute one invocation; returns the printed output."""
+        parser = argparse.ArgumentParser(prog="shield", add_help=False)
+        parser.add_argument("-a", "--all", default=None,
+                            help="shield CPUS from procs+irqs+ltmr")
+        parser.add_argument("-p", "--procs", default=None)
+        parser.add_argument("-i", "--irqs", default=None)
+        parser.add_argument("-l", "--ltmr", default=None)
+        parser.add_argument("-r", "--reset", action="store_true")
+        parser.add_argument("-c", "--status", action="store_true")
+        try:
+            args = parser.parse_args(argv or [])
+        except SystemExit as exc:  # argparse's error path
+            raise ShieldCommandError("bad shield usage") from exc
+
+        if self.kernel.shield is None:
+            raise ShieldCommandError(
+                "shield: kernel has no shielded-processor support")
+
+        out = io.StringIO()
+        ncpus = self.kernel.ncpus
+        if args.reset:
+            self._write_masks(CpuMask(0), CpuMask(0), CpuMask(0))
+        updates = {}
+        if args.all is not None:
+            mask = parse_cpu_list(args.all, ncpus)
+            updates = {"procs": mask, "irqs": mask, "ltmr": mask}
+        for key in ("procs", "irqs", "ltmr"):
+            value = getattr(args, key)
+            if value is not None:
+                updates[key] = parse_cpu_list(value, ncpus)
+        if updates:
+            shield = self.kernel.shield
+            self._write_masks(
+                updates.get("procs", shield.procs_mask),
+                updates.get("irqs", shield.irqs_mask),
+                updates.get("ltmr", shield.ltmr_mask))
+        if args.status:
+            out.write(self._status_listing())
+        else:
+            out.write(self._summary())
+        return out.getvalue()
+
+    # ------------------------------------------------------------------
+    def _write_masks(self, procs: CpuMask, irqs: CpuMask,
+                     ltmr: CpuMask) -> None:
+        procfs = self.kernel.procfs
+        procfs.write("/proc/shield/procs", procs.to_proc())
+        procfs.write("/proc/shield/irqs", irqs.to_proc())
+        procfs.write("/proc/shield/ltmr", ltmr.to_proc())
+
+    def _summary(self) -> str:
+        procfs = self.kernel.procfs
+        lines = []
+        for name in ("procs", "irqs", "ltmr"):
+            mask = CpuMask.parse(procfs.read(f"/proc/shield/{name}"))
+            cpus = ",".join(str(c) for c in mask) or "none"
+            lines.append(f"{name:<6} shielded cpus: {cpus}")
+        return "\n".join(lines) + "\n"
+
+    def _status_listing(self) -> str:
+        shield = self.kernel.shield
+        header = f"{'CPU':>4}  {'procs':>6}  {'irqs':>6}  {'ltmr':>6}"
+        lines = [header]
+        for cpu in range(self.kernel.ncpus):
+            flags = ["yes" if cpu in mask else "no"
+                     for mask in (shield.procs_mask, shield.irqs_mask,
+                                  shield.ltmr_mask)]
+            lines.append(f"{cpu:>4}  {flags[0]:>6}  {flags[1]:>6}  "
+                         f"{flags[2]:>6}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,32 @@
+"""Experiment runners: one per figure of the paper, plus ablations."""
+
+from repro.experiments.harness import Bench, build_bench
+from repro.experiments.determinism import (
+    run_fig1_vanilla_ht,
+    run_fig2_redhawk_shielded,
+    run_fig3_redhawk_unshielded,
+    run_fig4_vanilla_noht,
+    run_determinism,
+)
+from repro.experiments.interrupt_response import (
+    run_fig5_vanilla_rtc,
+    run_fig6_redhawk_shielded_rtc,
+    run_fig7_rcim,
+    run_rtc_experiment,
+    run_rcim_experiment,
+)
+
+__all__ = [
+    "Bench",
+    "build_bench",
+    "run_determinism",
+    "run_fig1_vanilla_ht",
+    "run_fig2_redhawk_shielded",
+    "run_fig3_redhawk_unshielded",
+    "run_fig4_vanilla_noht",
+    "run_rtc_experiment",
+    "run_rcim_experiment",
+    "run_fig5_vanilla_rtc",
+    "run_fig6_redhawk_shielded_rtc",
+    "run_fig7_rcim",
+]

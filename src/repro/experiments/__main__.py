@@ -1,0 +1,95 @@
+"""Command-line figure runner.
+
+Usage::
+
+    python -m repro.experiments fig5 --samples 20000
+    python -m repro.experiments fig2 --iterations 20
+    python -m repro.experiments all
+
+Prints the paper-format report for the requested figure(s).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.determinism import (
+    run_fig1_vanilla_ht,
+    run_fig2_redhawk_shielded,
+    run_fig3_redhawk_unshielded,
+    run_fig4_vanilla_noht,
+)
+from repro.experiments.interrupt_response import (
+    run_fig5_vanilla_rtc,
+    run_fig6_redhawk_shielded_rtc,
+    run_fig7_rcim,
+)
+
+DETERMINISM = {
+    "fig1": run_fig1_vanilla_ht,
+    "fig2": run_fig2_redhawk_shielded,
+    "fig3": run_fig3_redhawk_unshielded,
+    "fig4": run_fig4_vanilla_noht,
+}
+LATENCY = {
+    "fig5": (run_fig5_vanilla_rtc, "buckets"),
+    "fig6": (run_fig6_redhawk_shielded_rtc, "fine-buckets"),
+    "fig7": (run_fig7_rcim, "summary"),
+}
+
+
+def run_one(name: str, iterations: int, samples: int, seed: int,
+            json_dir: str = "") -> None:
+    from repro.experiments.export import (
+        determinism_to_dict,
+        latency_to_dict,
+        to_json,
+    )
+
+    if name in DETERMINISM:
+        result = DETERMINISM[name](iterations=iterations, seed=seed)
+        print(result.report())
+        data = determinism_to_dict(result)
+    elif name in LATENCY:
+        runner, style = LATENCY[name]
+        result = runner(samples=samples, seed=seed)
+        print(result.report(style))
+        data = latency_to_dict(result)
+    else:
+        raise SystemExit(f"unknown figure {name!r}; choose from "
+                         f"{sorted(DETERMINISM) + sorted(LATENCY)} or 'all'")
+    if json_dir:
+        import os
+
+        path = os.path.join(json_dir, f"{name}.json")
+        to_json(data, path=path)
+        print(f"(wrote {path})")
+    print()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce a figure from the shielded-processors paper.")
+    parser.add_argument("figure",
+                        help="fig1..fig7, or 'all'")
+    parser.add_argument("--iterations", type=int, default=15,
+                        help="determinism-test iterations (figs 1-4)")
+    parser.add_argument("--samples", type=int, default=20_000,
+                        help="latency samples (figs 5-7)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--json-dir", default="",
+                        help="also write <figure>.json data files here")
+    args = parser.parse_args(argv)
+
+    names = (sorted(DETERMINISM) + sorted(LATENCY)
+             if args.figure == "all" else [args.figure])
+    for name in names:
+        run_one(name, args.iterations, args.samples, args.seed,
+                json_dir=args.json_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

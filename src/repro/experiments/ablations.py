@@ -1,0 +1,128 @@
+"""Ablation experiments: which design choice buys which property.
+
+These go beyond the paper's figures to isolate the contribution of
+each mechanism DESIGN.md calls out:
+
+* A1 -- the three shield components (processes / interrupts / local
+  timer), applied cumulatively to the Figure 6 setup;
+* A2 -- the preemption and low-latency patches, applied to the
+  Figure 5 setup in all four combinations;
+* A3 -- the generic-ioctl BKL-avoidance flag on the Figure 7 setup;
+* A4 -- hyperthreading on/off under RedHawk (why RedHawk ships with
+  it disabled by default).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
+from repro.core.affinity import CpuMask
+from repro.experiments.determinism import DeterminismResult, run_determinism
+from repro.experiments.harness import build_bench
+from repro.experiments.interrupt_response import LatencyResult, _finish
+from repro.hw.machine import interrupt_testbed
+from repro.workloads.base import spawn, spawn_all
+from repro.workloads.realfeel import Realfeel
+from repro.workloads.stress_kernel import stress_kernel_suite
+
+MEASURE_CPU = 1
+
+
+def run_shield_component_ablation(samples: int = 10_000, seed: int = 1
+                                  ) -> Dict[str, LatencyResult]:
+    """A1: Figure 6 with cumulative shield components.
+
+    Variants: ``none`` (RedHawk, pinned task, no shield), ``procs``
+    (only process shielding), ``procs+irqs``, ``full`` (adds the local
+    timer).
+    """
+    variants = {
+        "none": (False, False, False),
+        "procs": (True, False, False),
+        "procs+irqs": (True, True, False),
+        "full": (True, True, True),
+    }
+    results: Dict[str, LatencyResult] = {}
+    for name, (procs, irqs, ltmr) in variants.items():
+        config = redhawk_1_4()
+        bench = build_bench(config, interrupt_testbed(), seed=seed)
+        bench.add_background_broadcast()
+        bench.start_devices()
+        bench.rtc.enable_periodic()
+        spawn_all(bench.kernel, stress_kernel_suite(bench.kernel))
+        test = Realfeel(bench.rtc, samples=samples,
+                        affinity=CpuMask.single(MEASURE_CPU))
+        spawn(bench.kernel, test.spec())
+        bench.set_irq_affinity(bench.rtc.irq, MEASURE_CPU)
+        if procs or irqs or ltmr:
+            bench.shield_cpu(MEASURE_CPU, procs=procs, irqs=irqs, ltmr=ltmr)
+        bench.run_until_done(test, limit_ns=test.estimated_sim_ns())
+        results[name] = _finish(f"A1[{name}]", config, test.recorder)
+    return results
+
+
+def run_patch_ablation(samples: int = 10_000, seed: int = 1
+                       ) -> Dict[str, LatencyResult]:
+    """A2: Figure 5 across preemption/low-latency patch combinations.
+
+    All variants keep the 2.4 goodness scheduler and no shield, so the
+    difference is purely the patches -- reproducing the lineage the
+    paper's introduction describes (stock -> low-latency -> preempt ->
+    both, the combination Clark Williams measured at 1.2 ms).
+    """
+    variants = {
+        "stock": dict(preemptible=False, low_latency=False),
+        "low-latency": dict(preemptible=False, low_latency=True),
+        "preempt": dict(preemptible=True, low_latency=False),
+        "preempt+lowlat": dict(preemptible=True, low_latency=True),
+    }
+    results: Dict[str, LatencyResult] = {}
+    for name, flags in variants.items():
+        config = vanilla_2_4_21().with_overrides(**flags)
+        bench = build_bench(config, interrupt_testbed(), seed=seed)
+        bench.add_background_broadcast()
+        bench.start_devices()
+        bench.rtc.enable_periodic()
+        spawn_all(bench.kernel, stress_kernel_suite(bench.kernel))
+        test = Realfeel(bench.rtc, samples=samples)
+        spawn(bench.kernel, test.spec())
+        bench.run_until_done(test, limit_ns=test.estimated_sim_ns())
+        results[name] = _finish(f"A2[{name}]", config, test.recorder)
+    return results
+
+
+def run_bkl_flag_ablation(samples: int = 10_000, seed: int = 1
+                          ) -> Dict[str, LatencyResult]:
+    """A3: the RCIM test with and without the BKL-avoidance flag.
+
+    Without the flag the generic ioctl path takes ``lock_kernel()``
+    around the driver routine and reacquires it after the blocking
+    wait -- contending with the X server's DRM ioctls.
+    """
+    from repro.experiments.interrupt_response import run_rcim_experiment
+
+    results: Dict[str, LatencyResult] = {}
+    for name, flag in (("no-flag", False), ("flag", True)):
+        factory = lambda flag=flag: redhawk_1_4().with_overrides(
+            bkl_ioctl_flag=flag)
+        results[name] = run_rcim_experiment(
+            factory, samples=samples, seed=seed, figure=f"A3[{name}]")
+    return results
+
+
+def run_hyperthreading_ablation(iterations: int = 8, seed: int = 1
+                                ) -> Dict[str, DeterminismResult]:
+    """A4: RedHawk determinism with hyperthreading forced on vs off.
+
+    RedHawk disables hyperthreading by default; this shows what that
+    default is worth on an unshielded CPU.
+    """
+    return {
+        "ht-off": run_determinism(redhawk_1_4, hyperthreading=False,
+                                  shielded=False, iterations=iterations,
+                                  seed=seed, figure="A4[ht-off]"),
+        "ht-on": run_determinism(redhawk_1_4, hyperthreading=True,
+                                 shielded=False, iterations=iterations,
+                                 seed=seed, figure="A4[ht-on]"),
+    }

@@ -1,0 +1,143 @@
+"""Execution-determinism experiments: Figures 1-4.
+
+The paper's protocol (section 5.1): the sine-loop test runs
+SCHED_FIFO with locked pages while the system handles the scp network
+copy and the disknoise script.  The ideal time comes from an unloaded
+run; the loaded runs' excess over ideal is jitter.
+
+===========  ==========================  =====================
+Figure       Kernel                      Notes
+===========  ==========================  =====================
+Figure 1     kernel.org 2.4.21           hyperthreading on
+Figure 2     RedHawk 1.4                 CPU 1 fully shielded
+Figure 3     RedHawk 1.4                 shield disabled
+Figure 4     kernel.org 2.4.21           hyperthreading off
+===========  ==========================  =====================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
+from repro.core.affinity import CpuMask
+from repro.experiments.harness import Bench, build_bench
+from repro.hw.machine import determinism_testbed
+from repro.kernel.config import KernelConfig
+from repro.metrics.recorder import JitterRecorder
+from repro.metrics.report import determinism_summary
+from repro.sim.simtime import SEC
+from repro.workloads.base import spawn
+from repro.workloads.determinism import DeterminismTest
+from repro.workloads.disknoise import disknoise
+from repro.workloads.netload import scp_copy_loop
+
+#: CPU hosting the measurement task, as in the paper's shielded runs.
+MEASURE_CPU = 1
+
+
+@dataclass
+class DeterminismResult:
+    """Outcome of one determinism experiment."""
+
+    figure: str
+    kernel_name: str
+    recorder: JitterRecorder
+    ideal_ns: int
+    max_ns: int
+    jitter_ns: int
+    jitter_percent: float
+
+    def report(self) -> str:
+        return determinism_summary(
+            self.recorder, f"{self.figure}: {self.kernel_name}")
+
+
+def _measure_ideal(config_factory: Callable[[], KernelConfig],
+                   hyperthreading: bool, loop_ns: int, seed: int) -> int:
+    """The unloaded baseline run (3 iterations, no load, no shield)."""
+    bench = build_bench(config_factory(),
+                        determinism_testbed(hyperthreading), seed=seed + 777)
+    bench.start_devices()
+    test = DeterminismTest(iterations=3, loop_ns=loop_ns,
+                           affinity=CpuMask.single(MEASURE_CPU))
+    spawn(bench.kernel, test.spec())
+    bench.run_until_done(test, limit_ns=test.estimated_sim_ns())
+    return int(test.recorder.as_array().min())
+
+
+def run_determinism(config_factory: Callable[[], KernelConfig],
+                    hyperthreading: bool,
+                    shielded: bool,
+                    iterations: int = 25,
+                    loop_ns: int = 1_147_000_000,
+                    seed: int = 1,
+                    figure: str = "determinism") -> DeterminismResult:
+    """Run one determinism experiment end to end."""
+    ideal = _measure_ideal(config_factory, hyperthreading, loop_ns, seed)
+
+    config = config_factory()
+    bench = build_bench(config, determinism_testbed(hyperthreading),
+                        seed=seed)
+    bench.start_devices()
+
+    # Background load: the scp copy and the disknoise script.
+    spawn(bench.kernel, scp_copy_loop(bench.kernel, bench.nic))
+    spawn(bench.kernel, disknoise(bench.kernel))
+
+    test = DeterminismTest(iterations=iterations, loop_ns=loop_ns,
+                           affinity=CpuMask.single(MEASURE_CPU))
+    spawn(bench.kernel, test.spec())
+
+    if shielded:
+        if not config.shield_support:
+            raise ValueError(f"{config.name} has no shield support")
+        bench.shield_cpu(MEASURE_CPU)
+
+    bench.run_until_done(test, limit_ns=test.estimated_sim_ns())
+    test.recorder.set_ideal(ideal)
+    return DeterminismResult(
+        figure=figure,
+        kernel_name=config.describe(),
+        recorder=test.recorder,
+        ideal_ns=ideal,
+        max_ns=test.recorder.max(),
+        jitter_ns=test.recorder.jitter_ns(),
+        jitter_percent=100.0 * test.recorder.jitter_fraction(),
+    )
+
+
+# ----------------------------------------------------------------------
+# The four figures
+# ----------------------------------------------------------------------
+def run_fig1_vanilla_ht(iterations: int = 25, seed: int = 1
+                        ) -> DeterminismResult:
+    """Figure 1: kernel.org 2.4.21, hyperthreading enabled."""
+    return run_determinism(vanilla_2_4_21, hyperthreading=True,
+                           shielded=False, iterations=iterations, seed=seed,
+                           figure="Figure 1 (kernel.org, HT)")
+
+
+def run_fig2_redhawk_shielded(iterations: int = 25, seed: int = 1
+                              ) -> DeterminismResult:
+    """Figure 2: RedHawk 1.4, CPU 1 shielded."""
+    return run_determinism(redhawk_1_4, hyperthreading=False,
+                           shielded=True, iterations=iterations, seed=seed,
+                           figure="Figure 2 (RedHawk, shielded CPU)")
+
+
+def run_fig3_redhawk_unshielded(iterations: int = 25, seed: int = 1
+                                ) -> DeterminismResult:
+    """Figure 3: RedHawk 1.4, shield disabled."""
+    return run_determinism(redhawk_1_4, hyperthreading=False,
+                           shielded=False, iterations=iterations, seed=seed,
+                           figure="Figure 3 (RedHawk, unshielded CPU)")
+
+
+def run_fig4_vanilla_noht(iterations: int = 25, seed: int = 1
+                          ) -> DeterminismResult:
+    """Figure 4: kernel.org 2.4.21, hyperthreading disabled."""
+    return run_determinism(vanilla_2_4_21, hyperthreading=False,
+                           shielded=False, iterations=iterations, seed=seed,
+                           figure="Figure 4 (kernel.org, no HT)")

@@ -1,0 +1,82 @@
+"""Result export: figure data as plain dictionaries / JSON.
+
+The experiment runners return rich result objects; downstream users
+plotting with their own tooling want flat, stable data.  These
+exporters produce JSON-serialisable dictionaries carrying everything a
+figure needs: the summary statistics, the histogram series, and the
+provenance (kernel description, sample count, seed-independent
+identity of the experiment).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Sequence
+
+from repro.experiments.determinism import DeterminismResult
+from repro.experiments.interrupt_response import LatencyResult
+from repro.metrics.histogram import Histogram, LogHistogram
+
+
+def determinism_to_dict(result: DeterminismResult,
+                        nbins: int = 50) -> Dict[str, Any]:
+    """Flatten a determinism result (Figures 1-4 style)."""
+    variances = result.recorder.variances_ms()
+    hi = max(1.0, float(variances.max()) * 1.05) if len(variances) else 1.0
+    hist = Histogram(0.0, hi, nbins)
+    hist.add_many(variances)
+    return {
+        "figure": result.figure,
+        "kernel": result.kernel_name,
+        "iterations": result.recorder.count,
+        "ideal_s": result.ideal_ns / 1e9,
+        "max_s": result.max_ns / 1e9,
+        "jitter_s": result.jitter_ns / 1e9,
+        "jitter_percent": result.jitter_percent,
+        "variance_ms_series": [float(v) for v in variances],
+        "histogram": {
+            "unit": "ms-from-ideal",
+            "bins": [{"lo": b.lo, "hi": b.hi, "count": b.count}
+                     for b in hist.bins()],
+        },
+    }
+
+
+def latency_to_dict(result: LatencyResult,
+                    thresholds_ms: Optional[Sequence[float]] = None,
+                    hist_lo_ns: float = 1_000.0,
+                    hist_hi_ns: float = 100_000_000.0) -> Dict[str, Any]:
+    """Flatten a latency result (Figures 5-7 style)."""
+    rec = result.recorder
+    hist = LogHistogram(hist_lo_ns, hist_hi_ns)
+    hist.add_many([max(s, hist_lo_ns + 1) for s in rec.samples])
+    out: Dict[str, Any] = {
+        "figure": result.figure,
+        "kernel": result.kernel_name,
+        "samples": rec.count,
+        "min_us": rec.min() / 1e3,
+        "mean_us": rec.mean() / 1e3,
+        "max_us": rec.max() / 1e3,
+        "histogram": {
+            "unit": "ns",
+            "log_bins": [{"lo": b.lo, "hi": b.hi, "count": b.count}
+                         for b in hist.bins() if b.count],
+        },
+    }
+    if thresholds_ms:
+        out["cumulative"] = [
+            {"below_ms": t,
+             "fraction": rec.fraction_below(int(t * 1e6))}
+            for t in thresholds_ms
+        ]
+    return out
+
+
+def to_json(data: Dict[str, Any], path: Optional[str] = None,
+            indent: int = 2) -> str:
+    """Serialise an exported dictionary (optionally writing a file)."""
+    text = json.dumps(data, indent=indent, sort_keys=True)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    return text

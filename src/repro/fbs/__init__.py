@@ -1,0 +1,30 @@
+"""The Frequency-Based Scheduler (FBS).
+
+RedHawk's companion facility to shielded processors: a frame-based
+scheduler that wakes registered processes at programmed frequencies
+off a high-resolution timing source (typically an RCIM timer), detects
+*frame overruns* (a process still running when its next cycle arrives)
+and collects per-process performance statistics.  Shielding provides
+the determinism; FBS provides the periodic execution structure
+simulation workloads need.
+
+Concepts (following the RedHawk FBS User's Guide):
+
+* the timing source fires **minor cycles** at a fixed interval;
+* a **major frame** is N minor cycles;
+* a process is scheduled with (period, starting cycle): it is woken at
+  cycles ``c, c + p, c + 2p, ...`` within each frame;
+* a process that has not completed (returned to ``fbs_wait``) by its
+  next scheduled wakeup has **overrun**; overruns are counted and the
+  scheduler can be configured to halt on them.
+"""
+
+from repro.fbs.monitor import CycleStats, PerformanceMonitor
+from repro.fbs.scheduler import FbsProcess, FrequencyBasedScheduler
+
+__all__ = [
+    "FrequencyBasedScheduler",
+    "FbsProcess",
+    "PerformanceMonitor",
+    "CycleStats",
+]

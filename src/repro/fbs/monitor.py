@@ -1,0 +1,75 @@
+"""FBS performance monitor.
+
+Tracks, per scheduled process, the execution time of each cycle (from
+wakeup to the following ``fbs_wait``), the number of cycles and
+overruns, and min/max/avg/last statistics -- the data the RedHawk
+``pm(1)`` utility reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class CycleStats:
+    """Aggregated per-process cycle statistics."""
+
+    cycles: int = 0
+    overruns: int = 0
+    total_ns: int = 0
+    min_ns: Optional[int] = None
+    max_ns: Optional[int] = None
+    last_ns: Optional[int] = None
+
+    def record(self, duration_ns: int) -> None:
+        self.cycles += 1
+        self.total_ns += duration_ns
+        self.last_ns = duration_ns
+        if self.min_ns is None or duration_ns < self.min_ns:
+            self.min_ns = duration_ns
+        if self.max_ns is None or duration_ns > self.max_ns:
+            self.max_ns = duration_ns
+
+    @property
+    def avg_ns(self) -> float:
+        return self.total_ns / self.cycles if self.cycles else 0.0
+
+
+class PerformanceMonitor:
+    """Collects :class:`CycleStats` for every FBS process."""
+
+    def __init__(self) -> None:
+        self._stats: dict = {}
+        self.enabled = True
+
+    def stats_for(self, name: str) -> CycleStats:
+        stats = self._stats.get(name)
+        if stats is None:
+            stats = CycleStats()
+            self._stats[name] = stats
+        return stats
+
+    def record_cycle(self, name: str, duration_ns: int) -> None:
+        if self.enabled:
+            self.stats_for(name).record(duration_ns)
+
+    def record_overrun(self, name: str) -> None:
+        if self.enabled:
+            self.stats_for(name).overruns += 1
+
+    def clear(self) -> None:
+        self._stats.clear()
+
+    def report(self) -> str:
+        """Render the pm-style table."""
+        lines = [f"{'process':<20}{'cycles':>8}{'overruns':>9}"
+                 f"{'min(us)':>9}{'avg(us)':>9}{'max(us)':>9}"]
+        for name in sorted(self._stats):
+            s = self._stats[name]
+            min_us = f"{s.min_ns / 1e3:.1f}" if s.min_ns is not None else "-"
+            max_us = f"{s.max_ns / 1e3:.1f}" if s.max_ns is not None else "-"
+            lines.append(f"{name:<20}{s.cycles:>8}{s.overruns:>9}"
+                         f"{min_us:>9}{s.avg_ns / 1e3:>9.1f}{max_us:>9}")
+        return "\n".join(lines)

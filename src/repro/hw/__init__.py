@@ -1,0 +1,26 @@
+"""Simulated hardware: CPUs, APIC, memory bus, and devices.
+
+The hardware layer is mechanism-free with respect to the kernel: it
+executes *frames* of work on logical CPUs, stretches them for
+hyperthread and memory-bus contention, and routes interrupts according
+to per-IRQ affinity masks.  What an interrupt *does* is decided by the
+kernel layer via the hooks the machine is booted with.
+"""
+
+from repro.hw.apic import Apic, IrqDescriptor
+from repro.hw.cpu import ExecFrame, FrameKind, LogicalCpu
+from repro.hw.core import PhysicalCore
+from repro.hw.machine import Machine, MachineSpec
+from repro.hw.memory import MemoryBus
+
+__all__ = [
+    "Apic",
+    "IrqDescriptor",
+    "ExecFrame",
+    "FrameKind",
+    "LogicalCpu",
+    "PhysicalCore",
+    "Machine",
+    "MachineSpec",
+    "MemoryBus",
+]

@@ -1,0 +1,285 @@
+"""Logical CPUs and the execution-frame stack.
+
+A :class:`LogicalCpu` executes a stack of :class:`ExecFrame` objects.
+The top frame is the code currently running; pushing a frame preempts
+the one below it (its already-executed work is banked), and popping
+resumes the frame underneath.  Frames model:
+
+* ``TASK``    -- a task's compute segment (user or kernel mode),
+* ``HARDIRQ`` -- an interrupt handler (runs with interrupts disabled),
+* ``SOFTIRQ`` -- a bottom-half work item (interrupts enabled),
+* ``SPIN``    -- busy-waiting on a contended spinlock,
+* ``SWITCH``  -- context-switch overhead.
+
+Wall-clock duration of a frame is ``work / speed`` where *speed* is the
+product of hyperthread contention and memory-bus contention factors
+supplied by the machine.  When those factors change (a sibling logical
+CPU goes busy or idle, the bus contention epoch rolls over) the machine
+calls :meth:`LogicalCpu.retime` and the in-flight frame is re-priced.
+
+The CPU layer knows nothing about scheduling policy: the kernel
+installs callbacks for frame completion, interrupt delivery and
+"stack became quiescent" events.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import deque
+from typing import Callable, Deque, List, Optional, TYPE_CHECKING
+
+from repro.sim.errors import KernelPanic
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw.core import PhysicalCore
+    from repro.hw.machine import Machine
+    from repro.sim.engine import Simulator
+
+
+class FrameKind(enum.Enum):
+    """What kind of execution a frame represents."""
+
+    TASK = "task"
+    HARDIRQ = "hardirq"
+    SOFTIRQ = "softirq"
+    SPIN = "spin"
+    SWITCH = "switch"
+
+
+#: Frames whose presence means the CPU is "busy" for contention purposes.
+_BUSY_KINDS = frozenset(FrameKind)
+
+
+class ExecFrame:
+    """One unit of preemptible execution.
+
+    Parameters
+    ----------
+    kind:
+        The :class:`FrameKind`.
+    work:
+        Amount of work in nanoseconds at speed 1.0.  ``None`` means
+        open-ended (used by SPIN frames, which end via :attr:`granted`).
+    on_complete:
+        Called (with the frame) when the work is fully executed, after
+        the frame has been popped.
+    label:
+        Diagnostic tag.
+    """
+
+    __slots__ = ("kind", "work", "remaining", "on_complete", "label",
+                 "granted", "started_at", "speed", "_event", "owner")
+
+    def __init__(self, kind: FrameKind, work: Optional[int],
+                 on_complete: Callable[["ExecFrame"], None],
+                 label: str = "", owner: object = None) -> None:
+        if work is not None and work < 0:
+            raise KernelPanic(f"negative frame work {work} ({label})")
+        self.kind = kind
+        self.work = work
+        self.remaining: Optional[float] = float(work) if work is not None else None
+        self.on_complete = on_complete
+        self.label = label
+        self.owner = owner          # task / irq descriptor / lock, for traces
+        self.granted = False        # SPIN frames: lock has been handed over
+        self.started_at: Optional[int] = None
+        self.speed: float = 1.0
+        self._event = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Frame {self.kind.value} {self.label!r} rem={self.remaining}>"
+
+
+class LogicalCpu:
+    """One logical processor (a hyperthread sibling or a whole core)."""
+
+    def __init__(self, sim: "Simulator", machine: "Machine", index: int,
+                 core: "PhysicalCore") -> None:
+        self.sim = sim
+        self.machine = machine
+        self.index = index
+        self.core = core
+        self.frames: List[ExecFrame] = []
+        self.pending_irqs: Deque[object] = deque()
+        self._irq_disable_depth = 0
+        self.online = True
+        # Kernel hooks, installed at boot by the kernel layer.
+        self.on_quiescent: Callable[["LogicalCpu"], None] = lambda cpu: None
+        self.on_irq_enabled: Callable[["LogicalCpu"], None] = lambda cpu: None
+        # Statistics.
+        self.busy_ns = 0
+        self.frames_run = 0
+        self._busy_since: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Interrupt enable/disable state
+    # ------------------------------------------------------------------
+    @property
+    def irqs_enabled(self) -> bool:
+        """True when the CPU will accept interrupt delivery right now."""
+        return self._irq_disable_depth == 0
+
+    def irq_disable(self) -> None:
+        """Disable interrupt delivery (nests)."""
+        self._irq_disable_depth += 1
+
+    def irq_enable(self) -> None:
+        """Re-enable interrupt delivery; drains pended IRQs at depth 0."""
+        if self._irq_disable_depth <= 0:
+            raise KernelPanic(f"cpu{self.index}: irq_enable underflow")
+        self._irq_disable_depth -= 1
+        if self._irq_disable_depth == 0 and self.pending_irqs:
+            self.on_irq_enabled(self)
+
+    # ------------------------------------------------------------------
+    # Busy state (for hyperthread / memory contention)
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """True while any frame is on the stack."""
+        return bool(self.frames)
+
+    @property
+    def top(self) -> Optional[ExecFrame]:
+        return self.frames[-1] if self.frames else None
+
+    def in_kind(self, kind: FrameKind) -> bool:
+        """True if any frame of *kind* is on the stack."""
+        return any(f.kind is kind for f in self.frames)
+
+    # ------------------------------------------------------------------
+    # Frame stack operations
+    # ------------------------------------------------------------------
+    def push_frame(self, frame: ExecFrame) -> None:
+        """Preempt the current top frame (if any) and run *frame*."""
+        was_busy = self.busy
+        if self.frames:
+            self._pause_top()
+        self.frames.append(frame)
+        self._start_top()
+        if not was_busy:
+            # A frame can be pushed from inside another frame's
+            # completion callback (stack momentarily empty); keep the
+            # original episode start in that case.
+            if self._busy_since is None:
+                self._busy_since = self.sim.now
+            self.machine.notify_busy_changed(self)
+
+    def _start_top(self) -> None:
+        frame = self.frames[-1]
+        frame.started_at = self.sim.now
+        if frame.kind is FrameKind.SPIN:
+            # Spin frames burn CPU until granted; no completion event.
+            if frame.granted:
+                # Lock was handed over while we were preempted.
+                self._complete_top()
+            return
+        frame.speed = self.machine.speed_for(self, frame)
+        assert frame.remaining is not None
+        duration = max(0, int(math.ceil(frame.remaining / frame.speed)))
+        frame._event = self.sim.after(
+            duration, self._on_frame_event,
+            label=f"cpu{self.index}:{frame.kind.value}:{frame.label}")
+
+    def _pause_top(self) -> None:
+        frame = self.frames[-1]
+        if frame.kind is not FrameKind.SPIN and frame.started_at is not None:
+            elapsed = self.sim.now - frame.started_at
+            done = elapsed * frame.speed
+            frame.remaining = max(0.0, frame.remaining - done)
+        frame.started_at = None
+        if frame._event is not None:
+            frame._event.cancel()
+            frame._event = None
+
+    def _on_frame_event(self) -> None:
+        """Completion event fired for the (still top) frame."""
+        frame = self.frames[-1]
+        frame._event = None
+        frame.remaining = 0.0
+        self._complete_top()
+
+    def _complete_top(self) -> None:
+        frame = self.frames.pop()
+        self.frames_run += 1
+        frame.started_at = None
+        if frame._event is not None:
+            frame._event.cancel()
+            frame._event = None
+        if self.sim.trace.enabled:
+            self.sim.trace.emit(self.sim.now, "frame",
+                                f"cpu{self.index} done {frame.kind.value} {frame.label}")
+        # The completion callback may push new frames (e.g. chained
+        # interrupts); resume the underlying frame only if it is still
+        # exposed afterwards.
+        frame.on_complete(frame)
+        self._after_pop()
+
+    def pop_frame(self, frame: ExecFrame) -> None:
+        """Forcefully remove *frame* (must be top); used by the kernel
+        when a task frame is descheduled with work remaining."""
+        if not self.frames or self.frames[-1] is not frame:
+            raise KernelPanic(
+                f"cpu{self.index}: pop_frame of non-top frame {frame}")
+        self._pause_top()
+        self.frames.pop()
+        self._after_pop()
+
+    def _after_pop(self) -> None:
+        if self.frames:
+            top = self.frames[-1]
+            if top.started_at is None:
+                self._start_top()
+        else:
+            if self._busy_since is not None:
+                self.busy_ns += self.sim.now - self._busy_since
+                self._busy_since = None
+            self.machine.notify_busy_changed(self)
+            self.on_quiescent(self)
+
+    def grant_spin(self, frame: ExecFrame) -> None:
+        """A contended lock has been handed to the spinning *frame*."""
+        frame.granted = True
+        if self.frames and self.frames[-1] is frame:
+            self._complete_top()
+        # Otherwise the spin frame is buried under interrupt frames and
+        # will complete the moment it is resumed (see _start_top).
+
+    def retime(self) -> None:
+        """Re-price the in-flight frame after a speed-factor change."""
+        if not self.frames:
+            return
+        top = self.frames[-1]
+        if top.kind is FrameKind.SPIN or top.started_at is None:
+            return
+        self._pause_top()
+        self._start_top()
+
+    # ------------------------------------------------------------------
+    # Interrupt pend queue (local APIC holding pended vectors)
+    # ------------------------------------------------------------------
+    def pend_irq(self, irq: object) -> None:
+        """Queue an interrupt for delivery once interrupts re-enable."""
+        self.pending_irqs.append(irq)
+
+    def take_pending_irq(self) -> Optional[object]:
+        """Dequeue the next pended interrupt, if any."""
+        if self.pending_irqs:
+            return self.pending_irqs.popleft()
+        return None
+
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        """Fraction of elapsed simulation time this CPU was busy."""
+        total = self.sim.now
+        if total == 0:
+            return 0.0
+        busy = self.busy_ns
+        if self._busy_since is not None:
+            busy += self.sim.now - self._busy_since
+        return busy / total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<cpu{self.index} frames={[f.kind.value for f in self.frames]} "
+                f"irqs={'on' if self.irqs_enabled else 'off'}>")

@@ -1,0 +1,17 @@
+"""Device models: RTC, RCIM, NIC, SCSI disk, graphics controller."""
+
+from repro.hw.devices.base import Device
+from repro.hw.devices.disk import ScsiDisk
+from repro.hw.devices.gpu import GraphicsController
+from repro.hw.devices.nic import EthernetNic
+from repro.hw.devices.rcim import RcimCard
+from repro.hw.devices.rtc import RtcDevice
+
+__all__ = [
+    "Device",
+    "ScsiDisk",
+    "GraphicsController",
+    "EthernetNic",
+    "RcimCard",
+    "RtcDevice",
+]

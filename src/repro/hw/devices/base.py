@@ -1,0 +1,62 @@
+"""Common device machinery.
+
+A device owns an IRQ line, registers it with the machine's APIC when
+attached, and raises it in response to internal events (a timer period
+elapsing, a packet arriving, a disk request completing).  Interrupt
+*handling* lives in the kernel's driver layer; devices only produce
+raises and expose registers for drivers to read.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.hw.apic import IrqDescriptor, RoutingPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw.machine import Machine
+    from repro.sim.engine import Simulator
+
+
+class Device:
+    """Base class for interrupt-raising devices."""
+
+    def __init__(self, name: str, irq: int,
+                 routing: RoutingPolicy = RoutingPolicy.ROUND_ROBIN) -> None:
+        self.name = name
+        self.irq = irq
+        self.routing = routing
+        self.machine: Optional["Machine"] = None
+        self.sim: Optional["Simulator"] = None
+        self.irq_desc: Optional[IrqDescriptor] = None
+        self.started = False
+
+    def attach(self, machine: "Machine") -> None:
+        """Bind to a machine and register the IRQ line."""
+        self.machine = machine
+        self.sim = machine.sim
+        self.irq_desc = machine.apic.register_irq(self.irq, self.name,
+                                                  self.routing)
+        self.on_attach()
+
+    def on_attach(self) -> None:
+        """Subclass hook run after APIC registration."""
+
+    def start(self) -> None:
+        """Begin generating device activity (idempotent)."""
+        if self.started:
+            return
+        if self.machine is None:
+            raise RuntimeError(f"device {self.name} started before attach")
+        self.started = True
+        self.on_start()
+
+    def on_start(self) -> None:
+        """Subclass hook for kicking off the first event."""
+
+    def raise_irq(self) -> None:
+        assert self.machine is not None
+        self.machine.apic.raise_irq(self.irq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} irq={self.irq}>"

@@ -1,0 +1,100 @@
+"""SCSI disk with a FIFO request queue and completion interrupts.
+
+File-system workloads submit requests through the block driver; the
+disk services them one at a time with a seek+transfer service time
+drawn from a lognormal distribution (a few hundred microseconds for a
+cache hit / short seek, several milliseconds for a long seek), then
+raises its interrupt.  Completed request identities are queued for the
+driver's handler to collect.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.hw.apic import RoutingPolicy
+from repro.hw.devices.base import Device
+from repro.sim.simtime import MSEC, USEC
+
+
+@dataclass
+class DiskRequest:
+    """One block I/O request."""
+
+    req_id: int
+    sectors: int = 8
+    submitted_at: int = 0
+    completed_at: int = -1
+
+
+class ScsiDisk(Device):
+    """Single-spindle SCSI disk."""
+
+    def __init__(self, irq: int = 11,
+                 service_median_ns: int = 900 * USEC,
+                 service_sigma: float = 0.9,
+                 service_max_ns: int = 25 * MSEC) -> None:
+        super().__init__("sda", irq, RoutingPolicy.ROUND_ROBIN)
+        self.service_median_ns = service_median_ns
+        self.service_sigma = service_sigma
+        self.service_max_ns = service_max_ns
+        self.queue: Deque[DiskRequest] = deque()
+        self.completions: Deque[DiskRequest] = deque()
+        self.in_flight: Optional[DiskRequest] = None
+        self.requests_seen = 0
+        self._rng = None
+
+    def on_attach(self) -> None:
+        assert self.sim is not None
+        self._rng = self.sim.rng.stream("disk-service")
+
+    def submit(self, sectors: int = 8) -> DiskRequest:
+        """Queue a request; returns its handle."""
+        assert self.sim is not None
+        self.requests_seen += 1
+        req = DiskRequest(req_id=self.requests_seen, sectors=sectors,
+                          submitted_at=self.sim.now)
+        self.queue.append(req)
+        if self.in_flight is None:
+            self._dispatch()
+        return req
+
+    def _dispatch(self) -> None:
+        assert self.sim is not None and self._rng is not None
+        if not self.queue:
+            return
+        req = self.queue.popleft()
+        self.in_flight = req
+        service = int(self._rng.lognormal(
+            mean=_ln(self.service_median_ns), sigma=self.service_sigma))
+        service += req.sectors * 2 * USEC  # transfer time
+        service = min(service, self.service_max_ns)
+        self.sim.after(max(1, service), self._complete, label="disk-complete")
+
+    def _complete(self) -> None:
+        assert self.sim is not None
+        req = self.in_flight
+        assert req is not None
+        self.in_flight = None
+        req.completed_at = self.sim.now
+        self.completions.append(req)
+        self.raise_irq()
+        self._dispatch()
+
+    def take_completion(self) -> Optional[DiskRequest]:
+        """Handler-side: collect one finished request."""
+        if self.completions:
+            return self.completions.popleft()
+        return None
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.queue) + (1 if self.in_flight else 0)
+
+
+def _ln(x: float) -> float:
+    import math
+
+    return math.log(x)

@@ -1,0 +1,55 @@
+"""Graphics controller (nVidia GeForce2 MXR class).
+
+The Figure 7 load includes the X11perf benchmark hammering the graphics
+console.  For interrupt-response purposes what matters is the stream of
+graphics interrupts (vblank + accelerated-operation completion) and the
+kernel time their handling consumes; we model command-completion
+interrupt bursts at a configurable rate while a rendering benchmark is
+active.
+"""
+
+from __future__ import annotations
+
+from repro.hw.apic import RoutingPolicy
+from repro.hw.devices.base import Device
+from repro.sim.simtime import SEC
+
+
+class GraphicsController(Device):
+    """GPU raising completion interrupts while rendering load runs."""
+
+    def __init__(self, irq: int = 16, irqs_per_sec: float = 0.0) -> None:
+        super().__init__("gfx", irq, RoutingPolicy.ROUND_ROBIN)
+        self.irqs_per_sec = irqs_per_sec
+        self.completions = 0
+        self._token = 0
+        self._rng = None
+
+    def on_attach(self) -> None:
+        assert self.sim is not None
+        self._rng = self.sim.rng.stream("gpu-irqs")
+
+    def set_rate(self, irqs_per_sec: float) -> None:
+        """Adjust the completion-interrupt rate (X11perf on/off)."""
+        self.irqs_per_sec = irqs_per_sec
+        self._token += 1
+        if self.started and irqs_per_sec > 0:
+            self._schedule(self._token)
+
+    def on_start(self) -> None:
+        if self.irqs_per_sec > 0:
+            self._schedule(self._token)
+
+    def _schedule(self, token: int) -> None:
+        assert self.sim is not None and self._rng is not None
+        if self.irqs_per_sec <= 0:
+            return
+        gap = max(1, int(self._rng.exponential(SEC / self.irqs_per_sec)))
+        self.sim.after(gap, lambda: self._fire(token), label="gpu-irq")
+
+    def _fire(self, token: int) -> None:
+        if token != self._token or not self.started:
+            return
+        self.completions += 1
+        self.raise_irq()
+        self._schedule(token)

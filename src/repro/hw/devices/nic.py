@@ -1,0 +1,124 @@
+"""Ethernet NIC (3Com 3c905C-class) with per-burst receive interrupts.
+
+Receive traffic is described by named *flows* (the scp copy loop, the
+ttcp benchmark, background broadcast chatter).  Packet arrivals form a
+compound Poisson process: bursts arrive exponentially at the aggregate
+burst rate, each burst carrying a geometrically distributed number of
+frames.  Every burst raises one hardware interrupt (2.4-era drivers
+interrupt per rx event; NAPI does not exist yet) and the driver layer
+turns the frame count into NET_RX softirq work.
+
+Transmit completion interrupts are produced on request by the driver
+(`inject_tx`), modelling the DMA-done interrupts a sender receives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.hw.apic import RoutingPolicy
+from repro.hw.devices.base import Device
+from repro.sim.simtime import SEC, USEC
+
+
+@dataclass
+class TrafficFlow:
+    """One named source of receive traffic."""
+
+    name: str
+    packets_per_sec: float
+    burst_mean: float = 4.0
+
+    @property
+    def bursts_per_sec(self) -> float:
+        return self.packets_per_sec / max(1.0, self.burst_mean)
+
+
+class EthernetNic(Device):
+    """NIC raising one IRQ per received burst."""
+
+    def __init__(self, irq: int = 19) -> None:
+        super().__init__("eth0", irq, RoutingPolicy.ROUND_ROBIN)
+        self.flows: Dict[str, TrafficFlow] = {}
+        self.rx_bursts = 0
+        self.rx_packets = 0
+        self.tx_completions = 0
+        #: Set by the interrupt: frame count of the burst being handled.
+        self.last_rx_count = 0
+        self._arm_token = 0
+        self._rng = None
+
+    def on_attach(self) -> None:
+        assert self.sim is not None
+        self._rng = self.sim.rng.stream("nic-rx")
+
+    # ------------------------------------------------------------------
+    # Flow management (driven by workloads)
+    # ------------------------------------------------------------------
+    def add_flow(self, flow: TrafficFlow) -> None:
+        """Install or replace a traffic flow and re-arm the arrival clock."""
+        self.flows[flow.name] = flow
+        self._rearm()
+
+    def remove_flow(self, name: str) -> None:
+        self.flows.pop(name, None)
+        self._rearm()
+
+    def aggregate_burst_rate(self) -> float:
+        """Total burst arrivals per second over all flows."""
+        return sum(f.bursts_per_sec for f in self.flows.values())
+
+    # ------------------------------------------------------------------
+    # Arrival process
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self._rearm()
+
+    def _rearm(self) -> None:
+        """Invalidate any armed arrival and draw a fresh one."""
+        self._arm_token += 1
+        if self.started and self.aggregate_burst_rate() > 0:
+            self._schedule_next(self._arm_token)
+
+    def _schedule_next(self, token: int) -> None:
+        assert self.sim is not None and self._rng is not None
+        rate = self.aggregate_burst_rate()
+        if rate <= 0:
+            return
+        gap = max(1, int(self._rng.exponential(SEC / rate)))
+        self.sim.after(gap, lambda: self._arrive(token), label="nic-rx-burst")
+
+    def _arrive(self, token: int) -> None:
+        if token != self._arm_token or not self.started:
+            return  # stale arrival from before a flow change
+        assert self._rng is not None
+        burst_mean = self._weighted_burst_mean()
+        count = 1 + int(self._rng.geometric(1.0 / max(1.0, burst_mean)) - 1)
+        self.last_rx_count = count
+        self.rx_bursts += 1
+        self.rx_packets += count
+        self.raise_irq()
+        self._schedule_next(token)
+
+    def _weighted_burst_mean(self) -> float:
+        total_rate = self.aggregate_burst_rate()
+        if total_rate <= 0:
+            return 1.0
+        return sum(f.burst_mean * f.bursts_per_sec for f in self.flows.values()) / total_rate
+
+    # ------------------------------------------------------------------
+    # Transmit path
+    # ------------------------------------------------------------------
+    def inject_tx(self, packets: int, delay_ns: Optional[int] = None) -> None:
+        """Queue *packets* for transmit; raises a completion IRQ."""
+        assert self.sim is not None
+        if delay_ns is None:
+            # Wire time for a full frame at ~100 Mb/s plus DMA setup.
+            delay_ns = 120 * USEC + packets * 12 * USEC
+        self.sim.after(delay_ns, self._tx_done, label="nic-tx-done")
+
+    def _tx_done(self) -> None:
+        self.tx_completions += 1
+        self.last_rx_count = 0
+        self.raise_irq()

@@ -1,0 +1,67 @@
+"""The PC Real-Time Clock (the `realfeel` interrupt source).
+
+The realfeel benchmark programs the RTC to interrupt periodically at
+2048 Hz and measures how long a blocked ``read(/dev/rtc)`` takes to
+return after each interrupt.  The device records the timestamp of each
+fire so the driver (and the latency recorder) can compute response
+times from the true hardware fire time, exactly as realfeel infers it
+from consecutive TSC reads.
+"""
+
+from __future__ import annotations
+
+from repro.hw.apic import RoutingPolicy
+from repro.hw.devices.base import Device
+from repro.sim.simtime import SEC
+
+#: The legacy PC RTC interrupt line.
+RTC_IRQ = 8
+
+
+class RtcDevice(Device):
+    """Periodic RTC, default 2048 Hz."""
+
+    def __init__(self, hz: int = 2048, irq: int = RTC_IRQ) -> None:
+        super().__init__("rtc", irq, RoutingPolicy.ROUND_ROBIN)
+        if hz <= 0:
+            raise ValueError("RTC frequency must be positive")
+        self.hz = hz
+        self.period_ns = SEC // hz
+        self.last_fire_ns = -1
+        self.fires = 0
+        self._periodic_enabled = False
+
+    def set_rate(self, hz: int) -> None:
+        """Reprogram the periodic rate (takes effect next period)."""
+        if hz <= 0:
+            raise ValueError("RTC frequency must be positive")
+        self.hz = hz
+        self.period_ns = SEC // hz
+
+    def enable_periodic(self) -> None:
+        """Start the periodic interrupt stream (driver PIE enable)."""
+        if self._periodic_enabled:
+            return
+        self._periodic_enabled = True
+        if self.started:
+            self._arm()
+
+    def disable_periodic(self) -> None:
+        self._periodic_enabled = False
+
+    def on_start(self) -> None:
+        if self._periodic_enabled:
+            self._arm()
+
+    def _arm(self) -> None:
+        assert self.sim is not None
+        self.sim.after(self.period_ns, self._fire, label="rtc-period")
+
+    def _fire(self) -> None:
+        if not (self.started and self._periodic_enabled):
+            return
+        assert self.sim is not None
+        self.last_fire_ns = self.sim.now
+        self.fires += 1
+        self.raise_irq()
+        self._arm()

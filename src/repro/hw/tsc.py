@@ -1,0 +1,33 @@
+"""The IA32 time-stamp counter.
+
+Both of the paper's measurement programs read the TSC around the
+operation under test.  In the simulator every logical CPU's TSC is
+driven by the single global event clock, so a TSC read is exact; a
+configurable fixed read cost models the RDTSC + register-move overhead
+the real benchmarks pay (and which sets the floor of the measured
+latencies).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+
+class Tsc:
+    """Per-machine TSC facade."""
+
+    def __init__(self, sim: "Simulator", read_cost_ns: int = 80) -> None:
+        self.sim = sim
+        self.read_cost_ns = read_cost_ns
+
+    def read(self) -> int:
+        """Current counter value in nanoseconds.
+
+        The read itself is free at the simulation level; callers that
+        want to model the instruction cost include
+        :attr:`read_cost_ns` in their compute segments.
+        """
+        return self.sim.now

@@ -1,0 +1,17 @@
+"""The simulated Linux kernel.
+
+The kernel layer implements, at mechanism level, the subsystems the
+paper's analysis depends on: tasks and scheduling policies (a 2.4
+"goodness" scheduler and an O(1) scheduler), spinlocks and the Big
+Kernel Lock, kernel preemption and low-latency reschedule points,
+hardirq/softirq processing, the local timer tick, a /proc filesystem,
+memory locking, and the device drivers (/dev/rtc, RCIM, network,
+block) whose code paths the two interrupt-response experiments
+exercise.
+"""
+
+from repro.kernel.config import KernelConfig
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import SchedPolicy, Task, TaskState
+
+__all__ = ["Kernel", "KernelConfig", "SchedPolicy", "Task", "TaskState"]

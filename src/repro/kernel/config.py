@@ -1,0 +1,91 @@
+"""Kernel feature flags and cost model.
+
+A :class:`KernelConfig` captures everything that differs between the
+kernels the paper benchmarks:
+
+* ``kernel.org 2.4.21`` -- no preemption, no low-latency patches,
+  goodness scheduler, no shield support, softirqs drained fully at
+  interrupt exit (multi-millisecond bottom-half bursts).
+* ``RedHawk 1.4`` -- MontaVista preemption patch, Morton low-latency
+  patches (critical sections capped, reschedule points inserted),
+  Molnar O(1) scheduler, shielded-processor support, the BKL-avoidance
+  ioctl flag, and bounded softirq processing at interrupt exit.
+
+Factory functions building the calibrated configs live in
+:mod:`repro.configs.kernels`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.kernel.timing import TimingModel
+
+
+@dataclass
+class KernelConfig:
+    """Feature flags and timing table for one kernel build."""
+
+    name: str = "generic"
+    version: str = "2.4.21"
+
+    # --- patches / features -------------------------------------------
+    #: MontaVista preemption patch: tasks executing in the kernel can be
+    #: preempted wherever ``preempt_count == 0``.
+    preemptible: bool = False
+    #: Morton low-latency patches: long kernel algorithms are broken up
+    #: with explicit reschedule points and their critical sections are
+    #: capped (reflected in the timing table used with this flag).
+    low_latency: bool = False
+    #: Molnar O(1) scheduler (2.5 backport) vs the 2.4 goodness scheduler.
+    o1_scheduler: bool = False
+    #: Concurrent's shielded-processor support (/proc/shield).
+    shield_support: bool = False
+    #: Generic-ioctl change: honour a driver flag saying the BKL need
+    #: not be taken around the driver's ioctl routine.
+    bkl_ioctl_flag: bool = False
+    #: RedHawk softirq rework: bound the bottom-half work performed at
+    #: interrupt exit, deferring the remainder to ksoftirqd.
+    softirq_exit_budget_ns: int = 50_000_000
+    #: Stock 2.4 drains pending softirqs in ret_from_sys_call
+    #: (entry.S's handle_softirq).  RedHawk's softirq rework removes
+    #: that drain (syscall return stays fast; work goes to interrupt
+    #: exit and ksoftirqd) -- which is why its bottom-half bursts at
+    #: interrupt return can reach the softirq budget in one go.
+    softirq_syscall_exit_drain: bool = True
+    #: Spawn per-CPU ksoftirqd threads to absorb deferred softirq work.
+    ksoftirqd: bool = True
+    #: POSIX timers / high-res timers patch: nanosleep honoured at ns
+    #: resolution instead of being rounded up to jiffies.
+    highres_timers: bool = False
+
+    # --- clock ---------------------------------------------------------
+    #: Local timer frequency; 2.4-era default HZ=100 (10 ms tick).
+    hz: int = 100
+    #: Default SCHED_OTHER timeslice, in ticks.
+    timeslice_ticks: int = 6
+
+    # --- cost model ------------------------------------------------------
+    timing: TimingModel = field(default_factory=TimingModel)
+
+    def with_overrides(self, **changes) -> "KernelConfig":
+        """Copy with some fields replaced (ablation support)."""
+        return replace(self, **changes)
+
+    @property
+    def tick_ns(self) -> int:
+        return 1_000_000_000 // self.hz
+
+    def describe(self) -> str:
+        """One-line feature summary for report headers."""
+        feats = []
+        if self.preemptible:
+            feats.append("preempt")
+        if self.low_latency:
+            feats.append("low-latency")
+        feats.append("O(1)" if self.o1_scheduler else "goodness")
+        if self.shield_support:
+            feats.append("shield")
+        if self.bkl_ioctl_flag:
+            feats.append("bkl-ioctl-flag")
+        return f"{self.name} ({self.version}; {', '.join(feats)}; HZ={self.hz})"

@@ -1,0 +1,18 @@
+"""Device drivers: the kernel-side halves of the simulated devices."""
+
+from repro.kernel.drivers.base import CharDriver
+from repro.kernel.drivers.blockdev import BlockDriver
+from repro.kernel.drivers.gfx import GfxDriver
+from repro.kernel.drivers.net import NetDriver, SimSocket
+from repro.kernel.drivers.rcim_dev import RcimDriver
+from repro.kernel.drivers.rtc_dev import RtcDriver
+
+__all__ = [
+    "CharDriver",
+    "BlockDriver",
+    "GfxDriver",
+    "NetDriver",
+    "SimSocket",
+    "RcimDriver",
+    "RtcDriver",
+]

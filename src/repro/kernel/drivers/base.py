@@ -1,0 +1,45 @@
+"""Driver base class."""
+
+from __future__ import annotations
+
+from typing import Generator, TYPE_CHECKING
+
+from repro.sim.errors import KernelPanic
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.syscalls import UserApi
+
+
+class CharDriver:
+    """A character-device driver bound to a kernel and (usually) a device.
+
+    Subclasses implement ``read_body`` / ``ioctl_body`` generators
+    yielding primitive ops; they run in the context of the calling
+    task.  ``multithreaded`` advertises that the driver does its own
+    locking and (on kernels with the RedHawk generic-ioctl change)
+    does not need the BKL held around its ioctl routine.
+    """
+
+    multithreaded = False
+
+    def __init__(self, kernel: "Kernel", path: str) -> None:
+        self.kernel = kernel
+        self.path = path
+        self.timing = kernel.config.timing
+        self.rng = kernel.sim.rng.stream(f"driver:{path}")
+        kernel.register_driver(path, self)
+
+    # Default method bodies fail loudly: calling read() on a driver
+    # without one is a workload bug.
+    def read_body(self, api: "UserApi") -> Generator:
+        raise KernelPanic(f"{self.path}: driver has no read()")
+        yield  # pragma: no cover - makes this a generator function
+
+    def ioctl_body(self, api: "UserApi", cmd: str,
+                   needs_bkl: bool) -> Generator:
+        raise KernelPanic(f"{self.path}: driver has no ioctl()")
+        yield  # pragma: no cover
+
+    def sample(self, key: str) -> int:
+        return self.timing.sample(key, self.rng)

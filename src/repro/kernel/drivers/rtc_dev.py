@@ -1,0 +1,75 @@
+"""The ``/dev/rtc`` driver: the realfeel code path.
+
+Section 6.2 of the paper diagnoses why realfeel's latency on a
+shielded CPU was "mediocre": the read() return path traverses generic
+file-system code whose spinlocks do not disable interrupts, so a
+holder on another CPU can be preempted by bottom-half bursts and the
+just-woken reader spins behind it.  This driver reproduces that path:
+
+* entry: short file-layer section under ``file_lock``;
+* block on the RTC wait queue until the interrupt handler wakes us;
+* exit: another pass through the file layer (``file_lock`` again,
+  then a dcache touch) before returning to user space.
+
+The interrupt handler itself is minimal: acknowledge the device and
+wake the readers.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, TYPE_CHECKING
+
+from repro.kernel import ops as op
+from repro.kernel.drivers.base import CharDriver
+from repro.kernel.sync.waitqueue import WaitQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw.devices.rtc import RtcDevice
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.syscalls import UserApi
+
+
+class RtcDriver(CharDriver):
+    """Driver for the periodic RTC."""
+
+    multithreaded = False  # legacy driver: relies on the BKL convention
+
+    def __init__(self, kernel: "Kernel", device: "RtcDevice") -> None:
+        super().__init__(kernel, "/dev/rtc")
+        self.device = device
+        self.wq = WaitQueue("rtc_wait")
+        self.interrupts = 0
+        kernel.register_irq_handler(device.irq, "irq.handler.rtc",
+                                    self._handle_irq)
+
+    def _handle_irq(self, cpu_idx: int) -> None:
+        """Top half: ack the chip, wake blocked readers."""
+        self.interrupts += 1
+        self.kernel.wake_up(self.wq, all_waiters=True, from_cpu=cpu_idx)
+
+    def read_body(self, api: "UserApi") -> Generator:
+        """``read(/dev/rtc)``: returns the device fire timestamp."""
+        yield op.EnterSyscall("read")
+        yield op.Compute(self.sample("syscall.entry"), kernel=True,
+                         label="rtc:entry")
+        # File-layer entry: fd table lookup under file_lock.
+        yield op.Acquire(self.kernel.locks.file_lock)
+        yield op.Compute(self.sample("fs.file_lock_hold"), kernel=True,
+                         label="rtc:fdget")
+        yield op.Release(self.kernel.locks.file_lock)
+        yield op.Compute(self.sample("rtc.read_setup"), kernel=True,
+                         label="rtc:setup")
+        yield op.Block(self.wq)
+        # Woken by the top half.  Exit through the generic file layer:
+        # this is where the paper found "opportunities to block
+        # waiting for spin locks".
+        yield op.Compute(self.sample("rtc.read_wake"), kernel=True,
+                         label="rtc:wake")
+        yield op.Acquire(self.kernel.locks.file_lock)
+        yield op.Compute(self.sample("fs.file_lock_hold"), kernel=True,
+                         label="rtc:fdput")
+        yield op.Release(self.kernel.locks.file_lock)
+        yield op.Compute(self.sample("syscall.exit"), kernel=True,
+                         label="rtc:exit")
+        yield op.ExitSyscall()
+        return self.device.last_fire_ns

@@ -1,0 +1,12 @@
+"""Interrupt processing: softirq queues and the local timer tick.
+
+The hardirq entry/exit choreography itself lives in
+:mod:`repro.kernel.kernel` because it is entangled with scheduling;
+this package holds the softirq work queues and the per-CPU local
+timer machinery.
+"""
+
+from repro.kernel.irqflow.softirq import SoftirqQueue, SoftirqVector
+from repro.kernel.irqflow.timer_tick import LocalTimer
+
+__all__ = ["SoftirqQueue", "SoftirqVector", "LocalTimer"]

@@ -1,0 +1,151 @@
+"""Primitive operations yielded by simulated task bodies.
+
+A task (or kernel thread) is a Python generator.  Each ``yield``
+hands the kernel one of the ops below; the kernel performs it --
+possibly taking simulated time, blocking, or spinning -- and resumes
+the generator with the op's result when it completes.  Higher-level
+syscall helpers in :mod:`repro.kernel.syscalls` compose these into the
+code paths the paper discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.affinity import CpuMask
+    from repro.kernel.sync.spinlock import SpinLock
+    from repro.kernel.sync.waitqueue import WaitQueue
+
+
+class Op:
+    """Base class for task-level primitives."""
+
+    __slots__ = ()
+
+
+@dataclass
+class Compute(Op):
+    """Execute *work* nanoseconds of computation.
+
+    ``kernel=True`` marks kernel-mode execution, which a non-preemptible
+    kernel will not interrupt with a context switch.  Wall-clock time
+    may exceed *work* due to interrupts, hyperthread contention and
+    memory contention.
+    """
+
+    work: int
+    kernel: bool = False
+    label: str = ""
+
+
+@dataclass
+class Acquire(Op):
+    """Take a spinlock (busy-waiting if contended); disables preemption."""
+
+    lock: "SpinLock"
+
+
+@dataclass
+class Release(Op):
+    """Release a spinlock; re-enables preemption at depth zero."""
+
+    lock: "SpinLock"
+
+
+@dataclass
+class Block(Op):
+    """Deschedule until a ``wake_up`` on the wait queue."""
+
+    wq: "WaitQueue"
+
+
+@dataclass
+class Sleep(Op):
+    """Deschedule for a fixed interval (timer wakeup)."""
+
+    duration: int
+
+
+@dataclass
+class PreemptPoint(Op):
+    """A voluntary reschedule opportunity (``cond_resched``).
+
+    The low-latency patches work by sprinkling these through long
+    kernel algorithms; they are no-ops unless ``need_resched`` is set
+    and no locks are held.
+    """
+
+
+@dataclass
+class YieldCpu(Op):
+    """``sched_yield``: requeue behind equal-priority tasks."""
+
+
+@dataclass
+class EnterSyscall(Op):
+    """Cross the user/kernel boundary into a system call."""
+
+    name: str
+
+
+@dataclass
+class ExitSyscall(Op):
+    """Return to user mode; runs pending softirqs and resched checks."""
+
+
+@dataclass
+class SetScheduler(Op):
+    """Change scheduling policy/priority (sched_setscheduler)."""
+
+    policy: Any
+    rt_prio: int = 0
+    nice: int = 0
+
+
+@dataclass
+class SetAffinity(Op):
+    """Change the requested CPU affinity mask."""
+
+    mask: "CpuMask"
+
+
+@dataclass
+class MlockAll(Op):
+    """Pin all pages: disables the page-fault model for this task."""
+
+
+@dataclass
+class Call(Op):
+    """Invoke an arbitrary function synchronously (instrumentation).
+
+    The function runs at the current simulated instant with no cost;
+    its return value is sent back into the generator.  Used by
+    measurement workloads to read the TSC or record a sample without
+    perturbing the simulation.
+    """
+
+    fn: Any
+    args: tuple = field(default_factory=tuple)
+
+
+@dataclass
+class Wake(Op):
+    """Wake tasks blocked on a wait queue (from this task's CPU).
+
+    Unlike an instrumentation :class:`Call` to ``kernel.wake_up``,
+    this op carries the waker's CPU context, so same-CPU wakeups defer
+    the switch to the proper check point instead of self-IPIing.
+    """
+
+    wq: "WaitQueue"
+    all_waiters: bool = False
+
+
+@dataclass
+class Exit(Op):
+    """Terminate the task explicitly (returning from the generator
+    has the same effect)."""
+
+    code: int = 0

@@ -1,0 +1,94 @@
+"""A minimal /proc filesystem.
+
+Exposes exactly the administrator interface the paper describes:
+
+* ``/proc/irq/<n>/smp_affinity`` -- standard Linux IRQ affinity files;
+* ``/proc/shield/procs``, ``/proc/shield/irqs``, ``/proc/shield/ltmr``
+  -- the new files RedHawk adds (present only when the kernel was
+  built with shield support);
+* a few read-only informational nodes used by examples and tests.
+
+Masks are hexadecimal, as in real /proc.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING
+
+from repro.core.affinity import CpuMask
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+
+
+class ProcFsError(OSError):
+    """ENOENT/EINVAL analogue for bad /proc accesses."""
+
+
+_IRQ_RE = re.compile(r"^/proc/irq/(\d+)/smp_affinity$")
+_SHIELD_RE = re.compile(r"^/proc/shield/(procs|irqs|ltmr)$")
+
+
+class ProcFs:
+    """Path-dispatching façade over kernel state."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+
+    # ------------------------------------------------------------------
+    def read(self, path: str) -> str:
+        irq_match = _IRQ_RE.match(path)
+        if irq_match:
+            desc = self._irq_desc(int(irq_match.group(1)))
+            return desc.requested_affinity.to_proc() + "\n"
+        shield_match = _SHIELD_RE.match(path)
+        if shield_match:
+            shield = self._shield()
+            mask = getattr(shield, f"{shield_match.group(1)}_mask")
+            return mask.to_proc() + "\n"
+        if path == "/proc/interrupts":
+            return self._format_interrupts()
+        if path == "/proc/uptime":
+            seconds = self.kernel.sim.now / 1e9
+            return f"{seconds:.2f} {seconds:.2f}\n"
+        raise ProcFsError(f"no such /proc entry: {path}")
+
+    def write(self, path: str, text: str) -> None:
+        irq_match = _IRQ_RE.match(path)
+        if irq_match:
+            mask = CpuMask.parse(text)
+            self.kernel.machine.apic.set_requested_affinity(
+                int(irq_match.group(1)), mask)
+            return
+        shield_match = _SHIELD_RE.match(path)
+        if shield_match:
+            shield = self._shield()
+            shield.set_masks(**{shield_match.group(1): CpuMask.parse(text)})
+            return
+        raise ProcFsError(f"no such writable /proc entry: {path}")
+
+    # ------------------------------------------------------------------
+    def _irq_desc(self, irq: int):
+        try:
+            return self.kernel.machine.apic.irqs[irq]
+        except KeyError:
+            raise ProcFsError(f"no such irq: {irq}") from None
+
+    def _shield(self):
+        shield = self.kernel.shield
+        if shield is None:
+            raise ProcFsError(
+                "/proc/shield: kernel built without shield support")
+        return shield
+
+    def _format_interrupts(self) -> str:
+        """The classic /proc/interrupts table."""
+        ncpus = self.kernel.ncpus
+        header = "     " + "".join(f"{f'CPU{i}':>12}" for i in range(ncpus))
+        lines = [header]
+        for irq, desc in sorted(self.kernel.machine.apic.irqs.items()):
+            counts = "".join(
+                f"{desc.delivered.get(i, 0):>12}" for i in range(ncpus))
+            lines.append(f"{irq:>4}:{counts}  {desc.name}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,7 @@
+"""Scheduling: the 2.4 goodness scheduler and the O(1) scheduler."""
+
+from repro.kernel.sched.base import Scheduler
+from repro.kernel.sched.goodness import GoodnessScheduler
+from repro.kernel.sched.o1 import O1Scheduler
+
+__all__ = ["Scheduler", "GoodnessScheduler", "O1Scheduler"]

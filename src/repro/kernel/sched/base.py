@@ -1,0 +1,120 @@
+"""Scheduler interface.
+
+Both schedulers implement the same contract so the kernel can be
+booted with either.  The contract keeps only *non-running* runnable
+tasks in scheduler queues; the per-CPU "current" pointer lives in the
+kernel.  Wakeup placement (which CPU a newly runnable task should
+preempt) is part of the scheduler because 2.4's ``reschedule_idle``
+and O(1)'s ``try_to_wake_up`` differ in exactly that decision.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.task import Task
+
+
+class Scheduler:
+    """Abstract scheduler."""
+
+    name = "abstract"
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+
+    # -- queue management ------------------------------------------------
+    def enqueue(self, task: "Task", preempted: bool = False) -> int:
+        """Insert a runnable, non-running task.
+
+        Returns the CPU index the scheduler would like the task to run
+        on (the wakeup-preemption target).  ``preempted`` marks a task
+        that was involuntarily descheduled and should not lose its
+        queue position.
+        """
+        raise NotImplementedError
+
+    def dequeue(self, task: "Task") -> None:
+        """Remove a task from the queues (blocking / exiting)."""
+        raise NotImplementedError
+
+    def requeue(self, task: "Task") -> int:
+        """Re-place a queued task after an affinity change."""
+        self.dequeue(task)
+        return self.enqueue(task)
+
+    def pick_next(self, cpu_index: int) -> Optional["Task"]:
+        """Select and remove the best task for *cpu_index* (or None)."""
+        raise NotImplementedError
+
+    # -- periodic work -----------------------------------------------------
+    def task_tick(self, cpu_index: int, task: "Task") -> bool:
+        """Charge one timer tick to *task*; True if it should yield."""
+        raise NotImplementedError
+
+    # -- costs -------------------------------------------------------------
+    def switch_cost_ns(self, cpu_index: int) -> int:
+        """Context-switch overhead, including pick-next work."""
+        raise NotImplementedError
+
+    # -- introspection -------------------------------------------------------
+    def runnable_count(self) -> int:
+        """Number of queued (non-running) runnable tasks."""
+        raise NotImplementedError
+
+    def queue_depth(self, cpu_index: int) -> int:
+        """Tasks queued for one CPU (0 for global-queue schedulers,
+        where placement balancing has no per-CPU queues to compare)."""
+        return 0
+
+    def queued_tasks(self) -> list:
+        """Snapshot of queued tasks (tests / shield migration)."""
+        raise NotImplementedError
+
+    # -- shared helpers -----------------------------------------------------
+    def _wakeup_target(self, task: "Task") -> int:
+        """Common wakeup placement (2.4 ``reschedule_idle`` style).
+
+        Preference order: the task's last CPU if idle, any idle CPU,
+        then -- for real-time wakeups -- a CPU whose current task can
+        be preempted *right now* (user mode), then the last CPU, then
+        the allowed CPU with the lowest-priority current task.  The
+        preemptible-now preference reflects that on real hardware the
+        interrupt + reschedule usually land on the CPU that responds
+        soonest (lowest-priority APIC arbitration favours idle and
+        user-mode CPUs).
+        """
+        kernel = self.kernel
+        allowed = [i for i in task.effective_affinity if i < kernel.ncpus]
+        if not allowed:
+            # Affinity references no online CPU; fall back to CPU 0 the
+            # way the kernel falls back to the boot CPU.
+            return 0
+        idle = [i for i in allowed if kernel.current[i] is None]
+        if idle:
+            # Spread over idle CPUs: prefer the emptiest queue so a
+            # burst of wakeups during one CPU's context switch does not
+            # pile onto it.
+            if (task.last_cpu in idle
+                    and self.queue_depth(task.last_cpu)
+                    <= min(self.queue_depth(i) for i in idle)):
+                return task.last_cpu
+            return min(idle, key=self.queue_depth)
+        if task.policy.realtime:
+            ready_now = [i for i in allowed if kernel._can_preempt_now(i)]
+            if ready_now:
+                if task.last_cpu in ready_now:
+                    return task.last_cpu
+                return ready_now[0]
+        if task.last_cpu in allowed:
+            return task.last_cpu
+        best = allowed[0]
+        best_prio = None
+        for i in allowed:
+            cur = kernel.current[i]
+            prio = -1 if cur is None else cur.effective_prio()
+            if best_prio is None or prio < best_prio:
+                best, best_prio = i, prio
+        return best

@@ -1,0 +1,9 @@
+"""Kernel synchronization primitives: spinlocks, the BKL, wait queues,
+semaphores."""
+
+from repro.kernel.sync.bkl import BigKernelLock
+from repro.kernel.sync.semaphore import Semaphore
+from repro.kernel.sync.spinlock import SpinLock
+from repro.kernel.sync.waitqueue import WaitQueue
+
+__all__ = ["BigKernelLock", "Semaphore", "SpinLock", "WaitQueue"]

@@ -1,0 +1,25 @@
+"""The Big Kernel Lock.
+
+In 2.4 the BKL serialises huge swaths of the kernel -- the paper calls
+it "one of the most highly contended spin locks in Linux" and measures
+several milliseconds of jitter from ``lock_kernel()`` in the generic
+ioctl path.  RedHawk's fix (reproduced by the ``bkl_ioctl_flag``
+config option) lets a multithreaded driver's ioctl skip it.
+
+Deviation from Linux: the real BKL is released if its holder sleeps
+and reacquired on wakeup.  Our simulated code paths never block while
+holding it (the kernel raises :class:`KernelPanic` if one tries), so
+the simpler model -- an ordinary, highly contended spinlock -- covers
+the paper's mechanism.  This is documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.sync.spinlock import SpinLock
+
+
+class BigKernelLock(SpinLock):
+    """The global ``kernel_flag`` lock."""
+
+    def __init__(self) -> None:
+        super().__init__("BKL", irq_disabling=False)

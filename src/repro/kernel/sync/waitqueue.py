@@ -1,0 +1,51 @@
+"""Wait queues: where blocked tasks park until an event wakes them."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.task import Task
+
+
+class WaitQueue:
+    """FIFO queue of blocked tasks."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.waiters: Deque["Task"] = deque()
+        self.total_waits = 0
+        self.total_wakes = 0
+
+    def add(self, task: "Task") -> None:
+        self.total_waits += 1
+        self.waiters.append(task)
+
+    def remove(self, task: "Task") -> bool:
+        """Withdraw *task* (timeout path).  True if it was queued."""
+        try:
+            self.waiters.remove(task)
+            return True
+        except ValueError:
+            return False
+
+    def pop_one(self) -> List["Task"]:
+        """Take the oldest waiter (wake-one semantics)."""
+        self.total_wakes += 1
+        if self.waiters:
+            return [self.waiters.popleft()]
+        return []
+
+    def pop_all(self) -> List["Task"]:
+        """Take every waiter (wake-all semantics)."""
+        self.total_wakes += 1
+        tasks = list(self.waiters)
+        self.waiters.clear()
+        return tasks
+
+    def __len__(self) -> int:
+        return len(self.waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WaitQueue {self.name} waiters={len(self.waiters)}>"

@@ -1,0 +1,32 @@
+"""Timekeeping: jiffies-resolution vs high-resolution sleeps.
+
+The vanilla 2.4 kernel rounds ``nanosleep`` up to the next timer tick
+plus one (10-20 ms of slack at HZ=100); the POSIX timers patch the
+paper lists among RedHawk's components [4] gives nanosecond-resolution
+wakeups.  Workload pacing goes through :func:`sleep_quantum` so the
+two kernels exhibit their real granularity difference.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.config import KernelConfig
+
+
+def sleep_quantum(config: "KernelConfig", requested_ns: int,
+                  highres: bool) -> int:
+    """Actual sleep duration for a *requested_ns* nanosleep.
+
+    With high-resolution timers the request is honoured exactly; the
+    classic timer wheel rounds up to a tick boundary and adds a tick
+    (the 2.4 ``timespec_to_jiffies(...) + 1`` behaviour).
+    """
+    if requested_ns <= 0:
+        return 0
+    if highres:
+        return requested_ns
+    tick = config.tick_ns
+    ticks = -(-requested_ns // tick)  # ceil division
+    return (ticks + 1) * tick

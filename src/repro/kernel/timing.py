@@ -1,0 +1,173 @@
+"""Timing distributions: the cost model of the simulated kernel.
+
+Every duration in the simulation -- interrupt handler run time,
+critical-section length, syscall entry overhead, context-switch cost --
+is described by a :class:`Dist` and sampled through a
+:class:`TimingModel`.  Kernel flavours (vanilla 2.4.21, RedHawk 1.4)
+differ almost entirely in this table plus a handful of boolean feature
+flags; see :mod:`repro.configs.calibration` for the calibrated values.
+
+Distributions are specified as small immutable objects rather than
+bare callables so they can be printed, compared and perturbed by
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Dist:
+    """Base class: a distribution over non-negative integer nanoseconds."""
+
+    def sample(self, rng: np.random.Generator) -> int:
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Approximate mean (used by sanity checks and reports)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Const(Dist):
+    """A fixed duration."""
+
+    value: int
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self.value
+
+    def mean(self) -> float:
+        return float(self.value)
+
+
+@dataclass(frozen=True)
+class Uniform(Dist):
+    """Uniform over [lo, hi]."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"uniform lo {self.lo} > hi {self.hi}")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.lo, self.hi + 1))
+
+    def mean(self) -> float:
+        return (self.lo + self.hi) / 2.0
+
+
+@dataclass(frozen=True)
+class Exponential(Dist):
+    """Exponential with the given mean, optionally truncated at *cap*."""
+
+    mean_ns: int
+    cap: Optional[int] = None
+
+    def sample(self, rng: np.random.Generator) -> int:
+        value = int(rng.exponential(self.mean_ns))
+        if self.cap is not None:
+            value = min(value, self.cap)
+        return value
+
+    def mean(self) -> float:
+        return float(self.mean_ns)
+
+
+@dataclass(frozen=True)
+class LogNormal(Dist):
+    """Lognormal parameterised by its median, truncated at *cap*.
+
+    Heavy-tailed durations (disk seeks, 2.4 filesystem critical
+    sections) are lognormal-ish in practice: most instances short, a
+    long multiplicative tail.
+    """
+
+    median_ns: int
+    sigma: float
+    cap: Optional[int] = None
+
+    def sample(self, rng: np.random.Generator) -> int:
+        value = int(rng.lognormal(math.log(self.median_ns), self.sigma))
+        if self.cap is not None:
+            value = min(value, self.cap)
+        return value
+
+    def mean(self) -> float:
+        raw = self.median_ns * math.exp(self.sigma ** 2 / 2.0)
+        if self.cap is not None:
+            raw = min(raw, float(self.cap))
+        return raw
+
+
+@dataclass(frozen=True)
+class Choice(Dist):
+    """A weighted mixture of other distributions."""
+
+    options: Tuple[Tuple[float, Dist], ...]
+
+    def __post_init__(self) -> None:
+        if not self.options:
+            raise ValueError("Choice needs at least one option")
+        total = sum(w for w, _ in self.options)
+        if total <= 0:
+            raise ValueError("Choice weights must sum to a positive value")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        weights = np.array([w for w, _ in self.options], dtype=float)
+        weights /= weights.sum()
+        idx = int(rng.choice(len(self.options), p=weights))
+        return self.options[idx][1].sample(rng)
+
+    def mean(self) -> float:
+        total = sum(w for w, _ in self.options)
+        return sum(w * d.mean() for w, d in self.options) / total
+
+
+@dataclass(frozen=True)
+class Scaled(Dist):
+    """Another distribution scaled by a constant factor."""
+
+    base: Dist
+    factor: float
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(self.base.sample(rng) * self.factor)
+
+    def mean(self) -> float:
+        return self.base.mean() * self.factor
+
+
+@dataclass
+class TimingModel:
+    """Named table of :class:`Dist` objects.
+
+    Unknown keys raise ``KeyError`` loudly: a kernel path asking for a
+    cost that was never calibrated is a bug, not a default.
+    """
+
+    table: Dict[str, Dist] = field(default_factory=dict)
+
+    def sample(self, key: str, rng: np.random.Generator) -> int:
+        return self.table[key].sample(rng)
+
+    def dist(self, key: str) -> Dist:
+        return self.table[key]
+
+    def has(self, key: str) -> bool:
+        return key in self.table
+
+    def override(self, **entries: Dist) -> "TimingModel":
+        """Copy with some entries replaced (ablation support)."""
+        merged = dict(self.table)
+        merged.update(entries)
+        return TimingModel(merged)
+
+    def keys(self) -> Sequence[str]:
+        return sorted(self.table)

@@ -1,0 +1,19 @@
+"""Measurement: latency/jitter recorders, histograms, paper-format reports."""
+
+from repro.metrics.histogram import Histogram, LogHistogram
+from repro.metrics.recorder import JitterRecorder, LatencyRecorder
+from repro.metrics.report import (
+    bucket_table,
+    determinism_summary,
+    latency_summary,
+)
+
+__all__ = [
+    "Histogram",
+    "LogHistogram",
+    "JitterRecorder",
+    "LatencyRecorder",
+    "bucket_table",
+    "determinism_summary",
+    "latency_summary",
+]

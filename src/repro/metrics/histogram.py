@@ -1,0 +1,119 @@
+"""Histograms matching the paper's figure style.
+
+The interrupt-response figures are log-y histograms of sample counts
+per latency bin; the summaries under them are cumulative bucket
+tables.  :class:`Histogram` bins linearly (the determinism figures);
+:class:`LogHistogram` uses logarithmic bin edges suited to latency
+distributions spanning 10 us .. 100 ms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class BinCount:
+    lo: float
+    hi: float
+    count: int
+
+
+class Histogram:
+    """Fixed-width linear histogram."""
+
+    def __init__(self, lo: float, hi: float, nbins: int) -> None:
+        if hi <= lo or nbins <= 0:
+            raise ValueError("bad histogram parameters")
+        self.lo = lo
+        self.hi = hi
+        self.nbins = nbins
+        self.counts = np.zeros(nbins + 2, dtype=np.int64)  # +under/overflow
+
+    def add(self, value: float) -> None:
+        if value < self.lo:
+            self.counts[0] += 1
+        elif value >= self.hi:
+            self.counts[-1] += 1
+        else:
+            idx = int((value - self.lo) / (self.hi - self.lo) * self.nbins)
+            self.counts[1 + idx] += 1
+
+    def add_many(self, values: Sequence[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    @property
+    def underflow(self) -> int:
+        return int(self.counts[0])
+
+    @property
+    def overflow(self) -> int:
+        return int(self.counts[-1])
+
+    def bins(self) -> List[BinCount]:
+        width = (self.hi - self.lo) / self.nbins
+        return [BinCount(self.lo + i * width, self.lo + (i + 1) * width,
+                         int(self.counts[1 + i]))
+                for i in range(self.nbins)]
+
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+
+class LogHistogram:
+    """Histogram with logarithmically spaced bin edges."""
+
+    def __init__(self, lo: float, hi: float, bins_per_decade: int = 10) -> None:
+        if lo <= 0 or hi <= lo:
+            raise ValueError("log histogram needs 0 < lo < hi")
+        self.lo = lo
+        self.hi = hi
+        decades = math.log10(hi / lo)
+        self.nbins = max(1, int(math.ceil(decades * bins_per_decade)))
+        self.edges = np.logspace(math.log10(lo), math.log10(hi),
+                                 self.nbins + 1)
+        self.counts = np.zeros(self.nbins + 2, dtype=np.int64)
+
+    def add(self, value: float) -> None:
+        if value < self.lo:
+            self.counts[0] += 1
+        elif value >= self.hi:
+            self.counts[-1] += 1
+        else:
+            idx = int(np.searchsorted(self.edges, value, side="right")) - 1
+            idx = min(max(idx, 0), self.nbins - 1)
+            self.counts[1 + idx] += 1
+
+    def add_many(self, values: Sequence[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    def bins(self) -> List[BinCount]:
+        return [BinCount(float(self.edges[i]), float(self.edges[i + 1]),
+                         int(self.counts[1 + i]))
+                for i in range(self.nbins)]
+
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def render_ascii(self, width: int = 60, unit: str = "ms",
+                     scale: float = 1e6) -> str:
+        """Log-count bar chart, one line per occupied bin.
+
+        *scale* divides raw (ns) bin edges into *unit*.
+        """
+        lines = []
+        occupied = [(b.lo / scale, b.hi / scale, b.count)
+                    for b in self.bins() if b.count > 0]
+        if not occupied:
+            return "(empty histogram)"
+        max_log = max(math.log10(c + 1) for _lo, _hi, c in occupied)
+        for lo, hi, count in occupied:
+            bar = "#" * max(1, int(width * math.log10(count + 1) / max_log))
+            lines.append(f"{lo:>10.3f}-{hi:<10.3f}{unit} |{bar} {count}")
+        return "\n".join(lines)

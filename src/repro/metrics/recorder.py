@@ -1,0 +1,134 @@
+"""Sample recorders for the two measurement styles the paper uses.
+
+:class:`LatencyRecorder` implements the realfeel methodology: the test
+reads the TSC after every blocking wait; the time beyond the expected
+period between consecutive returns is latency.  A response that sleeps
+through N periods therefore books ``N*period + delay`` of latency into
+one sample, exactly as realfeel's histogram does.
+
+:class:`JitterRecorder` implements the determinism-test methodology:
+each iteration of a fixed CPU-bound loop is timed; the excess over the
+best (ideal) iteration is jitter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+class LatencyRecorder:
+    """Interrupt-response samples (realfeel / RCIM style)."""
+
+    def __init__(self, name: str, period_ns: Optional[int] = None) -> None:
+        self.name = name
+        self.period_ns = period_ns
+        self.samples: List[int] = []
+        self._last_return: Optional[int] = None
+
+    # -- realfeel style: consecutive return timestamps ------------------
+    def record_return(self, tsc_now: int) -> Optional[int]:
+        """Feed one post-read TSC value; returns the computed latency.
+
+        The first call only arms the recorder (returns None).
+        """
+        if self.period_ns is None:
+            raise ValueError(f"{self.name}: record_return needs a period")
+        if self._last_return is None:
+            self._last_return = tsc_now
+            return None
+        delta = tsc_now - self._last_return
+        self._last_return = tsc_now
+        latency = max(0, delta - self.period_ns)
+        self.samples.append(latency)
+        return latency
+
+    # -- RCIM style: direct count-register read --------------------------
+    def record_latency(self, latency_ns: int) -> None:
+        """Feed a directly measured latency (count-register method)."""
+        self.samples.append(max(0, latency_ns))
+
+    # -- statistics ------------------------------------------------------
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.samples, dtype=np.int64)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def min(self) -> int:
+        return int(self.as_array().min()) if self.samples else 0
+
+    def max(self) -> int:
+        return int(self.as_array().max()) if self.samples else 0
+
+    def mean(self) -> float:
+        return float(self.as_array().mean()) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.as_array(), q)) if self.samples else 0.0
+
+    def fraction_below(self, threshold_ns: int) -> float:
+        """Fraction of samples strictly below *threshold_ns*."""
+        if not self.samples:
+            return 0.0
+        return float((self.as_array() < threshold_ns).mean())
+
+    def count_in(self, lo_ns: int, hi_ns: int) -> int:
+        """Samples with lo <= latency < hi."""
+        arr = self.as_array()
+        return int(((arr >= lo_ns) & (arr < hi_ns)).sum())
+
+
+class JitterRecorder:
+    """Execution-determinism samples (section 5 style)."""
+
+    def __init__(self, name: str, ideal_ns: Optional[int] = None) -> None:
+        self.name = name
+        self.durations: List[int] = []
+        self._forced_ideal = ideal_ns
+
+    def record_duration(self, duration_ns: int) -> None:
+        """Feed one timed iteration of the computational loop."""
+        self.durations.append(duration_ns)
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.durations, dtype=np.int64)
+
+    @property
+    def count(self) -> int:
+        return len(self.durations)
+
+    def ideal(self) -> int:
+        """The best-case duration.
+
+        The paper determines the ideal on an unloaded system; when a
+        forced value is not supplied we use the minimum observation,
+        which the unloaded run is designed to produce.
+        """
+        if self._forced_ideal is not None:
+            return self._forced_ideal
+        return int(self.as_array().min()) if self.durations else 0
+
+    def set_ideal(self, ideal_ns: int) -> None:
+        self._forced_ideal = ideal_ns
+
+    def max(self) -> int:
+        return int(self.as_array().max()) if self.durations else 0
+
+    def jitter_ns(self) -> int:
+        """Worst-case excess over ideal."""
+        return self.max() - self.ideal() if self.durations else 0
+
+    def jitter_fraction(self) -> float:
+        """Jitter as a fraction of the ideal (the paper's percentage)."""
+        ideal = self.ideal()
+        if ideal <= 0:
+            return 0.0
+        return self.jitter_ns() / ideal
+
+    def variances_ms(self) -> np.ndarray:
+        """Per-iteration excess in ms (the figures' x axis)."""
+        arr = self.as_array()
+        return (arr - self.ideal()) / 1e6

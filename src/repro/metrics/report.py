@@ -1,0 +1,90 @@
+"""Paper-format result tables.
+
+These renderers print the same rows the paper's figure legends show:
+
+* the determinism summaries (``ideal / max / jitter (%)``) under
+  Figures 1-4;
+* the cumulative latency bucket tables under Figures 5-6
+  (``NNN samples < T ms (P%)``);
+* the min/max/avg line under Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.metrics.recorder import JitterRecorder, LatencyRecorder
+from repro.sim.simtime import MSEC
+
+#: The cumulative thresholds of the paper's Figure 5 table (ms).
+FIG5_THRESHOLDS_MS = [0.1, 0.2, 1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 40.0,
+                      50.0, 60.0, 70.0, 80.0, 90.0, 100.0]
+
+#: The finer thresholds of the Figure 6 table (ms).
+FIG6_THRESHOLDS_MS = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6]
+
+
+def determinism_summary(rec: JitterRecorder, title: str) -> str:
+    """The legend block under Figures 1-4."""
+    ideal_s = rec.ideal() / 1e9
+    max_s = rec.max() / 1e9
+    jitter_s = rec.jitter_ns() / 1e9
+    pct = 100.0 * rec.jitter_fraction()
+    lines = [
+        title,
+        f"  iterations: {rec.count}",
+        f"  ideal:  {ideal_s:.6f} sec",
+        f"  max:    {max_s:.6f} sec",
+        f"  jitter: {jitter_s:.6f} sec ({pct:.2f}%)",
+    ]
+    return "\n".join(lines)
+
+
+def bucket_table(rec: LatencyRecorder, title: str,
+                 thresholds_ms: Optional[Sequence[float]] = None) -> str:
+    """The cumulative ``samples < T ms`` table under Figures 5-6."""
+    if thresholds_ms is None:
+        thresholds_ms = FIG5_THRESHOLDS_MS
+    total = rec.count
+    lines = [title,
+             f"  {total} measured interrupts",
+             f"  max latency: {rec.max() / MSEC:.3f}ms"]
+    shown_all = False
+    for t in thresholds_ms:
+        below = int(round(rec.fraction_below(int(t * MSEC)) * total))
+        pct = 100.0 * below / total if total else 0.0
+        lines.append(f"  {below} samples < {t:.1f}ms ({pct:.3f}%)")
+        if below == total:
+            shown_all = True
+            break
+    if not shown_all and total:
+        lines.append(f"  (max {rec.max() / MSEC:.3f}ms exceeds the "
+                     f"largest threshold)")
+    return "\n".join(lines)
+
+
+def latency_summary(rec: LatencyRecorder, title: str,
+                    unit: str = "us") -> str:
+    """The min/avg/max line under Figure 7."""
+    scale = 1e3 if unit == "us" else 1e6
+    lines = [
+        title,
+        f"  {rec.count} measured interrupts",
+        f"  minimum latency: {rec.min() / scale:.1f} {unit}",
+        f"  maximum latency: {rec.max() / scale:.1f} {unit}",
+        f"  average latency: {rec.mean() / scale:.1f} {unit}",
+    ]
+    return "\n".join(lines)
+
+
+def comparison_table(rows: List[tuple], headers: Sequence[str]) -> str:
+    """Simple aligned table used by the ablation benchmarks."""
+    cols = len(headers)
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [max(len(headers[i]), *(len(r[i]) for r in str_rows))
+              if str_rows else len(headers[i]) for i in range(cols)]
+    def fmt(row):
+        return "  ".join(f"{row[i]:<{widths[i]}}" for i in range(cols))
+    out = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    out.extend(fmt(r) for r in str_rows)
+    return "\n".join(out)

@@ -1,0 +1,144 @@
+"""The discrete-event simulation core.
+
+:class:`Simulator` owns the clock, the event heap, the master RNG
+registry and the trace buffer.  Hardware and kernel objects schedule
+zero-argument callbacks at absolute or relative times and may cancel
+them through the returned :class:`~repro.sim.events.EventHandle`.
+
+The engine is intentionally minimal: all *semantics* (preemption,
+interrupts, locking) live in the hardware/kernel layers.  Keeping the
+engine dumb makes its behaviour easy to verify exhaustively, which the
+rest of the system then inherits.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from repro.sim.errors import SchedulingInPastError, SimulationStalledError
+from repro.sim.events import EventHandle
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceBuffer
+
+
+class Simulator:
+    """Event heap plus clock.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all named random substreams.
+    trace_capacity:
+        Ring-buffer size for the (normally disabled) trace facility.
+    """
+
+    def __init__(self, seed: int = 0, trace_capacity: int = 65536) -> None:
+        self.now: int = 0
+        self._heap: List[EventHandle] = []
+        self._seq = 0
+        self._events_fired = 0
+        self.rng = RngStreams(seed)
+        self.trace = TraceBuffer(trace_capacity)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def at(self, when: int, callback: Callable[[], None],
+           label: Optional[str] = None) -> EventHandle:
+        """Schedule *callback* at absolute time *when* (ns)."""
+        if when < self.now:
+            raise SchedulingInPastError(
+                f"cannot schedule {label or callback} at t={when} < now={self.now}")
+        handle = EventHandle(when, self._seq, callback, label)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def after(self, delay: int, callback: Callable[[], None],
+              label: Optional[str] = None) -> EventHandle:
+        """Schedule *callback* *delay* ns from now (delay >= 0)."""
+        if delay < 0:
+            raise SchedulingInPastError(
+                f"negative delay {delay} for {label or callback}")
+        return self.at(self.now + delay, callback, label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _pop_live(self) -> Optional[EventHandle]:
+        """Pop the next live event, discarding cancelled entries."""
+        heap = self._heap
+        while heap:
+            handle = heapq.heappop(heap)
+            if handle._consume():
+                return handle
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the next live event, or None if the heap is empty."""
+        heap = self._heap
+        while heap and not heap[0].alive:
+            heapq.heappop(heap)
+        return heap[0].when if heap else None
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False if none remain."""
+        handle = self._pop_live()
+        if handle is None:
+            return False
+        self.now = handle.when
+        self._events_fired += 1
+        handle.callback()
+        return True
+
+    def run_until(self, when: int) -> None:
+        """Fire events up to and including time *when*.
+
+        The clock is left at *when* even if the last event fired
+        earlier; this gives callers a consistent "the simulated world
+        has reached t" view.
+        """
+        heap = self._heap
+        while True:
+            while heap and not heap[0].alive:
+                heapq.heappop(heap)
+            if not heap or heap[0].when > when:
+                break
+            self.step()
+        if when > self.now:
+            self.now = when
+
+    def run(self) -> None:
+        """Fire events until the heap drains."""
+        while self.step():
+            pass
+
+    def run_steps(self, count: int) -> int:
+        """Fire at most *count* events; returns the number fired."""
+        fired = 0
+        while fired < count and self.step():
+            fired += 1
+        return fired
+
+    def require_events(self) -> None:
+        """Raise if the simulation has no future events (deadlock guard)."""
+        if self.peek_time() is None:
+            raise SimulationStalledError(f"no events pending at t={self.now}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_fired
+
+    @property
+    def events_pending(self) -> int:
+        """Number of live events still scheduled."""
+        return sum(1 for h in self._heap if h.alive)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Simulator t={self.now} fired={self._events_fired} "
+                f"pending={self.events_pending}>")

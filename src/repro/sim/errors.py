@@ -1,0 +1,29 @@
+"""Exception hierarchy for the simulator."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all simulator errors."""
+
+
+class SchedulingInPastError(SimError):
+    """An event was scheduled before the current simulation time."""
+
+
+class SimulationStalledError(SimError):
+    """run_until() was asked to advance but no events remain."""
+
+
+class KernelPanic(SimError):
+    """An invariant of the simulated kernel was violated.
+
+    Raised when the simulated machine reaches a state a real kernel
+    would treat as a bug (double lock release, scheduling a running
+    task, negative preempt_count, ...).  Tests rely on these being
+    loud rather than silently absorbed.
+    """
+
+
+class InvalidMaskError(SimError):
+    """A CPU mask was empty or referenced CPUs not present."""

@@ -1,0 +1,63 @@
+"""Cancellable events for the simulation heap.
+
+Events are never physically removed from the heap on cancellation;
+instead each :class:`EventHandle` carries a liveness flag that the
+engine checks when the entry is popped.  This is the standard "lazy
+deletion" scheme: O(1) cancellation, O(log n) scheduling, and the
+stale entries are discarded as they surface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+class EventHandle:
+    """A scheduled callback that may be cancelled before it fires.
+
+    Attributes
+    ----------
+    when:
+        Absolute simulation time (ns) at which the event fires.
+    callback:
+        Zero-argument callable invoked when the event fires.
+    label:
+        Optional human-readable tag used by traces and error messages.
+    """
+
+    __slots__ = ("when", "seq", "callback", "label", "_alive")
+
+    def __init__(self, when: int, seq: int, callback: Callable[[], Any],
+                 label: Optional[str] = None) -> None:
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self._alive = True
+
+    @property
+    def alive(self) -> bool:
+        """True until the event fires or is cancelled."""
+        return self._alive
+
+    def cancel(self) -> bool:
+        """Cancel the event.  Returns True if it had not yet fired."""
+        was_alive = self._alive
+        self._alive = False
+        return was_alive
+
+    def _consume(self) -> bool:
+        """Mark the event as fired (engine-internal)."""
+        was_alive = self._alive
+        self._alive = False
+        return was_alive
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        # heapq tie-break: identical timestamps fire in scheduling order.
+        if self.when != other.when:
+            return self.when < other.when
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self._alive else "dead"
+        return f"<EventHandle t={self.when} {self.label or self.callback} {state}>"

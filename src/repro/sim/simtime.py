@@ -1,0 +1,65 @@
+"""Time units and formatting helpers.
+
+All simulation time is kept as integer nanoseconds.  Integer time makes
+event ordering exact and reproducible: there is no floating-point drift
+between a 2048 Hz RTC period and an 8-hour run, which matters when the
+quantity under study is the *difference* between two nearby timestamps.
+"""
+
+from __future__ import annotations
+
+#: One nanosecond (the base unit).
+NSEC = 1
+#: One microsecond in nanoseconds.
+USEC = 1_000
+#: One millisecond in nanoseconds.
+MSEC = 1_000_000
+#: One second in nanoseconds.
+SEC = 1_000_000_000
+
+
+def ns_to_us(ns: int) -> float:
+    """Convert integer nanoseconds to floating-point microseconds."""
+    return ns / USEC
+
+
+def ns_to_ms(ns: int) -> float:
+    """Convert integer nanoseconds to floating-point milliseconds."""
+    return ns / MSEC
+
+
+def ns_to_s(ns: int) -> float:
+    """Convert integer nanoseconds to floating-point seconds."""
+    return ns / SEC
+
+
+def us(value: float) -> int:
+    """Microseconds -> integer nanoseconds (rounded)."""
+    return int(round(value * USEC))
+
+
+def ms(value: float) -> int:
+    """Milliseconds -> integer nanoseconds (rounded)."""
+    return int(round(value * MSEC))
+
+
+def s(value: float) -> int:
+    """Seconds -> integer nanoseconds (rounded)."""
+    return int(round(value * SEC))
+
+
+def format_ns(ns: int) -> str:
+    """Render a duration with a human-appropriate unit.
+
+    >>> format_ns(1_500)
+    '1.500us'
+    >>> format_ns(92_300_000)
+    '92.300ms'
+    """
+    if ns < USEC:
+        return f"{ns}ns"
+    if ns < MSEC:
+        return f"{ns / USEC:.3f}us"
+    if ns < SEC:
+        return f"{ns / MSEC:.3f}ms"
+    return f"{ns / SEC:.3f}s"

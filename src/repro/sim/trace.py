@@ -1,0 +1,73 @@
+"""Bounded trace buffer for simulator diagnostics.
+
+Tracing is off by default (the hot paths check a single boolean).  When
+enabled it records ``(time, category, message)`` tuples into a ring
+buffer, which tests and debugging sessions can inspect to understand
+why a latency sample came out the way it did -- the simulated analogue
+of a kernel ftrace ring buffer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: int
+    category: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:>14d}] {self.category:<12} {self.message}"
+
+
+class TraceBuffer:
+    """Fixed-capacity ring buffer of :class:`TraceRecord`."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity <= 0:
+            raise ValueError("trace capacity must be positive")
+        self.capacity = capacity
+        self.enabled = False
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self._dropped = 0
+
+    def emit(self, time: int, category: str, message: str) -> None:
+        """Record one entry (no-op unless enabled)."""
+        if not self.enabled:
+            return
+        if len(self._records) == self.capacity:
+            self._dropped += 1
+        self._records.append(TraceRecord(time, category, message))
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._dropped = 0
+
+    @property
+    def dropped(self) -> int:
+        """Entries evicted because the buffer wrapped."""
+        return self._dropped
+
+    def records(self, category: Optional[str] = None) -> List[TraceRecord]:
+        """Snapshot of buffered records, optionally filtered by category."""
+        if category is None:
+            return list(self._records)
+        return [r for r in self._records if r.category == category]
+
+    def since(self, time: int) -> List[TraceRecord]:
+        """Records with timestamp >= *time*."""
+        return [r for r in self._records if r.time >= time]
+
+    def format(self, records: Optional[Iterable[TraceRecord]] = None) -> str:
+        """Render records one per line (for assertion messages)."""
+        recs = self._records if records is None else records
+        return "\n".join(str(r) for r in recs)
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,42 @@
+"""Workloads: the paper's measurement programs and background loads.
+
+Measurement programs
+    * :mod:`repro.workloads.determinism` -- the sine-loop execution
+      determinism test (section 5.1);
+    * :mod:`repro.workloads.realfeel` -- Andrew Morton's realfeel RTC
+      latency benchmark (section 6.1);
+    * :mod:`repro.workloads.rcim_response` -- the RCIM ioctl response
+      test (section 6.2).
+
+Background loads
+    * :mod:`repro.workloads.netload` -- the scp copy loop and ttcp
+      over Ethernet;
+    * :mod:`repro.workloads.disknoise` -- the recursive-cat disk noise
+      script;
+    * :mod:`repro.workloads.x11perf` -- graphics benchmark load;
+    * :mod:`repro.workloads.stress_kernel` -- the Red Hat stress-kernel
+      suite (NFS-COMPILE, TTCP, FIFOS_MMAP, P3_FPU, FS, CRASHME).
+"""
+
+from repro.workloads.base import WorkloadSpec, spawn, spawn_all
+from repro.workloads.determinism import DeterminismTest
+from repro.workloads.disknoise import disknoise
+from repro.workloads.netload import scp_copy_loop, ttcp_ethernet
+from repro.workloads.realfeel import Realfeel
+from repro.workloads.rcim_response import RcimResponseTest
+from repro.workloads.x11perf import x11perf
+from repro.workloads.stress_kernel import stress_kernel_suite
+
+__all__ = [
+    "WorkloadSpec",
+    "spawn",
+    "spawn_all",
+    "DeterminismTest",
+    "Realfeel",
+    "RcimResponseTest",
+    "disknoise",
+    "scp_copy_loop",
+    "ttcp_ethernet",
+    "x11perf",
+    "stress_kernel_suite",
+]

@@ -1,0 +1,41 @@
+"""Workload plumbing: specs and spawning."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, List, Optional, TYPE_CHECKING
+
+from repro.kernel.syscalls import UserApi
+from repro.kernel.task import SchedPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.affinity import CpuMask
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.task import Task
+
+#: A body factory receives a fresh UserApi and returns the generator.
+BodyFactory = Callable[[UserApi], Generator]
+
+
+@dataclass
+class WorkloadSpec:
+    """Everything needed to start one workload process."""
+
+    name: str
+    body: BodyFactory
+    policy: SchedPolicy = SchedPolicy.OTHER
+    rt_prio: int = 0
+    nice: int = 0
+    affinity: Optional["CpuMask"] = None
+
+
+def spawn(kernel: "Kernel", spec: WorkloadSpec) -> "Task":
+    """Create the task for one workload spec."""
+    api = UserApi(kernel)
+    return kernel.create_task(
+        spec.name, spec.body(api), policy=spec.policy,
+        rt_prio=spec.rt_prio, nice=spec.nice, affinity=spec.affinity)
+
+
+def spawn_all(kernel: "Kernel", specs: List[WorkloadSpec]) -> List["Task"]:
+    return [spawn(kernel, spec) for spec in specs]

@@ -1,0 +1,48 @@
+"""The disk-noise shell script (paper section 5.1).
+
+The script recursively concatenates files in a temp directory --
+``for f in 0..9: cat * > $f`` -- producing a continuous stream of
+buffered reads and writes: dcache walks, file-layer lock traffic, and
+disk requests whose completions interrupt the system.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, TYPE_CHECKING
+
+from repro.kernel.syscalls import UserApi
+from repro.workloads.base import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+
+
+def disknoise(kernel: "Kernel", name: str = "disknoise") -> WorkloadSpec:
+    """The recursive-cat load."""
+
+    def body(api: UserApi) -> Generator:
+        disk = kernel.drivers.get("/dev/sda")
+        locks = kernel.locks
+        while True:
+            # `cat * > $f`: open each source (path walk under
+            # dcache_lock), read (page-cache hits plus misses that go
+            # to disk), write out (file-layer lock + dirty buffers).
+            def cat_op() -> Generator:
+                yield from api.kernel_section(
+                    api.timing.sample("fs.lock_section", api.rng),
+                    lock=locks.dcache_lock, label="cat:lookup")
+                yield from api.kernel_section(
+                    api.timing.sample("fs.section", api.rng),
+                    label="cat:copy")
+                yield from api.kernel_section(
+                    api.timing.sample("fs.lock_section", api.rng),
+                    lock=locks.file_lock, label="cat:write")
+                if disk is not None:
+                    yield from disk.submit_and_wait(api, sectors=32)
+
+            yield from api.syscall("read", cat_op())
+            # The shell between cats: fork/exec bookkeeping, mostly
+            # user-mode and short.
+            yield from api.compute(120_000, label="sh")
+
+    return WorkloadSpec(name=name, body=body)

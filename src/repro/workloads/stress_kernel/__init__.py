@@ -1,0 +1,46 @@
+"""The Red Hat stress-kernel suite (paper section 6.1).
+
+    "The following programs from stress-kernel are used: NFS-COMPILE,
+    TTCP, FIFOS_MMAP, P3_FPU, FS, CRASHME."
+
+Each module reproduces the kernel-visible behaviour of one program;
+:func:`stress_kernel_suite` assembles the full load the interrupt
+response experiments run.
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.stress_kernel.crashme import crashme
+from repro.workloads.stress_kernel.fifos_mmap import fifos_mmap
+from repro.workloads.stress_kernel.fs import fs_stress
+from repro.workloads.stress_kernel.nfs_compile import nfs_compile
+from repro.workloads.stress_kernel.p3_fpu import p3_fpu
+from repro.workloads.stress_kernel.ttcp import ttcp_loopback
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+
+__all__ = [
+    "crashme",
+    "fifos_mmap",
+    "fs_stress",
+    "nfs_compile",
+    "p3_fpu",
+    "ttcp_loopback",
+    "stress_kernel_suite",
+]
+
+
+def stress_kernel_suite(kernel: "Kernel") -> List[WorkloadSpec]:
+    """All six stress-kernel programs, ready to spawn."""
+    specs: List[WorkloadSpec] = []
+    specs.extend(nfs_compile(kernel))
+    specs.extend(ttcp_loopback(kernel))
+    specs.extend(fifos_mmap(kernel))
+    specs.append(p3_fpu(kernel))
+    specs.append(fs_stress(kernel))
+    specs.append(crashme(kernel))
+    return specs

@@ -1,0 +1,63 @@
+"""FIFOS_MMAP: FIFO ping-pong alternating with mmap'd-file operations.
+
+    "FIFOS_MMAP is a combination test that alternates between sending
+    data between two processes via a FIFO and operations on an mmap'd
+    file."
+
+The FIFO side exercises the pipe code (copy + wakeup, lots of context
+switches); the mmap side exercises page-table and filesystem sections.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, TYPE_CHECKING
+
+from repro.kernel.syscalls import UserApi
+from repro.kernel.sync.waitqueue import WaitQueue
+from repro.workloads.base import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+
+
+def fifos_mmap(kernel: "Kernel") -> List[WorkloadSpec]:
+    """The FIFO ping-pong pair."""
+    ping_wq = WaitQueue("fifo:ping")
+    pong_wq = WaitQueue("fifo:pong")
+
+    def side(api: UserApi, my_wq: WaitQueue, peer_wq: WaitQueue,
+             starts: bool) -> Generator:
+        disk = kernel.drivers.get("/dev/sda")
+        first = True
+        while True:
+            if not (first and starts):
+                yield from api.pipe_wait(my_wq)
+            first = False
+            # A little user work on the received buffer.
+            yield from api.compute(int(api.rng.uniform(1e4, 6e4)),
+                                   label="fifo:chew")
+            # Occasionally do the mmap'd-file phase.
+            if api.rng.random() < 0.3:
+                def mmap_op() -> Generator:
+                    yield from api.kernel_section(
+                        api.timing.sample("mmap.section", api.rng),
+                        label="mmap:fault-in")
+                    yield from api.kernel_section(
+                        api.timing.sample("fs.lock_section", api.rng),
+                        lock=kernel.locks.file_lock, label="mmap:sync")
+                    if disk is not None and api.rng.random() < 0.3:
+                        yield from disk.submit_and_wait(api, sectors=8)
+
+                yield from api.syscall("msync", mmap_op())
+            yield from api.pipe_transfer(peer_wq)
+
+    def a_body(api: UserApi) -> Generator:
+        yield from side(api, ping_wq, pong_wq, starts=True)
+
+    def b_body(api: UserApi) -> Generator:
+        yield from side(api, pong_wq, ping_wq, starts=False)
+
+    return [
+        WorkloadSpec(name="fifos_mmap:a", body=a_body),
+        WorkloadSpec(name="fifos_mmap:b", body=b_body),
+    ]

@@ -1,0 +1,37 @@
+"""P3_FPU: floating-point matrix operations.
+
+    "The P3_FPU test does operations on floating point matrices."
+
+Almost pure user-mode compute -- its kernel-visible role in the stress
+mix is to keep CPUs busy (so wakeups must preempt someone), to take
+page faults (its working set is not locked), and, on hyperthreaded
+hardware, to contend for the sibling's execution unit.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, TYPE_CHECKING
+
+from repro.kernel.syscalls import UserApi
+from repro.workloads.base import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+
+
+def p3_fpu(kernel: "Kernel", name: str = "p3_fpu") -> WorkloadSpec:
+    """The FPU matrix grinder."""
+
+    def body(api: UserApi) -> Generator:
+        rng = api.rng
+        while True:
+            # One matrix pass: a few ms of double-precision work.
+            yield from api.compute(int(rng.uniform(1.5e6, 6e6)),
+                                   label="fpu:matmul")
+            # Report progress / reseed (brief syscall).
+            def touch() -> Generator:
+                yield from api.kernel_section(5_000, label="fpu:touch")
+
+            yield from api.syscall("write", touch())
+
+    return WorkloadSpec(name=name, body=body)

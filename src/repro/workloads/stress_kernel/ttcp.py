@@ -1,0 +1,63 @@
+"""TTCP: bulk TCP over the loopback device.
+
+    "The TTCP program sends and receives large data sets via the
+    loopback device."
+
+A sender/receiver pair: the sender's ``sendmsg`` does the transmit
+work and immediately raises NET_RX softirq work on its own CPU (that
+is what loopback means); the receiver drains its socket.  At bulk
+rates this produces sustained multi-hundred-microsecond softirq
+batches -- the bottom-half pressure in the paper's analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, TYPE_CHECKING
+
+from repro.kernel import ops as op
+from repro.kernel.syscalls import UserApi
+from repro.workloads.base import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+
+
+def ttcp_loopback(kernel: "Kernel",
+                  burst_packets: int = 16) -> List[WorkloadSpec]:
+    """The loopback TTCP pair."""
+    net = kernel.drivers["net"]
+    sock = net.socket("ttcp-lo")
+
+    def sender_body(api: UserApi) -> Generator:
+        while True:
+            def send() -> Generator:
+                cost = burst_packets * api.timing.sample(
+                    "net.tx_per_packet", api.rng)
+                yield op.Compute(cost, kernel=True, label="ttcp:tx")
+                yield op.Call(net.loopback_deliver,
+                              (burst_packets, "ttcp-lo"))
+
+            yield from api.syscall("sendmsg", send())
+            # Buffer refill in user space between bursts.
+            yield from api.compute(int(api.rng.uniform(5e4, 1.5e5)),
+                                   label="ttcp:fill")
+
+    def receiver_body(api: UserApi) -> Generator:
+        while True:
+            if not sock.has_data:
+                yield from api.pipe_wait(sock.wq)
+            packets = 0
+            while sock.has_data:
+                packets += sock.take()
+
+            def recv(packets=max(1, packets)) -> Generator:
+                yield from api.kernel_section(packets * 1_500,
+                                              label="ttcp:rxcopy")
+
+            yield from api.syscall("recvmsg", recv())
+            yield from api.compute(packets * 1_000, label="ttcp:checksum")
+
+    return [
+        WorkloadSpec(name="ttcp:send", body=sender_body),
+        WorkloadSpec(name="ttcp:recv", body=receiver_body),
+    ]

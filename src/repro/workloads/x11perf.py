@@ -1,0 +1,44 @@
+"""The X11perf graphics load (Figure 7's additional stress).
+
+X11perf hammers the graphics console: the X server burns CPU building
+command buffers and the controller raises completion interrupts at a
+high rate.  The kernel-visible effects are the interrupt/tasklet
+traffic (via :class:`~repro.hw.devices.gpu.GraphicsController`) and an
+X server process competing for CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, TYPE_CHECKING
+
+from repro.kernel.syscalls import UserApi
+from repro.workloads.base import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw.devices.gpu import GraphicsController
+    from repro.kernel.kernel import Kernel
+
+
+def x11perf(kernel: "Kernel", gpu: "GraphicsController",
+            irqs_per_sec: float = 900.0,
+            name: str = "X+x11perf") -> WorkloadSpec:
+    """Start graphics interrupt traffic and the X server process."""
+    gpu.set_rate(irqs_per_sec)
+
+    def body(api: UserApi) -> Generator:
+        while True:
+            # Build a batch of rendering commands (user CPU)...
+            yield from api.compute(350_000, label="x11:render")
+
+            # ...and submit it to the card through the DRM ioctl path.
+            # 2.4's generic ioctl takes the BKL around the driver
+            # routine -- making the X server a steady BKL customer,
+            # which is what the RCIM driver's no-BKL flag is up
+            # against (section 6.2).
+            def submit() -> Generator:
+                yield from api.kernel_section(
+                    18_000, lock=kernel.locks.bkl, label="x11:submit")
+
+            yield from api.syscall("ioctl", submit())
+
+    return WorkloadSpec(name=name, body=body)

@@ -1,0 +1,87 @@
+"""Tests for the wake-latency attribution probe."""
+
+import pytest
+
+from repro.analysis import WakeLatencyProbe
+from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
+from repro.core.affinity import CpuMask
+from repro.kernel import ops as op
+from repro.kernel.sync.waitqueue import WaitQueue
+from repro.kernel.task import SchedPolicy
+from tests.conftest import boot_kernel
+
+
+def _rt_waiter(wq, cycles=50):
+    def body():
+        for _ in range(cycles):
+            yield op.Block(wq)
+            yield op.Compute(1_000)
+    return body()
+
+
+def _kernel_hog():
+    while True:
+        yield op.EnterSyscall("truncate")
+        yield op.Compute(5_000_000, kernel=True)
+        yield op.ExitSyscall()
+
+
+class TestProbe:
+    def _run(self, sim, machine, config, hog=True):
+        kernel = boot_kernel(sim, machine, config)
+        wq = WaitQueue("dev")
+        kernel.create_task("rt", _rt_waiter(wq), policy=SchedPolicy.FIFO,
+                           rt_prio=90, affinity=CpuMask([0]))
+        if hog:
+            kernel.create_task("hog", _kernel_hog(), affinity=CpuMask([0]))
+        probe = WakeLatencyProbe(kernel, "rt").install()
+
+        def fire():
+            kernel.wake_up(wq, from_cpu=None)
+            sim.after(1_000_000, fire)
+
+        sim.after(1_000_000, fire)
+        sim.run_until(60_000_000)
+        return probe
+
+    def test_records_all_wakeups(self, sim, machine):
+        probe = self._run(sim, machine, redhawk_1_4(), hog=False)
+        assert probe.delays().size >= 40
+        assert all(s.delay_ns >= 0 for s in probe.samples)
+
+    def test_attributes_slow_wakes_to_the_hog(self, sim, machine):
+        probe = self._run(sim, machine, vanilla_2_4_21(), hog=True)
+        slow = probe.slow_samples(threshold_ns=100_000)
+        assert slow, "non-preemptible hog should cause slow wakes"
+        attribution = probe.attribute_slow(100_000)
+        assert any("hog" in state and "kernel" in state
+                   for state in attribution)
+
+    def test_preemptible_kernel_has_fast_wakes(self, sim, machine):
+        probe = self._run(sim, machine, redhawk_1_4(), hog=True)
+        assert not probe.slow_samples(threshold_ns=500_000)
+
+    def test_report_renders(self, sim, machine):
+        probe = self._run(sim, machine, vanilla_2_4_21())
+        text = probe.report()
+        assert "wake-to-run latency" in text
+        assert "max" in text
+
+    def test_uninstall_restores(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        probe = WakeLatencyProbe(kernel, "rt").install()
+        assert "_make_runnable" in kernel.__dict__  # overridden
+        probe.uninstall()
+        assert "_make_runnable" not in kernel.__dict__  # class method again
+        probe.uninstall()  # idempotent
+
+    def test_empty_report(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        probe = WakeLatencyProbe(kernel, "ghost").install()
+        assert "no wakeups" in probe.report()
+
+    def test_snapshot_shows_idle(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        probe = WakeLatencyProbe(kernel, "x")
+        snaps = probe._snapshot()
+        assert all(s.describe() == "idle" for s in snaps)

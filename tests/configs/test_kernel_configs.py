@@ -1,0 +1,101 @@
+"""Tests for the calibrated kernel configurations."""
+
+import pytest
+
+from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
+from repro.kernel.config import KernelConfig
+from repro.kernel.mm import FaultModel
+
+import numpy as np
+
+
+class TestVanillaConfig:
+    def test_matches_paper_baseline(self):
+        cfg = vanilla_2_4_21()
+        assert not cfg.preemptible
+        assert not cfg.low_latency
+        assert not cfg.o1_scheduler
+        assert not cfg.shield_support
+        assert not cfg.bkl_ioctl_flag
+        assert not cfg.highres_timers
+        assert cfg.softirq_syscall_exit_drain
+        assert cfg.hz == 100
+        assert cfg.tick_ns == 10_000_000
+
+    def test_describe(self):
+        text = vanilla_2_4_21().describe()
+        assert "goodness" in text and "HZ=100" in text
+        assert "shield" not in text
+
+
+class TestRedhawkConfig:
+    def test_matches_paper_featureset(self):
+        cfg = redhawk_1_4()
+        assert cfg.preemptible
+        assert cfg.low_latency
+        assert cfg.o1_scheduler
+        assert cfg.shield_support
+        assert cfg.bkl_ioctl_flag
+        assert cfg.highres_timers
+        assert not cfg.softirq_syscall_exit_drain
+        assert cfg.softirq_exit_budget_ns == 400_000
+
+    def test_describe(self):
+        text = redhawk_1_4().describe()
+        for feat in ("preempt", "low-latency", "O(1)", "shield",
+                     "bkl-ioctl-flag"):
+            assert feat in text
+
+    def test_bkl_hold_times_reduced(self):
+        """RedHawk did BKL hold-time reduction work."""
+        rng = np.random.default_rng(0)
+        vanilla = vanilla_2_4_21().timing.dist("bkl.ioctl_hold")
+        redhawk = redhawk_1_4().timing.dist("bkl.ioctl_hold")
+        assert redhawk.mean() < vanilla.mean()
+
+
+class TestOverrides:
+    def test_with_overrides_copies(self):
+        base = redhawk_1_4()
+        patched = base.with_overrides(preemptible=False)
+        assert base.preemptible and not patched.preemptible
+
+    def test_timing_tables_independent(self):
+        a = vanilla_2_4_21()
+        b = vanilla_2_4_21()
+        assert a.timing is not b.timing
+
+
+class TestFaultModel:
+    def test_locked_memory_never_faults(self):
+        # mlockall is handled at the API level; the model itself just
+        # provides rates.
+        rng = np.random.default_rng(1)
+        model = FaultModel(minor_rate_per_ms=0.0)
+        assert model.sample_fault_count(10**9, rng) == 0
+
+    def test_fault_count_scales_with_work(self):
+        rng = np.random.default_rng(1)
+        model = FaultModel(minor_rate_per_ms=1.0)
+        short = sum(model.sample_fault_count(1_000_000, rng)
+                    for _ in range(200))
+        long = sum(model.sample_fault_count(10_000_000, rng)
+                   for _ in range(200))
+        assert long > short * 5
+
+    def test_fault_cost_in_range(self):
+        rng = np.random.default_rng(1)
+        model = FaultModel()
+        for _ in range(100):
+            cost = model.sample_fault_cost(rng)
+            assert model.minor_cost_lo <= cost <= model.minor_cost_hi
+
+    def test_major_fraction(self):
+        rng = np.random.default_rng(1)
+        model = FaultModel(major_fraction=0.5)
+        hits = sum(model.is_major(rng) for _ in range(1000))
+        assert 350 < hits < 650
+
+    def test_zero_work_no_faults(self):
+        rng = np.random.default_rng(1)
+        assert FaultModel().sample_fault_count(0, rng) == 0

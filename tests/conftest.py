@@ -1,0 +1,56 @@
+"""Shared fixtures: simulators, machines, booted kernels."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+
+# Property tests run on a loaded single-CPU box; wall-clock deadlines
+# would flake.  Keep example counts moderate for suite runtime.
+settings.register_profile("repro", deadline=None, max_examples=60)
+settings.load_profile("repro")
+
+from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
+from repro.hw.machine import Machine, MachineSpec
+from repro.kernel.kernel import Kernel
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def machine(sim) -> Machine:
+    return Machine(sim, MachineSpec(cores=2, hyperthreading=False))
+
+
+@pytest.fixture
+def ht_machine(sim) -> Machine:
+    return Machine(sim, MachineSpec(cores=2, hyperthreading=True))
+
+
+def boot_kernel(sim: Simulator, machine: Machine, config=None,
+                ksoftirqd: bool = False) -> Kernel:
+    """Boot a kernel for unit tests.
+
+    ksoftirqd defaults off so tests that count tasks or context
+    switches see only what they created.
+    """
+    if config is None:
+        config = vanilla_2_4_21()
+    config = config.with_overrides(ksoftirqd=ksoftirqd)
+    kernel = Kernel(sim, machine, config)
+    kernel.boot()
+    return kernel
+
+
+@pytest.fixture
+def vanilla_kernel(sim, machine) -> Kernel:
+    return boot_kernel(sim, machine, vanilla_2_4_21())
+
+
+@pytest.fixture
+def redhawk_kernel(sim, machine) -> Kernel:
+    return boot_kernel(sim, machine, redhawk_1_4())

@@ -1,0 +1,158 @@
+"""Unit and property tests for CPU masks and shield-affinity semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.affinity import CpuMask, effective_affinity
+from repro.sim.errors import InvalidMaskError
+
+masks = st.integers(min_value=0, max_value=0xFFFF).map(CpuMask)
+nonempty_masks = st.integers(min_value=1, max_value=0xFFFF).map(CpuMask)
+
+
+class TestConstruction:
+    def test_from_int(self):
+        assert CpuMask(0b101).cpus() == [0, 2]
+
+    def test_from_iterable(self):
+        assert CpuMask([3, 1]).bits == 0b1010
+
+    def test_from_mask(self):
+        m = CpuMask([1, 2])
+        assert CpuMask(m) == m
+
+    def test_all(self):
+        assert CpuMask.all(4).cpus() == [0, 1, 2, 3]
+
+    def test_single(self):
+        assert CpuMask.single(2).bits == 4
+
+    def test_parse_hex(self):
+        assert CpuMask.parse("a\n") == CpuMask([1, 3])
+
+    def test_to_proc_round_trip(self):
+        m = CpuMask([0, 5, 9])
+        assert CpuMask.parse(m.to_proc()) == m
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(InvalidMaskError):
+            CpuMask(-1)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(InvalidMaskError):
+            CpuMask([-2])
+
+    def test_immutable(self):
+        m = CpuMask(3)
+        with pytest.raises(AttributeError):
+            m.bits = 7
+
+
+class TestSetAlgebra:
+    def test_and_or_sub_xor(self):
+        a, b = CpuMask([0, 1]), CpuMask([1, 2])
+        assert (a & b) == CpuMask([1])
+        assert (a | b) == CpuMask([0, 1, 2])
+        assert (a - b) == CpuMask([0])
+        assert (a ^ b) == CpuMask([0, 2])
+
+    def test_contains(self):
+        m = CpuMask([1, 3])
+        assert 1 in m and 3 in m
+        assert 0 not in m and 2 not in m
+
+    def test_issubset(self):
+        assert CpuMask([1]).issubset(CpuMask([0, 1]))
+        assert not CpuMask([1, 2]).issubset(CpuMask([0, 1]))
+        assert CpuMask(0).issubset(CpuMask(0))
+
+    def test_intersects(self):
+        assert CpuMask([1, 2]).intersects(CpuMask([2, 3]))
+        assert not CpuMask([0]).intersects(CpuMask([1]))
+
+    def test_len_and_bool(self):
+        assert len(CpuMask([0, 4])) == 2
+        assert not CpuMask(0)
+        assert CpuMask(1)
+
+    def test_first(self):
+        assert CpuMask([5, 2, 9]).first() == 2
+
+    def test_first_of_empty_raises(self):
+        with pytest.raises(InvalidMaskError):
+            CpuMask(0).first()
+
+    def test_eq_with_int(self):
+        assert CpuMask([0, 1]) == 3
+
+    def test_hashable(self):
+        assert len({CpuMask(3), CpuMask([0, 1]), CpuMask(5)}) == 2
+
+
+class TestEffectiveAffinityUnit:
+    """The paper's rule, section 3."""
+
+    def test_unshielded_mask_unchanged(self):
+        req = CpuMask([0, 1])
+        assert effective_affinity(req, CpuMask(0)) == req
+
+    def test_shielded_cpu_removed(self):
+        assert effective_affinity(CpuMask([0, 1]), CpuMask([1])) == CpuMask([0])
+
+    def test_only_shielded_cpus_honoured(self):
+        # "to run on a shielded CPU, a process must set its CPU
+        # affinity such that it contains only shielded CPUs"
+        assert effective_affinity(CpuMask([1]), CpuMask([1])) == CpuMask([1])
+
+    def test_subset_of_shield_honoured(self):
+        assert effective_affinity(CpuMask([1]), CpuMask([1, 2])) == CpuMask([1])
+
+    def test_mixed_mask_loses_shielded_part(self):
+        assert effective_affinity(CpuMask([1, 2, 3]),
+                                  CpuMask([2])) == CpuMask([1, 3])
+
+    def test_empty_request_rejected(self):
+        with pytest.raises(InvalidMaskError):
+            effective_affinity(CpuMask(0), CpuMask(1))
+
+
+class TestEffectiveAffinityProperties:
+    @given(requested=nonempty_masks, shielded=masks)
+    def test_never_empty(self, requested, shielded):
+        assert effective_affinity(requested, shielded)
+
+    @given(requested=nonempty_masks, shielded=masks)
+    def test_result_subset_of_request(self, requested, shielded):
+        eff = effective_affinity(requested, shielded)
+        assert eff.issubset(requested)
+
+    @given(requested=nonempty_masks, shielded=masks)
+    def test_shield_rule_dichotomy(self, requested, shielded):
+        """Either the request is entirely inside the shield (kept), or
+        the result avoids the shield entirely."""
+        eff = effective_affinity(requested, shielded)
+        if requested.issubset(shielded):
+            assert eff == requested
+        else:
+            assert not eff.intersects(shielded)
+
+    @given(requested=nonempty_masks)
+    def test_empty_shield_is_identity(self, requested):
+        assert effective_affinity(requested, CpuMask(0)) == requested
+
+    @given(requested=nonempty_masks, shielded=masks)
+    def test_idempotent(self, requested, shielded):
+        once = effective_affinity(requested, shielded)
+        twice = effective_affinity(once, shielded)
+        assert once == twice
+
+    @given(a=masks, b=masks)
+    def test_algebra_matches_set_semantics(self, a, b):
+        assert set((a | b).cpus()) == set(a.cpus()) | set(b.cpus())
+        assert set((a & b).cpus()) == set(a.cpus()) & set(b.cpus())
+        assert set((a - b).cpus()) == set(a.cpus()) - set(b.cpus())
+
+    @given(m=masks)
+    def test_iter_matches_contains(self, m):
+        assert all(cpu in m for cpu in m)
+        assert len(list(m)) == len(m)

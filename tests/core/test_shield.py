@@ -1,0 +1,154 @@
+"""Tests for the shield controller: the paper's /proc/shield semantics."""
+
+import pytest
+
+from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
+from repro.core.affinity import CpuMask
+from repro.kernel.task import SchedPolicy, TaskState
+from repro.sim.errors import InvalidMaskError
+from tests.conftest import boot_kernel
+
+
+def _idle_body():
+    from repro.kernel import ops as op
+    while True:
+        yield op.Sleep(10_000_000)
+
+
+def _spin_body():
+    from repro.kernel import ops as op
+    while True:
+        yield op.Compute(100_000)
+
+
+class TestMaskManagement:
+    def test_masks_start_empty(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        state = kernel.shield.state
+        assert not state.shields_anything()
+
+    def test_set_and_read_masks(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        kernel.shield.set_masks(procs=CpuMask([1]), irqs=CpuMask([1]),
+                                ltmr=CpuMask([1]))
+        assert kernel.shield.procs_mask == CpuMask([1])
+        assert kernel.shield.irqs_mask == CpuMask([1])
+        assert kernel.shield.ltmr_mask == CpuMask([1])
+
+    def test_partial_update_keeps_others(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        kernel.shield.set_masks(procs=CpuMask([1]))
+        kernel.shield.set_masks(irqs=CpuMask([0]))
+        assert kernel.shield.procs_mask == CpuMask([1])
+        assert kernel.shield.irqs_mask == CpuMask([0])
+
+    def test_shield_cpu_convenience(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        kernel.shield.shield_cpu(1)
+        assert kernel.shield.is_shielded(1)
+        kernel.shield.unshield_cpu(1)
+        assert not kernel.shield.is_shielded(1)
+
+    def test_cannot_shield_all_cpus_from_procs(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        with pytest.raises(InvalidMaskError):
+            kernel.shield.set_masks(procs=CpuMask.all(2))
+
+    def test_out_of_range_mask_rejected(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        with pytest.raises(InvalidMaskError):
+            kernel.shield.set_masks(procs=CpuMask([5]))
+
+    def test_clear(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        kernel.shield.shield_cpu(1)
+        kernel.shield.clear()
+        assert not kernel.shield.state.shields_anything()
+
+
+class TestTaskEffects:
+    def test_tasks_migrated_off_shielded_cpu(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        tasks = [kernel.create_task(f"t{i}", _spin_body()) for i in range(4)]
+        sim.run_until(50_000_000)
+        kernel.shield.set_masks(procs=CpuMask([1]))
+        sim.run_until(100_000_000)
+        for task in tasks:
+            assert 1 not in task.effective_affinity
+            assert task.on_cpu != 1
+
+    def test_task_bound_to_shield_stays(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        rt = kernel.create_task("rt", _spin_body(), policy=SchedPolicy.FIFO,
+                                rt_prio=50, affinity=CpuMask([1]))
+        sim.run_until(10_000_000)
+        kernel.shield.set_masks(procs=CpuMask([1]))
+        sim.run_until(50_000_000)
+        assert rt.effective_affinity == CpuMask([1])
+        assert rt.on_cpu == 1
+
+    def test_unshield_restores_affinity(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        task = kernel.create_task("t", _spin_body())
+        kernel.shield.set_masks(procs=CpuMask([1]))
+        assert task.effective_affinity == CpuMask([0])
+        kernel.shield.clear()
+        assert task.effective_affinity == CpuMask.all(2)
+
+    def test_new_task_respects_existing_shield(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        kernel.shield.set_masks(procs=CpuMask([1]))
+        task = kernel.create_task("late", _spin_body())
+        assert task.effective_affinity == CpuMask([0])
+
+
+class TestIrqEffects:
+    def test_irq_effective_affinity_rewritten(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        desc = machine.apic.register_irq(40, "dev")
+        kernel.shield.set_masks(irqs=CpuMask([1]))
+        assert desc.effective_affinity == CpuMask([0])
+
+    def test_irq_bound_to_shield_kept(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        desc = machine.apic.register_irq(40, "dev")
+        machine.apic.set_requested_affinity(40, CpuMask([1]))
+        kernel.shield.set_masks(irqs=CpuMask([1]))
+        assert desc.effective_affinity == CpuMask([1])
+
+    def test_affinity_write_after_shield_is_rewritten(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        desc = machine.apic.register_irq(40, "dev")
+        kernel.shield.set_masks(irqs=CpuMask([1]))
+        machine.apic.set_requested_affinity(40, CpuMask([0, 1]))
+        assert desc.effective_affinity == CpuMask([0])
+
+
+class TestLocalTimerEffects:
+    def test_ltmr_shield_stops_tick(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        kernel.shield.set_masks(ltmr=CpuMask([1]))
+        assert not kernel.local_timer.is_enabled(1)
+        assert kernel.local_timer.is_enabled(0)
+
+    def test_ltmr_unshield_restarts_tick(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        kernel.shield.set_masks(ltmr=CpuMask([1]))
+        before = kernel.local_timer.ticks.get(1, 0)
+        sim.run_until(sim.now + 100_000_000)
+        assert kernel.local_timer.ticks.get(1, 0) == before
+        kernel.shield.set_masks(ltmr=CpuMask(0))
+        sim.run_until(sim.now + 100_000_000)
+        assert kernel.local_timer.ticks.get(1, 0) > before
+
+
+class TestKernelSupportGate:
+    def test_vanilla_kernel_has_no_shield(self, sim, machine):
+        kernel = boot_kernel(sim, machine, vanilla_2_4_21())
+        assert kernel.shield is None
+
+    def test_disabled_controller_rejects_writes(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        kernel.shield.enabled = False
+        with pytest.raises(InvalidMaskError):
+            kernel.shield.set_masks(procs=CpuMask([1]))

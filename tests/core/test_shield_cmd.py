@@ -1,0 +1,109 @@
+"""Tests for the shield(1) administrator command."""
+
+import pytest
+
+from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
+from repro.core.affinity import CpuMask
+from repro.core.shield_cmd import (
+    ShieldCommand,
+    ShieldCommandError,
+    parse_cpu_list,
+)
+from tests.conftest import boot_kernel
+
+
+@pytest.fixture
+def cmd(sim, machine):
+    kernel = boot_kernel(sim, machine, redhawk_1_4())
+    return ShieldCommand(kernel), kernel
+
+
+class TestParseCpuList:
+    def test_single(self):
+        assert parse_cpu_list("1", 2) == CpuMask([1])
+
+    def test_comma_list(self):
+        assert parse_cpu_list("0,1", 4) == CpuMask([0, 1])
+
+    def test_hex(self):
+        assert parse_cpu_list("0x3", 4) == CpuMask([0, 1])
+
+    def test_out_of_range(self):
+        with pytest.raises(ShieldCommandError):
+            parse_cpu_list("5", 2)
+
+    def test_garbage(self):
+        with pytest.raises(ShieldCommandError):
+            parse_cpu_list("one", 2)
+
+
+class TestShieldCommand:
+    def test_all_flag_shields_everything(self, cmd):
+        shield_cmd, kernel = cmd
+        out = shield_cmd.run(["-a", "1"])
+        assert kernel.shield.procs_mask == CpuMask([1])
+        assert kernel.shield.irqs_mask == CpuMask([1])
+        assert kernel.shield.ltmr_mask == CpuMask([1])
+        assert "shielded cpus: 1" in out
+
+    def test_individual_flags(self, cmd):
+        shield_cmd, kernel = cmd
+        shield_cmd.run(["-p", "1", "-i", "1"])
+        assert kernel.shield.procs_mask == CpuMask([1])
+        assert kernel.shield.irqs_mask == CpuMask([1])
+        assert not kernel.shield.ltmr_mask
+
+    def test_flags_preserve_other_masks(self, cmd):
+        shield_cmd, kernel = cmd
+        shield_cmd.run(["-p", "1"])
+        shield_cmd.run(["-l", "1"])
+        assert kernel.shield.procs_mask == CpuMask([1])
+        assert kernel.shield.ltmr_mask == CpuMask([1])
+
+    def test_reset(self, cmd):
+        shield_cmd, kernel = cmd
+        shield_cmd.run(["-a", "1"])
+        shield_cmd.run(["-r"])
+        assert not kernel.shield.state.shields_anything()
+
+    def test_reset_then_apply_in_one_call(self, cmd):
+        shield_cmd, kernel = cmd
+        shield_cmd.run(["-a", "1"])
+        shield_cmd.run(["-r", "-p", "0x2"])
+        assert kernel.shield.procs_mask == CpuMask([1])
+        assert not kernel.shield.irqs_mask
+
+    def test_plain_invocation_shows_summary(self, cmd):
+        shield_cmd, kernel = cmd
+        out = shield_cmd.run([])
+        assert "procs" in out and "none" in out
+
+    def test_status_listing(self, cmd):
+        shield_cmd, kernel = cmd
+        shield_cmd.run(["-a", "1"])
+        out = shield_cmd.run(["-c"])
+        lines = out.splitlines()
+        assert lines[0].split() == ["CPU", "procs", "irqs", "ltmr"]
+        assert "yes" in lines[2]  # cpu 1 row
+        assert "no" in lines[1]   # cpu 0 row
+
+    def test_without_shield_support(self, sim, machine):
+        kernel = boot_kernel(sim, machine, vanilla_2_4_21())
+        with pytest.raises(ShieldCommandError):
+            ShieldCommand(kernel).run([])
+
+    def test_shield_applies_to_running_system(self, sim, machine):
+        from repro.kernel import ops as op
+
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+
+        def spin():
+            while True:
+                yield op.Compute(100_000)
+
+        task = kernel.create_task("bg", spin())
+        sim.run_until(5_000_000)
+        ShieldCommand(kernel).run(["-a", "1"])
+        sim.run_until(50_000_000)
+        assert task.on_cpu != 1
+        assert not kernel.local_timer.is_enabled(1)

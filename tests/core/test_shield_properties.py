@@ -1,0 +1,88 @@
+"""Property test: the shield invariant under random churn.
+
+Whatever sequence of shield-mask writes and affinity changes happens,
+no task may ever be observed RUNNING on a CPU outside its effective
+affinity, and the effective affinity must always satisfy the paper's
+rule with respect to the current shield mask.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.configs.kernels import redhawk_1_4
+from repro.core.affinity import CpuMask
+from repro.hw.machine import Machine, MachineSpec
+from repro.kernel import ops as op
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import TaskState
+from repro.sim.engine import Simulator
+
+
+def _spin():
+    while True:
+        yield op.Compute(200_000)
+
+
+def _sleepy():
+    while True:
+        yield op.Compute(50_000)
+        yield op.Sleep(300_000)
+
+
+# Action stream: (kind, value) pairs applied at 1 ms intervals.
+actions = st.lists(
+    st.tuples(
+        st.sampled_from(["procs", "irqs", "ltmr", "affinity"]),
+        st.integers(0, 3),       # mask bits over 2 CPUs (procs: not 0b11)
+        st.integers(0, 5),       # task index for affinity actions
+    ),
+    min_size=1, max_size=12)
+
+
+class TestShieldInvariantUnderChurn:
+    @settings(max_examples=25, deadline=None)
+    @given(plan=actions)
+    def test_no_task_on_forbidden_cpu(self, plan):
+        sim = Simulator(seed=7)
+        machine = Machine(sim, MachineSpec(cores=2))
+        config = redhawk_1_4().with_overrides(ksoftirqd=False)
+        kernel = Kernel(sim, machine, config)
+        kernel.boot()
+        tasks = []
+        for i in range(6):
+            body = _spin() if i % 2 == 0 else _sleepy()
+            tasks.append(kernel.create_task(f"t{i}", body))
+        machine.apic.register_irq(40, "dev")
+
+        def apply(kind, bits, idx):
+            mask = CpuMask(bits if bits else 1)
+            if kind == "procs":
+                if mask == CpuMask.all(2):
+                    mask = CpuMask([1])
+                kernel.shield.set_masks(procs=mask - CpuMask(0))
+            elif kind == "irqs":
+                kernel.shield.set_masks(irqs=CpuMask(bits))
+            elif kind == "ltmr":
+                kernel.shield.set_masks(ltmr=CpuMask(bits))
+            else:
+                kernel.set_task_affinity(tasks[idx % len(tasks)], mask)
+
+        for step, (kind, bits, idx) in enumerate(plan):
+            sim.run_until(sim.now + 1_000_000)
+            apply(kind, bits, idx)
+            # Let migrations settle, then audit.
+            sim.run_until(sim.now + 1_000_000)
+            shield = kernel.shield
+            for task in kernel.iter_tasks():
+                # Rule: effective = effective_affinity(requested, procs)
+                from repro.core.affinity import effective_affinity
+
+                expected = effective_affinity(task.requested_affinity,
+                                              shield.procs_mask)
+                assert task.effective_affinity == expected, task.name
+                if task.state is TaskState.RUNNING:
+                    assert task.on_cpu in task.effective_affinity, (
+                        f"{task.name} on cpu{task.on_cpu}, allowed "
+                        f"{task.effective_affinity} after step {step}")
+            for desc in machine.apic.irqs.values():
+                assert desc.effective_affinity == effective_affinity(
+                    desc.requested_affinity, shield.irqs_mask)

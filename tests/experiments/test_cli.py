@@ -1,0 +1,32 @@
+"""Tests for the `python -m repro.experiments` figure runner."""
+
+import json
+
+import pytest
+
+from repro.experiments.__main__ import DETERMINISM, LATENCY, main
+
+
+class TestCli:
+    def test_runs_a_latency_figure(self, capsys, tmp_path):
+        rc = main(["fig7", "--samples", "400", "--json-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "measured interrupts" in out
+        data = json.loads((tmp_path / "fig7.json").read_text())
+        assert data["samples"] == 400
+        assert data["max_us"] < 100.0
+
+    def test_runs_a_determinism_figure(self, capsys):
+        rc = main(["fig2", "--iterations", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "jitter:" in out
+
+    def test_unknown_figure_exits(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_figure_tables_cover_all_seven(self):
+        assert set(DETERMINISM) == {"fig1", "fig2", "fig3", "fig4"}
+        assert set(LATENCY) == {"fig5", "fig6", "fig7"}

@@ -1,0 +1,71 @@
+"""Tests for the figure-data exporters."""
+
+import json
+
+import pytest
+
+from repro.experiments.determinism import DeterminismResult
+from repro.experiments.export import (
+    determinism_to_dict,
+    latency_to_dict,
+    to_json,
+)
+from repro.experiments.interrupt_response import LatencyResult
+from repro.metrics.recorder import JitterRecorder, LatencyRecorder
+
+
+@pytest.fixture
+def det_result():
+    rec = JitterRecorder("d", ideal_ns=1_000_000_000)
+    for v in (1_000_000_000, 1_050_000_000, 1_200_000_000):
+        rec.record_duration(v)
+    return DeterminismResult(
+        figure="Figure X", kernel_name="test-kernel", recorder=rec,
+        ideal_ns=1_000_000_000, max_ns=1_200_000_000,
+        jitter_ns=200_000_000, jitter_percent=20.0)
+
+
+@pytest.fixture
+def lat_result():
+    rec = LatencyRecorder("l")
+    for v in (10_000, 20_000, 500_000, 5_000_000):
+        rec.record_latency(v)
+    return LatencyResult(figure="Figure Y", kernel_name="test-kernel",
+                         recorder=rec, max_ns=5_000_000,
+                         mean_ns=1_382_500.0, min_ns=10_000)
+
+
+class TestDeterminismExport:
+    def test_fields(self, det_result):
+        data = determinism_to_dict(det_result)
+        assert data["jitter_percent"] == 20.0
+        assert data["ideal_s"] == 1.0
+        assert len(data["variance_ms_series"]) == 3
+        assert sum(b["count"] for b in data["histogram"]["bins"]) == 3
+
+    def test_json_round_trip(self, det_result):
+        text = to_json(determinism_to_dict(det_result))
+        assert json.loads(text)["figure"] == "Figure X"
+
+
+class TestLatencyExport:
+    def test_fields(self, lat_result):
+        data = latency_to_dict(lat_result, thresholds_ms=[0.1, 1.0, 10.0])
+        assert data["samples"] == 4
+        assert data["max_us"] == 5_000.0
+        cumulative = {c["below_ms"]: c["fraction"]
+                      for c in data["cumulative"]}
+        assert cumulative[0.1] == pytest.approx(0.5)
+        assert cumulative[10.0] == pytest.approx(1.0)
+
+    def test_histogram_only_occupied_bins(self, lat_result):
+        data = latency_to_dict(lat_result)
+        bins = data["histogram"]["log_bins"]
+        assert all(b["count"] > 0 for b in bins)
+        assert sum(b["count"] for b in bins) == 4
+
+    def test_file_output(self, lat_result, tmp_path):
+        path = tmp_path / "fig.json"
+        to_json(latency_to_dict(lat_result), path=str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["figure"] == "Figure Y"

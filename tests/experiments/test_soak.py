@@ -1,0 +1,100 @@
+"""Soak test: global invariants under the full mixed load.
+
+Runs the complete Figure 6 configuration (full device complement,
+stress-kernel suite, shielded RT task) for several simulated seconds
+and then audits system-wide invariants that no individual unit test
+can see: lock balance, task conservation, counter sanity, shield
+integrity over time.
+"""
+
+import pytest
+
+from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
+from repro.core.affinity import CpuMask
+from repro.experiments.harness import build_bench
+from repro.hw.machine import interrupt_testbed
+from repro.kernel.task import TaskState
+from repro.sim.simtime import SEC
+from repro.workloads.base import spawn, spawn_all
+from repro.workloads.realfeel import Realfeel
+from repro.workloads.stress_kernel import stress_kernel_suite
+
+
+@pytest.fixture(scope="module", params=["vanilla", "redhawk"])
+def soaked(request):
+    factory = vanilla_2_4_21 if request.param == "vanilla" else redhawk_1_4
+    bench = build_bench(factory(), interrupt_testbed(), seed=99)
+    bench.add_background_broadcast()
+    bench.start_devices()
+    bench.rtc.enable_periodic()
+    tasks = spawn_all(bench.kernel, stress_kernel_suite(bench.kernel))
+    test = Realfeel(bench.rtc, samples=10**9)  # never finishes
+    rt_task = spawn(bench.kernel, test.spec())
+    if factory is redhawk_1_4:
+        test.affinity = CpuMask.single(1)
+        bench.kernel.set_task_affinity(rt_task, CpuMask.single(1))
+        bench.set_irq_affinity(bench.rtc.irq, 1)
+        bench.shield_cpu(1)
+    bench.run_for(4 * SEC)
+    return bench, tasks, rt_task, test
+
+
+class TestSoakInvariants:
+    def test_no_task_died(self, soaked):
+        bench, tasks, rt_task, _test = soaked
+        for task in tasks + [rt_task]:
+            assert task.state is not TaskState.EXITED
+
+    def test_all_tasks_made_progress(self, soaked):
+        bench, tasks, rt_task, _test = soaked
+        for task in tasks:
+            assert task.user_ns + task.kernel_ns > 0, task.name
+
+    def test_locks_balanced(self, soaked):
+        bench, _tasks, _rt, _test = soaked
+        for name in ("bkl", "file_lock", "dcache_lock", "io_request_lock"):
+            lock = getattr(bench.kernel.locks, name)
+            # At a quiescent audit point no lock leaks a waiter list
+            # longer than the CPU count (someone must be spinning on a
+            # CPU to be a waiter).
+            assert len(lock.waiters) <= bench.machine.ncpus
+
+    def test_preempt_counts_sane(self, soaked):
+        bench, tasks, rt_task, _test = soaked
+        for task in bench.kernel.iter_tasks():
+            assert 0 <= task.preempt_count <= 3, task.name
+            assert task.in_syscall >= 0
+
+    def test_current_pointers_consistent(self, soaked):
+        bench, _tasks, _rt, _test = soaked
+        kernel = bench.kernel
+        for idx, task in enumerate(kernel.current):
+            if task is not None:
+                assert task.on_cpu == idx
+                assert task.state is TaskState.RUNNING
+
+    def test_rt_task_collected_samples(self, soaked):
+        _bench, _tasks, _rt, test = soaked
+        # 4 s at 2048 Hz: ~8000 samples expected.
+        assert test.recorder.count > 5_000
+
+    def test_interrupts_flowed(self, soaked):
+        bench, _tasks, _rt, _test = soaked
+        assert bench.kernel.stats.hardirqs > 5_000
+        assert bench.kernel.stats.context_switches > 1_000
+        assert bench.kernel.stats.softirq_items > 100
+
+    def test_disk_queue_not_wedged(self, soaked):
+        bench, _tasks, _rt, _test = soaked
+        assert bench.disk.queue_depth < 64
+
+    def test_cpu_utilization_plausible(self, soaked):
+        bench, _tasks, _rt, _test = soaked
+        for cpu in bench.machine.cpus:
+            assert 0.0 <= cpu.utilization() <= 1.0
+
+    def test_softirq_backlog_bounded(self, soaked):
+        bench, _tasks, _rt, _test = soaked
+        for queue in bench.kernel.softirqq:
+            # The netdev backlog cap bounds queued work.
+            assert queue.pending_work_ns() < 50_000_000

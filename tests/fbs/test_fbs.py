@@ -1,0 +1,201 @@
+"""Tests for the frequency-based scheduler."""
+
+import pytest
+
+from repro.configs.kernels import redhawk_1_4
+from repro.core.affinity import CpuMask
+from repro.fbs.monitor import CycleStats, PerformanceMonitor
+from repro.fbs.scheduler import (
+    FbsProcess,
+    FrequencyBasedScheduler,
+    OverrunPolicy,
+)
+from repro.hw.devices.rcim import RcimCard
+from repro.kernel.drivers.rcim_dev import RcimDriver
+from repro.kernel.syscalls import UserApi
+from repro.kernel.task import SchedPolicy
+from repro.sim.simtime import MSEC, USEC
+from tests.conftest import boot_kernel
+
+
+@pytest.fixture
+def kernel(sim, machine):
+    return boot_kernel(sim, machine, redhawk_1_4())
+
+
+def make_fbs(kernel, cycle_ns=1 * MSEC, frame=10, rcim=None):
+    return FrequencyBasedScheduler(kernel, cycle_ns=cycle_ns,
+                                   cycles_per_frame=frame, rcim=rcim)
+
+
+def fbs_worker(kernel, fbs, proc, work_ns, log):
+    api = UserApi(kernel)
+
+    def body(api_=None):
+        yield from api.mlockall()
+        yield from api.sched_setscheduler(SchedPolicy.FIFO, 80)
+        while True:
+            yield from fbs.wait(api, proc)
+            log.append(kernel.sim.now)
+            yield from api.compute(work_ns, label="frame-work")
+
+    return body()
+
+
+class TestRegistration:
+    def test_register_and_lookup(self, sim, machine, kernel):
+        fbs = make_fbs(kernel)
+        proc = fbs.register("ctl", period=4, cycle=1)
+        assert fbs.processes["ctl"] is proc
+
+    def test_duplicate_rejected(self, sim, machine, kernel):
+        fbs = make_fbs(kernel)
+        fbs.register("ctl", period=4)
+        with pytest.raises(ValueError):
+            fbs.register("ctl", period=2)
+
+    def test_bad_parameters(self, sim, machine, kernel):
+        fbs = make_fbs(kernel, frame=10)
+        with pytest.raises(ValueError):
+            fbs.register("a", period=0)
+        with pytest.raises(ValueError):
+            fbs.register("b", period=20)  # exceeds frame
+        with pytest.raises(ValueError):
+            FbsProcess("c", period=1, cycle=-1)
+
+    def test_due_schedule(self):
+        proc = FbsProcess("p", period=4, cycle=1)
+        assert [c for c in range(12) if proc.due(c)] == [1, 5, 9]
+
+
+class TestCycleGeneration:
+    def test_fallback_source_counts_cycles(self, sim, machine, kernel):
+        fbs = make_fbs(kernel, cycle_ns=1 * MSEC, frame=10)
+        fbs.start()
+        sim.run_until(25 * MSEC)
+        assert fbs.total_cycles == 25
+        assert fbs.frames == 2
+        assert fbs.minor_cycle == 5
+
+    def test_stop_halts_cycles(self, sim, machine, kernel):
+        fbs = make_fbs(kernel)
+        fbs.start()
+        sim.run_until(5 * MSEC)
+        fbs.stop()
+        count = fbs.total_cycles
+        sim.run_until(20 * MSEC)
+        assert fbs.total_cycles == count
+
+    def test_rcim_timing_source(self, sim, machine, kernel):
+        rcim = RcimCard()
+        machine.attach_device(rcim)
+        RcimDriver(kernel, rcim)
+        fbs = make_fbs(kernel, cycle_ns=500 * USEC, rcim=rcim)
+        fbs.start()
+        sim.run_until(10 * MSEC)
+        # Cycles ride the RCIM interrupt (handler adds a few us each).
+        assert 15 <= fbs.total_cycles <= 20
+        assert rcim.period_ns == 500 * USEC
+
+
+class TestScheduledWakeups:
+    def test_process_woken_at_its_period(self, sim, machine, kernel):
+        fbs = make_fbs(kernel, cycle_ns=1 * MSEC, frame=12)
+        proc = fbs.register("ctl", period=4, cycle=0)
+        log = []
+        kernel.create_task("ctl", fbs_worker(kernel, fbs, proc, 100 * USEC,
+                                             log))
+        sim.run_until(2 * MSEC)   # let the task park in fbs_wait
+        fbs.start()
+        sim.run_until(50 * MSEC)
+        # Woken every 4 ms.
+        assert len(log) >= 10
+        deltas = [b - a for a, b in zip(log, log[1:])]
+        for d in deltas:
+            assert abs(d - 4 * MSEC) < 200 * USEC
+
+    def test_two_processes_different_rates(self, sim, machine, kernel):
+        fbs = make_fbs(kernel, cycle_ns=1 * MSEC, frame=12)
+        fast_proc = fbs.register("fast", period=2)
+        slow_proc = fbs.register("slow", period=6)
+        fast_log, slow_log = [], []
+        kernel.create_task("fast", fbs_worker(kernel, fbs, fast_proc,
+                                              50 * USEC, fast_log))
+        kernel.create_task("slow", fbs_worker(kernel, fbs, slow_proc,
+                                              50 * USEC, slow_log))
+        sim.run_until(2 * MSEC)
+        fbs.start()
+        sim.run_until(62 * MSEC)
+        assert len(fast_log) == pytest.approx(3 * len(slow_log), abs=2)
+
+    def test_performance_monitor_records(self, sim, machine, kernel):
+        fbs = make_fbs(kernel, cycle_ns=1 * MSEC, frame=10)
+        proc = fbs.register("ctl", period=5)
+        log = []
+        kernel.create_task("ctl", fbs_worker(kernel, fbs, proc, 300 * USEC,
+                                             log))
+        sim.run_until(2 * MSEC)
+        fbs.start()
+        sim.run_until(60 * MSEC)
+        stats = fbs.monitor.stats_for("ctl")
+        assert stats.cycles >= 8
+        assert stats.overruns == 0
+        # Frame time ~ the 300 us of work plus wait-entry overhead.
+        assert 280 * USEC < stats.avg_ns < 600 * USEC
+
+
+class TestOverruns:
+    def _overrunner(self, sim, machine, kernel, policy):
+        fbs = FrequencyBasedScheduler(kernel, cycle_ns=1 * MSEC,
+                                      cycles_per_frame=10,
+                                      overrun_policy=policy)
+        proc = fbs.register("hog", period=2)  # due every 2 ms
+        log = []
+        # 5 ms of work per 2 ms frame: guaranteed overruns.
+        kernel.create_task("hog", fbs_worker(kernel, fbs, proc, 5 * MSEC,
+                                             log))
+        sim.run_until(2 * MSEC)
+        fbs.start()
+        sim.run_until(60 * MSEC)
+        return fbs
+
+    def test_overruns_counted(self, sim, machine, kernel):
+        fbs = self._overrunner(sim, machine, kernel, OverrunPolicy.COUNT)
+        assert fbs.monitor.stats_for("hog").overruns > 5
+        assert not fbs.halted_on_overrun
+
+    def test_halt_policy_stops_scheduler(self, sim, machine, kernel):
+        fbs = self._overrunner(sim, machine, kernel, OverrunPolicy.HALT)
+        assert fbs.halted_on_overrun
+        assert fbs.monitor.stats_for("hog").overruns == 1
+
+    def test_no_double_wakeup_during_overrun(self, sim, machine, kernel):
+        fbs = self._overrunner(sim, machine, kernel, OverrunPolicy.COUNT)
+        proc = fbs.processes["hog"]
+        # Wakeups only happen when the previous frame had finished.
+        assert proc.wakeups < fbs.total_cycles // 2
+
+
+class TestMonitor:
+    def test_cycle_stats_math(self):
+        stats = CycleStats()
+        for v in (100, 300, 200):
+            stats.record(v)
+        assert stats.cycles == 3
+        assert stats.min_ns == 100
+        assert stats.max_ns == 300
+        assert stats.avg_ns == 200.0
+        assert stats.last_ns == 200
+
+    def test_monitor_report_renders(self):
+        monitor = PerformanceMonitor()
+        monitor.record_cycle("a", 150_000)
+        monitor.record_overrun("a")
+        text = monitor.report()
+        assert "a" in text and "overruns" in text
+
+    def test_disabled_monitor_ignores(self):
+        monitor = PerformanceMonitor()
+        monitor.enabled = False
+        monitor.record_cycle("a", 1)
+        assert monitor.stats_for("a").cycles == 0

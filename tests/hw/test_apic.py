@@ -1,0 +1,84 @@
+"""Tests for IRQ descriptors and APIC routing."""
+
+import pytest
+
+from repro.core.affinity import CpuMask
+from repro.hw.apic import RoutingPolicy
+from repro.hw.cpu import ExecFrame, FrameKind
+from repro.sim.errors import InvalidMaskError, KernelPanic
+
+
+class TestRegistration:
+    def test_register_creates_descriptor(self, machine):
+        desc = machine.apic.register_irq(9, "test")
+        assert desc.irq == 9
+        assert desc.requested_affinity == CpuMask.all(2)
+
+    def test_register_idempotent(self, machine):
+        a = machine.apic.register_irq(9, "test")
+        b = machine.apic.register_irq(9, "test")
+        assert a is b
+
+    def test_raise_unregistered_panics(self, machine):
+        with pytest.raises(KernelPanic):
+            machine.apic.raise_irq(123)
+
+    def test_empty_affinity_rejected(self, machine):
+        machine.apic.register_irq(9, "test")
+        with pytest.raises(InvalidMaskError):
+            machine.apic.set_requested_affinity(9, CpuMask(0))
+
+
+class TestRouting:
+    def _capture(self, machine):
+        hits = []
+        machine.apic.deliver = lambda cpu, desc: hits.append(cpu.index)
+        return hits
+
+    def test_lowest_policy_picks_first_allowed(self, machine):
+        hits = self._capture(machine)
+        machine.apic.register_irq(9, "t", RoutingPolicy.LOWEST)
+        machine.apic.set_requested_affinity(9, CpuMask([1]))
+        machine.apic.raise_irq(9)
+        assert hits == [1]
+
+    def test_affinity_restricts_delivery(self, machine):
+        hits = self._capture(machine)
+        machine.apic.register_irq(9, "t")
+        machine.apic.set_requested_affinity(9, CpuMask([0]))
+        for _ in range(10):
+            machine.apic.raise_irq(9)
+        assert set(hits) == {0}
+
+    def test_round_robin_prefers_idle_cpus(self, sim, machine):
+        """Lowest-priority arbitration: busy CPUs lose to idle ones."""
+        hits = self._capture(machine)
+        machine.apic.register_irq(9, "t", RoutingPolicy.ROUND_ROBIN)
+        machine.cpu(0).push_frame(
+            ExecFrame(FrameKind.TASK, 10_000_000, lambda f: None))
+        for _ in range(10):
+            machine.apic.raise_irq(9)
+        assert set(hits) == {1}
+
+    def test_round_robin_rotates_when_all_busy(self, sim, machine):
+        hits = self._capture(machine)
+        machine.apic.register_irq(9, "t", RoutingPolicy.ROUND_ROBIN)
+        for cpu in machine.cpus:
+            cpu.push_frame(ExecFrame(FrameKind.TASK, 10_000_000,
+                                     lambda f: None))
+        for _ in range(10):
+            machine.apic.raise_irq(9)
+        assert hits.count(0) == 5 and hits.count(1) == 5
+
+    def test_delivery_accounting(self, machine):
+        machine.apic.deliver = lambda cpu, desc: None
+        desc = machine.apic.register_irq(9, "t", RoutingPolicy.LOWEST)
+        for _ in range(3):
+            machine.apic.raise_irq(9)
+        assert desc.raised == 3
+        assert desc.delivered == {0: 3}
+
+    def test_unbooted_machine_panics_on_delivery(self, machine):
+        machine.apic.register_irq(9, "t")
+        with pytest.raises(KernelPanic):
+            machine.apic.raise_irq(9)

@@ -1,0 +1,209 @@
+"""Tests for the execution-frame stack: the simulator's beating heart."""
+
+import pytest
+
+from repro.hw.cpu import ExecFrame, FrameKind
+from repro.sim.errors import KernelPanic
+
+
+def frame(kind, work, done, label="f", owner=None):
+    return ExecFrame(kind, work, done, label=label, owner=owner)
+
+
+class TestBasicExecution:
+    def test_frame_completes_after_work(self, sim, machine):
+        cpu = machine.cpu(0)
+        done = []
+        cpu.push_frame(frame(FrameKind.TASK, 1_000, lambda f: done.append(sim.now)))
+        sim.run_until(10_000)
+        assert done == [1_000]
+
+    def test_zero_work_frame_completes_immediately(self, sim, machine):
+        cpu = machine.cpu(0)
+        done = []
+        cpu.push_frame(frame(FrameKind.TASK, 0, lambda f: done.append(sim.now)))
+        sim.run_until(1)
+        assert done == [0]
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(KernelPanic):
+            ExecFrame(FrameKind.TASK, -5, lambda f: None)
+
+    def test_busy_reflects_stack(self, sim, machine):
+        cpu = machine.cpu(0)
+        assert not cpu.busy
+        cpu.push_frame(frame(FrameKind.TASK, 1_000, lambda f: None))
+        assert cpu.busy
+        sim.run_until(2_000)
+        assert not cpu.busy
+
+    def test_frames_run_counter(self, sim, machine):
+        cpu = machine.cpu(0)
+        for _ in range(3):
+            cpu.push_frame(frame(FrameKind.TASK, 100, lambda f: None))
+        sim.run_until(1_000)
+        assert cpu.frames_run == 3
+
+
+class TestPreemptionByPush:
+    def test_pushed_frame_preempts_and_resumes(self, sim, machine):
+        cpu = machine.cpu(0)
+        done = {}
+        cpu.push_frame(frame(FrameKind.TASK, 1_000,
+                             lambda f: done.setdefault("task", sim.now)))
+        sim.run_until(400)
+        cpu.push_frame(frame(FrameKind.HARDIRQ, 300,
+                             lambda f: done.setdefault("irq", sim.now)))
+        sim.run_until(5_000)
+        # irq runs 400..700; task finishes its remaining 600 at 1300.
+        assert done["irq"] == 700
+        assert done["task"] == 1_300
+
+    def test_nested_preemption(self, sim, machine):
+        cpu = machine.cpu(0)
+        order = []
+        cpu.push_frame(frame(FrameKind.TASK, 1_000,
+                             lambda f: order.append(("task", sim.now))))
+        sim.run_until(200)
+        cpu.push_frame(frame(FrameKind.SOFTIRQ, 500,
+                             lambda f: order.append(("soft", sim.now))))
+        sim.run_until(300)
+        cpu.push_frame(frame(FrameKind.HARDIRQ, 100,
+                             lambda f: order.append(("hard", sim.now))))
+        sim.run_until(10_000)
+        assert order == [("hard", 400), ("soft", 800), ("task", 1_600)]
+
+    def test_in_kind(self, sim, machine):
+        cpu = machine.cpu(0)
+        cpu.push_frame(frame(FrameKind.TASK, 1_000, lambda f: None))
+        cpu.push_frame(frame(FrameKind.HARDIRQ, 100, lambda f: None))
+        assert cpu.in_kind(FrameKind.TASK)
+        assert cpu.in_kind(FrameKind.HARDIRQ)
+        assert not cpu.in_kind(FrameKind.SPIN)
+
+    def test_work_conserved_across_many_preemptions(self, sim, machine):
+        """Banked remaining work must add up exactly."""
+        cpu = machine.cpu(0)
+        done = []
+        cpu.push_frame(frame(FrameKind.TASK, 10_000, lambda f: done.append(sim.now)))
+        irq_time = 0
+        for i in range(9):
+            sim.run_until(sim.now + 1_000)
+            cpu.push_frame(frame(FrameKind.HARDIRQ, 250, lambda f: None))
+            irq_time += 250
+        sim.run_until(100_000)
+        assert done == [10_000 + irq_time]
+
+
+class TestPopFrame:
+    def test_pop_saves_remaining(self, sim, machine):
+        cpu = machine.cpu(0)
+        f = frame(FrameKind.TASK, 1_000, lambda f: None)
+        cpu.push_frame(f)
+        sim.run_until(300)
+        cpu._pause_top()
+        assert f.remaining == pytest.approx(700)
+        cpu.pop_frame(f)
+        assert not cpu.busy
+
+    def test_pop_non_top_raises(self, sim, machine):
+        cpu = machine.cpu(0)
+        bottom = frame(FrameKind.TASK, 1_000, lambda f: None)
+        cpu.push_frame(bottom)
+        cpu.push_frame(frame(FrameKind.HARDIRQ, 100, lambda f: None))
+        with pytest.raises(KernelPanic):
+            cpu.pop_frame(bottom)
+
+    def test_quiescent_hook_fires_when_stack_empties(self, sim, machine):
+        cpu = machine.cpu(0)
+        quiet = []
+        cpu.on_quiescent = lambda c: quiet.append(sim.now)
+        cpu.push_frame(frame(FrameKind.TASK, 500, lambda f: None))
+        sim.run_until(1_000)
+        assert quiet == [500]
+
+
+class TestSpinFrames:
+    def test_spin_never_completes_alone(self, sim, machine):
+        cpu = machine.cpu(0)
+        done = []
+        cpu.push_frame(frame(FrameKind.SPIN, None, lambda f: done.append(1)))
+        sim.run_until(1_000_000)
+        assert done == []
+        assert cpu.busy
+
+    def test_grant_completes_spin(self, sim, machine):
+        cpu = machine.cpu(0)
+        done = []
+        f = frame(FrameKind.SPIN, None, lambda f: done.append(sim.now))
+        cpu.push_frame(f)
+        sim.run_until(500)
+        cpu.grant_spin(f)
+        assert done == [500]
+
+    def test_grant_while_buried_defers_to_resume(self, sim, machine):
+        """A lock handed over while an irq preempted the spinner is
+        taken the moment the spin frame resumes."""
+        cpu = machine.cpu(0)
+        done = []
+        f = frame(FrameKind.SPIN, None, lambda f: done.append(sim.now))
+        cpu.push_frame(f)
+        sim.run_until(100)
+        cpu.push_frame(frame(FrameKind.HARDIRQ, 400, lambda f: None))
+        cpu.grant_spin(f)          # granted mid-interrupt
+        assert done == []          # not yet: irq still running
+        sim.run_until(10_000)
+        assert done == [500]       # completes when irq ends
+
+
+class TestIrqMasking:
+    def test_disable_nests(self, sim, machine):
+        cpu = machine.cpu(0)
+        cpu.irq_disable()
+        cpu.irq_disable()
+        cpu.irq_enable()
+        assert not cpu.irqs_enabled
+        cpu.irq_enable()
+        assert cpu.irqs_enabled
+
+    def test_enable_underflow_panics(self, machine):
+        with pytest.raises(KernelPanic):
+            machine.cpu(0).irq_enable()
+
+    def test_pend_and_take(self, machine):
+        cpu = machine.cpu(0)
+        cpu.pend_irq("a")
+        cpu.pend_irq("b")
+        assert cpu.take_pending_irq() == "a"
+        assert cpu.take_pending_irq() == "b"
+        assert cpu.take_pending_irq() is None
+
+    def test_enable_hook_runs_on_last_enable_with_pending(self, machine):
+        cpu = machine.cpu(0)
+        calls = []
+        cpu.on_irq_enabled = lambda c: calls.append(1)
+        cpu.irq_disable()
+        cpu.pend_irq("x")
+        cpu.irq_enable()
+        assert calls == [1]
+
+
+class TestUtilization:
+    def test_idle_cpu_zero_utilization(self, sim, machine):
+        # Note: sim.run() would never return with a machine attached
+        # (the memory bus re-arms its epoch event forever); bounded
+        # runs are the norm.
+        sim.run_until(1_000)
+        assert machine.cpu(0).utilization() == 0.0
+
+    def test_busy_fraction(self, sim, machine):
+        cpu = machine.cpu(0)
+        cpu.push_frame(frame(FrameKind.TASK, 500, lambda f: None))
+        sim.run_until(1_000)
+        assert cpu.utilization() == pytest.approx(0.5)
+
+    def test_in_flight_busy_counted(self, sim, machine):
+        cpu = machine.cpu(0)
+        cpu.push_frame(frame(FrameKind.TASK, 2_000, lambda f: None))
+        sim.run_until(1_000)
+        assert cpu.utilization() == pytest.approx(1.0)

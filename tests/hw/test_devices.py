@@ -1,0 +1,224 @@
+"""Tests for the device models: RTC, RCIM, NIC, disk, GPU."""
+
+import pytest
+
+from repro.hw.devices.disk import ScsiDisk
+from repro.hw.devices.gpu import GraphicsController
+from repro.hw.devices.nic import EthernetNic, TrafficFlow
+from repro.hw.devices.rcim import RcimCard
+from repro.hw.devices.rtc import RtcDevice
+from repro.sim.simtime import MSEC, SEC, USEC
+
+
+@pytest.fixture
+def silent_apic(machine):
+    """Capture raised IRQ numbers instead of delivering them."""
+    raised = []
+    machine.apic.deliver = lambda cpu, desc: raised.append(desc.irq)
+    return raised
+
+
+class TestRtc:
+    def test_period_from_hz(self):
+        assert RtcDevice(hz=2048).period_ns == SEC // 2048
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            RtcDevice(hz=0)
+
+    def test_periodic_fires_at_rate(self, sim, machine, silent_apic):
+        rtc = RtcDevice(hz=1024)
+        machine.attach_device(rtc)
+        rtc.enable_periodic()
+        rtc.start()
+        sim.run_until(SEC)
+        assert rtc.fires == 1024
+        assert len(silent_apic) == 1024
+
+    def test_not_enabled_no_fires(self, sim, machine, silent_apic):
+        rtc = RtcDevice()
+        machine.attach_device(rtc)
+        rtc.start()
+        sim.run_until(SEC // 10)
+        assert rtc.fires == 0
+
+    def test_disable_stops(self, sim, machine, silent_apic):
+        rtc = RtcDevice(hz=1024)
+        machine.attach_device(rtc)
+        rtc.enable_periodic()
+        rtc.start()
+        sim.run_until(SEC // 2)
+        rtc.disable_periodic()
+        count = rtc.fires
+        sim.run_until(SEC)
+        assert rtc.fires == count
+
+    def test_last_fire_timestamp(self, sim, machine, silent_apic):
+        rtc = RtcDevice(hz=1000)
+        machine.attach_device(rtc)
+        rtc.enable_periodic()
+        rtc.start()
+        sim.run_until(3 * MSEC)
+        assert rtc.last_fire_ns == 3 * MSEC
+
+    def test_set_rate(self, sim, machine, silent_apic):
+        rtc = RtcDevice(hz=100)
+        machine.attach_device(rtc)
+        rtc.set_rate(2048)
+        assert rtc.period_ns == SEC // 2048
+
+
+class TestRcim:
+    def test_count_register_tracks_cycle(self, sim, machine, silent_apic):
+        rcim = RcimCard(period_ns=1000 * USEC)
+        machine.attach_device(rcim)
+        rcim.enable_timer()
+        rcim.start()
+        sim.run_until(1500 * USEC)
+        # Half way into the second cycle.
+        assert rcim.read_count() == 500 * USEC
+        assert rcim.fires == 1
+
+    def test_reload_on_expiry(self, sim, machine, silent_apic):
+        rcim = RcimCard(period_ns=100 * USEC)
+        machine.attach_device(rcim)
+        rcim.enable_timer()
+        rcim.start()
+        sim.run_until(1 * MSEC)
+        assert rcim.fires == 10
+        assert rcim.cycle_start_ns == 1 * MSEC
+
+    def test_program_period(self, machine):
+        rcim = RcimCard()
+        machine.attach_device(rcim)
+        rcim.program_period(250 * USEC)
+        assert rcim.period_ns == 250 * USEC
+        with pytest.raises(ValueError):
+            rcim.program_period(0)
+
+    def test_count_before_start_is_zero(self, machine):
+        rcim = RcimCard()
+        machine.attach_device(rcim)
+        assert rcim.read_count() == 0
+
+
+class TestNic:
+    def test_flow_generates_bursts(self, sim, machine, silent_apic):
+        nic = EthernetNic()
+        machine.attach_device(nic)
+        nic.start()
+        nic.add_flow(TrafficFlow("test", packets_per_sec=1000, burst_mean=4))
+        sim.run_until(SEC)
+        assert nic.rx_bursts > 100
+        assert nic.rx_packets >= nic.rx_bursts
+
+    def test_packet_rate_approximate(self, sim, machine, silent_apic):
+        nic = EthernetNic()
+        machine.attach_device(nic)
+        nic.start()
+        nic.add_flow(TrafficFlow("test", packets_per_sec=2000, burst_mean=4))
+        sim.run_until(5 * SEC)
+        rate = nic.rx_packets / 5
+        assert 1400 < rate < 2600
+
+    def test_remove_flow_stops_traffic(self, sim, machine, silent_apic):
+        nic = EthernetNic()
+        machine.attach_device(nic)
+        nic.start()
+        nic.add_flow(TrafficFlow("test", packets_per_sec=1000))
+        sim.run_until(SEC // 2)
+        nic.remove_flow("test")
+        count = nic.rx_bursts
+        sim.run_until(SEC)
+        assert nic.rx_bursts <= count + 1  # at most one stale arrival
+
+    def test_no_flows_no_traffic(self, sim, machine, silent_apic):
+        nic = EthernetNic()
+        machine.attach_device(nic)
+        nic.start()
+        sim.run_until(SEC)
+        assert nic.rx_bursts == 0
+
+    def test_tx_completion_raises_irq(self, sim, machine, silent_apic):
+        nic = EthernetNic()
+        machine.attach_device(nic)
+        nic.start()
+        nic.inject_tx(4)
+        sim.run_until(SEC)
+        assert nic.tx_completions == 1
+        assert silent_apic == [nic.irq]
+
+    def test_aggregate_burst_rate(self, machine):
+        nic = EthernetNic()
+        machine.attach_device(nic)
+        nic.add_flow(TrafficFlow("a", packets_per_sec=100, burst_mean=4))
+        nic.add_flow(TrafficFlow("b", packets_per_sec=200, burst_mean=4))
+        assert nic.aggregate_burst_rate() == pytest.approx(75.0)
+
+
+class TestDisk:
+    def test_submit_completes_and_interrupts(self, sim, machine, silent_apic):
+        disk = ScsiDisk()
+        machine.attach_device(disk)
+        disk.start()
+        req = disk.submit(sectors=8)
+        sim.run_until(SEC)
+        assert req.completed_at > req.submitted_at
+        assert silent_apic == [disk.irq]
+        assert disk.take_completion() is req
+        assert disk.take_completion() is None
+
+    def test_fifo_service_order(self, sim, machine, silent_apic):
+        disk = ScsiDisk()
+        machine.attach_device(disk)
+        disk.start()
+        first = disk.submit()
+        second = disk.submit()
+        sim.run_until(SEC)
+        assert first.completed_at <= second.completed_at
+
+    def test_queue_depth(self, sim, machine, silent_apic):
+        disk = ScsiDisk()
+        machine.attach_device(disk)
+        disk.start()
+        for _ in range(3):
+            disk.submit()
+        assert disk.queue_depth == 3
+        sim.run_until(SEC)
+        assert disk.queue_depth == 0
+
+    def test_service_time_capped(self, sim, machine, silent_apic):
+        disk = ScsiDisk(service_max_ns=5 * MSEC)
+        machine.attach_device(disk)
+        disk.start()
+        reqs = [disk.submit() for _ in range(50)]
+        sim.run_until(10 * SEC)
+        for prev, req in zip(reqs, reqs[1:]):
+            assert req.completed_at - prev.completed_at <= 5 * MSEC + 300 * USEC
+
+
+class TestGpu:
+    def test_rate_zero_is_silent(self, sim, machine, silent_apic):
+        gpu = GraphicsController()
+        machine.attach_device(gpu)
+        gpu.start()
+        sim.run_until(SEC)
+        assert gpu.completions == 0
+
+    def test_set_rate_generates_interrupts(self, sim, machine, silent_apic):
+        gpu = GraphicsController()
+        machine.attach_device(gpu)
+        gpu.start()
+        gpu.set_rate(500)
+        sim.run_until(2 * SEC)
+        assert 500 < gpu.completions < 1500
+
+    def test_rate_change_takes_effect(self, sim, machine, silent_apic):
+        gpu = GraphicsController(irqs_per_sec=1000)
+        machine.attach_device(gpu)
+        gpu.start()
+        sim.run_until(SEC)
+        gpu.set_rate(0)
+        count = gpu.completions
+        sim.run_until(2 * SEC)
+        assert gpu.completions <= count + 1

@@ -1,0 +1,104 @@
+"""Property-based tests for the execution-frame machinery.
+
+The core invariant of the whole simulator: work is conserved.  A frame
+of W ns interrupted arbitrarily still consumes exactly W ns of CPU
+work, and wall time equals the sum of all work executed on the CPU
+when no contention model is active.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.cpu import ExecFrame, FrameKind
+from repro.hw.machine import Machine, MachineSpec
+from repro.sim.engine import Simulator
+
+
+def make_machine(seed=1):
+    sim = Simulator(seed=seed)
+    machine = Machine(sim, MachineSpec(cores=1, hyperthreading=False,
+                                       membus_coupling=0.0))
+    return sim, machine
+
+
+@st.composite
+def interruptions(draw):
+    """A task-work amount plus a schedule of irq (time, work) pairs."""
+    task_work = draw(st.integers(1_000, 100_000))
+    count = draw(st.integers(0, 8))
+    irqs = []
+    t = 0
+    for _ in range(count):
+        t += draw(st.integers(1, task_work // (count + 1) or 1))
+        irqs.append((t, draw(st.integers(1, 5_000))))
+    return task_work, irqs
+
+
+class TestWorkConservation:
+    @settings(max_examples=60)
+    @given(plan=interruptions())
+    def test_wall_time_is_total_work(self, plan):
+        task_work, irqs = plan
+        sim, machine = make_machine()
+        cpu = machine.cpu(0)
+        finish = []
+        cpu.push_frame(ExecFrame(FrameKind.TASK, task_work,
+                                 lambda f: finish.append(sim.now)))
+        total_irq = 0
+        for when, work in irqs:
+            sim.at(when, lambda w=work: cpu.push_frame(
+                ExecFrame(FrameKind.HARDIRQ, w, lambda f: None)))
+            total_irq += work
+        sim.run_until(task_work + total_irq + 10)
+        assert finish, "task frame never completed"
+        assert finish[0] == task_work + total_irq
+
+    @settings(max_examples=40)
+    @given(works=st.lists(st.integers(1, 10_000), min_size=1, max_size=10))
+    def test_sequential_frames_sum(self, works):
+        sim, machine = make_machine()
+        cpu = machine.cpu(0)
+        done = []
+
+        def run_next(i=0):
+            if i < len(works):
+                cpu.push_frame(ExecFrame(
+                    FrameKind.TASK, works[i],
+                    lambda f: (done.append(sim.now), run_next(i + 1))))
+
+        run_next()
+        sim.run_until(sum(works) + 10)
+        assert done[-1] == sum(works)
+        assert cpu.frames_run == len(works)
+
+    @settings(max_examples=40)
+    @given(plan=interruptions())
+    def test_busy_time_accounting(self, plan):
+        task_work, irqs = plan
+        sim, machine = make_machine()
+        cpu = machine.cpu(0)
+        cpu.push_frame(ExecFrame(FrameKind.TASK, task_work, lambda f: None))
+        total_irq = 0
+        for when, work in irqs:
+            sim.at(when, lambda w=work: cpu.push_frame(
+                ExecFrame(FrameKind.HARDIRQ, w, lambda f: None)))
+            total_irq += work
+        end = task_work + total_irq
+        sim.run_until(end)
+        # The CPU was busy the entire time.
+        assert cpu.busy_ns == end
+
+    @settings(max_examples=40)
+    @given(pause_at=st.integers(1, 9_999))
+    def test_pause_preserves_remaining(self, pause_at):
+        sim, machine = make_machine()
+        cpu = machine.cpu(0)
+        f = ExecFrame(FrameKind.TASK, 10_000, lambda fr: None)
+        cpu.push_frame(f)
+        sim.run_until(pause_at)
+        cpu._pause_top()
+        assert round(f.remaining) == 10_000 - pause_at
+        cpu._start_top()
+        done = []
+        f.on_complete = lambda fr: done.append(sim.now)
+        sim.run_until(20_000)
+        assert done == [10_000]

@@ -1,0 +1,68 @@
+"""Tests for machine assembly and topology."""
+
+import pytest
+
+from repro.hw.devices.rtc import RtcDevice
+from repro.hw.machine import (
+    Machine,
+    MachineSpec,
+    determinism_testbed,
+    interrupt_testbed,
+)
+from repro.sim.engine import Simulator
+
+
+class TestTopology:
+    def test_flat_smp(self, machine):
+        assert machine.ncpus == 2
+        assert machine.siblings(0) == []
+        assert machine.siblings(1) == []
+
+    def test_hyperthreaded_siblings(self, ht_machine):
+        assert ht_machine.ncpus == 4
+        assert ht_machine.siblings(0) == [1]
+        assert ht_machine.siblings(1) == [0]
+        assert ht_machine.siblings(2) == [3]
+
+    def test_spec_ncpus(self):
+        assert MachineSpec(cores=2, hyperthreading=True).ncpus() == 4
+        assert MachineSpec(cores=2, hyperthreading=False).ncpus() == 2
+
+    def test_zero_cores_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Machine(sim, MachineSpec(cores=0))
+
+    def test_presets_match_paper(self):
+        det = determinism_testbed(hyperthreading=True)
+        assert det.cores == 2 and det.hyperthreading
+        irq = interrupt_testbed()
+        assert irq.cores == 2 and not irq.hyperthreading
+
+
+class TestDevices:
+    def test_attach_and_lookup(self, machine):
+        rtc = RtcDevice()
+        machine.attach_device(rtc)
+        assert machine.device("rtc") is rtc
+        assert rtc.machine is machine
+        assert rtc.irq in machine.apic.irqs
+
+    def test_duplicate_name_rejected(self, machine):
+        machine.attach_device(RtcDevice())
+        with pytest.raises(ValueError):
+            machine.attach_device(RtcDevice())
+
+    def test_start_before_attach_rejected(self):
+        rtc = RtcDevice()
+        with pytest.raises(RuntimeError):
+            rtc.start()
+
+    def test_start_idempotent(self, sim, machine):
+        rtc = RtcDevice(hz=1000)
+        machine.attach_device(rtc)
+        machine.apic.deliver = lambda cpu, desc: None
+        rtc.enable_periodic()
+        rtc.start()
+        rtc.start()
+        sim.run_until(10_000_000)
+        assert rtc.fires == 10  # not doubled

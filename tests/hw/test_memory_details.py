@@ -1,0 +1,43 @@
+"""Edge-case tests for the memory-bus model."""
+
+import pytest
+
+from repro.hw.machine import Machine, MachineSpec
+from repro.hw.memory import MemoryBus
+from repro.sim.engine import Simulator
+
+
+class TestMemoryBusValidation:
+    def test_bad_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryBus(epoch_ns=0)
+
+    def test_negative_coupling_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryBus(epoch_ns=1000, coupling=-0.1)
+
+    def test_speed_floor(self):
+        """Even absurd couplings cannot stall a CPU entirely."""
+        sim = Simulator(seed=3)
+        machine = Machine(sim, MachineSpec(cores=2, membus_coupling=50.0))
+        from repro.hw.cpu import ExecFrame, FrameKind
+
+        machine.cpu(0).push_frame(ExecFrame(FrameKind.TASK, 10**9,
+                                            lambda f: None))
+        factor = machine.memory.speed_factor(machine.cpu(1))
+        assert factor >= 0.05
+
+    def test_zero_coupling_is_identity(self):
+        sim = Simulator(seed=3)
+        machine = Machine(sim, MachineSpec(cores=2, membus_coupling=0.0))
+        from repro.hw.cpu import ExecFrame, FrameKind
+
+        machine.cpu(0).push_frame(ExecFrame(FrameKind.TASK, 10**9,
+                                            lambda f: None))
+        sim.run_until(200_000_000)  # past several epochs
+        assert machine.memory.speed_factor(machine.cpu(1)) == 1.0
+
+    def test_level_zero_when_alone(self):
+        sim = Simulator(seed=3)
+        machine = Machine(sim, MachineSpec(cores=2, membus_coupling=0.05))
+        assert machine.memory._sample_level(machine.cpu(0)) == 0.0

@@ -1,0 +1,96 @@
+"""Integration tests for affinity + scheduling interaction."""
+
+import pytest
+
+from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
+from repro.core.affinity import CpuMask
+from repro.kernel import ops as op
+from repro.kernel.task import SchedPolicy, TaskState
+from tests.conftest import boot_kernel
+
+
+def _spin():
+    while True:
+        yield op.Compute(100_000)
+
+
+class TestTaskAffinity:
+    @pytest.mark.parametrize("factory", [vanilla_2_4_21, redhawk_1_4])
+    def test_pinned_task_never_leaves_cpu(self, sim, machine, factory):
+        kernel = boot_kernel(sim, machine, factory())
+        task = kernel.create_task("pinned", _spin(), affinity=CpuMask([1]))
+        # Competing load tries to push it around.
+        for i in range(4):
+            kernel.create_task(f"bg{i}", _spin())
+        for _ in range(30):
+            sim.run_until(sim.now + 10_000_000)
+            if task.state is TaskState.RUNNING:
+                assert task.on_cpu == 1
+
+    def test_affinity_change_moves_running_task(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        task = kernel.create_task("t", _spin(), affinity=CpuMask([0]))
+        sim.run_until(5_000_000)
+        assert task.on_cpu == 0
+        kernel.set_task_affinity(task, CpuMask([1]))
+        sim.run_until(50_000_000)
+        assert task.on_cpu == 1
+
+    def test_affinity_change_moves_queued_task(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        # Saturate cpu0 with an RT hog so the victim stays queued.
+        kernel.create_task("hog", _spin(), policy=SchedPolicy.FIFO,
+                           rt_prio=50, affinity=CpuMask([0]))
+        victim = kernel.create_task("victim", _spin(),
+                                    affinity=CpuMask([0]))
+        sim.run_until(5_000_000)
+        assert victim.state is TaskState.READY
+        kernel.set_task_affinity(victim, CpuMask([1]))
+        sim.run_until(50_000_000)
+        assert victim.on_cpu == 1
+
+    def test_blocked_task_wakes_on_allowed_cpu(self, sim, machine):
+        from repro.kernel.sync.waitqueue import WaitQueue
+
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        wq = WaitQueue("w")
+        seen = []
+
+        def body():
+            yield op.Block(wq)
+            yield op.Compute(1_000)
+            yield op.Call(lambda: seen.append(kernel.tasks[1].on_cpu))
+
+        task = kernel.create_task("t", body(), affinity=CpuMask([1]))
+        sim.run_until(1_000_000)
+        kernel.set_task_affinity(task, CpuMask([0]))
+        kernel.wake_up(wq)
+        sim.run_until(100_000_000)
+        assert seen == [0]
+
+
+class TestIrqAffinityIntegration:
+    @pytest.mark.parametrize("factory", [vanilla_2_4_21, redhawk_1_4])
+    def test_irq_follows_proc_write(self, sim, machine, factory):
+        kernel = boot_kernel(sim, machine, factory())
+        hits = []
+        kernel.register_irq_handler(70, "irq.handler.default",
+                                    lambda cpu: hits.append(cpu))
+        machine.apic.register_irq(70, "dev")
+        kernel.procfs.write("/proc/irq/70/smp_affinity", "1")
+        for _ in range(20):
+            machine.apic.raise_irq(70)
+            sim.run_until(sim.now + 100_000)
+        assert set(hits) == {0}
+
+    def test_shielded_irq_never_hits_shield(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        hits = []
+        kernel.register_irq_handler(70, "irq.handler.default",
+                                    lambda cpu: hits.append(cpu))
+        machine.apic.register_irq(70, "dev")
+        kernel.shield.set_masks(irqs=CpuMask([1]))
+        for _ in range(20):
+            machine.apic.raise_irq(70)
+            sim.run_until(sim.now + 100_000)
+        assert set(hits) == {0}

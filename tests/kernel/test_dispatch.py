@@ -1,0 +1,227 @@
+"""Tests for op dispatch: compute, call, wake, scheduling ops, exit."""
+
+import pytest
+
+from repro.core.affinity import CpuMask
+from repro.kernel import ops as op
+from repro.kernel.sync.waitqueue import WaitQueue
+from repro.kernel.task import SchedPolicy, TaskState
+from repro.sim.errors import KernelPanic
+from tests.conftest import boot_kernel
+
+
+class TestCompute:
+    def test_compute_takes_time(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        times = []
+
+        def body():
+            yield op.Compute(5_000)
+            yield op.Call(lambda: times.append(sim.now))
+
+        kernel.create_task("t", body())
+        sim.run_until(1_000_000)
+        assert times and times[0] >= 5_000
+
+    def test_work_accounting(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+
+        def body():
+            yield op.Compute(5_000)
+            yield op.Compute(3_000, kernel=True)
+
+        task = kernel.create_task("t", body())
+        sim.run_until(1_000_000)
+        assert task.user_ns == 5_000
+        assert task.kernel_ns == 3_000
+
+    def test_exit_on_return(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+
+        def body():
+            yield op.Compute(1_000)
+            return 42
+
+        task = kernel.create_task("t", body())
+        sim.run_until(1_000_000)
+        assert task.state is TaskState.EXITED
+        assert task.exit_code == 42
+
+    def test_explicit_exit_op(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+
+        def body():
+            yield op.Exit(7)
+            yield op.Compute(1_000)  # never reached
+
+        task = kernel.create_task("t", body())
+        sim.run_until(1_000_000)
+        assert task.exit_code == 7
+
+    def test_unknown_op_panics(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+
+        def body():
+            yield "not an op"
+
+        with pytest.raises(KernelPanic):
+            kernel.create_task("t", body())
+            sim.run_until(1_000_000)
+
+
+class TestCallAndWake:
+    def test_call_returns_value(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        got = []
+
+        def body():
+            value = yield op.Call(lambda a, b: a + b, (2, 3))
+            got.append(value)
+
+        kernel.create_task("t", body())
+        sim.run_until(1_000_000)
+        assert got == [5]
+
+    def test_block_and_wake(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        wq = WaitQueue("test")
+        log = []
+
+        def sleeper():
+            yield op.Compute(100)
+            yield op.Block(wq)
+            log.append(("woke", sim.now))
+
+        def waker():
+            yield op.Compute(10_000)
+            yield op.Wake(wq)
+            yield op.Compute(100)
+
+        kernel.create_task("sleeper", sleeper())
+        kernel.create_task("waker", waker())
+        sim.run_until(1_000_000)
+        assert log and log[0][1] >= 10_000
+
+    def test_wake_all(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        wq = WaitQueue("test")
+        woke = []
+
+        def sleeper(i):
+            yield op.Block(wq)
+            woke.append(i)
+
+        for i in range(3):
+            kernel.create_task(f"s{i}", sleeper(i))
+
+        def waker():
+            yield op.Compute(5_000)
+            yield op.Wake(wq, all_waiters=True)
+
+        kernel.create_task("waker", waker())
+        sim.run_until(1_000_000)
+        assert sorted(woke) == [0, 1, 2]
+
+    def test_sleep_duration(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        times = []
+
+        def body():
+            yield op.Sleep(50_000)
+            yield op.Call(lambda: times.append(sim.now))
+
+        kernel.create_task("t", body())
+        sim.run_until(1_000_000)
+        assert times and 50_000 <= times[0] < 80_000
+
+
+class TestSchedulingOps:
+    def test_set_scheduler(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+
+        def body():
+            yield op.SetScheduler(SchedPolicy.FIFO, 42)
+            yield op.Compute(1_000)
+
+        task = kernel.create_task("t", body())
+        sim.run_until(1_000_000)
+        assert task.policy is SchedPolicy.FIFO
+        assert task.rt_prio == 42
+
+    def test_set_affinity_migrates(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        cpus_seen = []
+
+        def body():
+            yield op.SetAffinity(CpuMask([1]))
+            yield op.Compute(1_000)
+            yield op.Call(lambda: cpus_seen.append(
+                kernel.tasks[1].on_cpu))
+
+        kernel.create_task("t", body())
+        sim.run_until(1_000_000)
+        assert cpus_seen == [1]
+
+    def test_mlockall(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+
+        def body():
+            yield op.MlockAll()
+            yield op.Compute(100)
+
+        task = kernel.create_task("t", body())
+        sim.run_until(1_000_000)
+        assert task.mm_locked
+
+    def test_yield_round_robins_equal_prio(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        order = []
+
+        def body(tag):
+            for _ in range(3):
+                yield op.Compute(1_000)
+                yield op.Call(lambda t=tag: order.append(t))
+                yield op.YieldCpu()
+
+        # Pin both to CPU 0 so they must interleave.
+        a = kernel.create_task("a", body("a"), affinity=CpuMask([0]))
+        b = kernel.create_task("b", body("b"), affinity=CpuMask([0]))
+        sim.run_until(10_000_000)
+        assert order[:4] in (["a", "b", "a", "b"], ["b", "a", "b", "a"])
+
+
+class TestSyscallBoundary:
+    def test_enter_exit_tracks_depth(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        depths = []
+
+        def body():
+            yield op.EnterSyscall("write")
+            yield op.Call(lambda: depths.append(kernel.tasks[1].in_syscall))
+            yield op.ExitSyscall()
+            yield op.Call(lambda: depths.append(kernel.tasks[1].in_syscall))
+
+        kernel.create_task("t", body())
+        sim.run_until(1_000_000)
+        assert depths == [1, 0]
+
+    def test_exit_underflow_panics(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+
+        def body():
+            yield op.ExitSyscall()
+
+        with pytest.raises(KernelPanic):
+            kernel.create_task("t", body())
+            sim.run_until(1_000_000)
+
+    def test_exit_holding_lock_panics(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+
+        def body():
+            yield op.Acquire(kernel.locks.file_lock)
+            return 0
+
+        with pytest.raises(KernelPanic):
+            kernel.create_task("t", body())
+            sim.run_until(1_000_000)

@@ -1,0 +1,281 @@
+"""Tests for the device drivers: RTC read path, RCIM ioctl path,
+network backlog/sockets, block submission."""
+
+import pytest
+
+from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
+from repro.core.affinity import CpuMask
+from repro.hw.devices.disk import ScsiDisk
+from repro.hw.devices.nic import EthernetNic, TrafficFlow
+from repro.hw.devices.rcim import RcimCard
+from repro.hw.devices.rtc import RtcDevice
+from repro.kernel import ops as op
+from repro.kernel.drivers.blockdev import BlockDriver
+from repro.kernel.drivers.net import NetDriver
+from repro.kernel.drivers.rcim_dev import RcimDriver
+from repro.kernel.drivers.rtc_dev import RtcDriver
+from repro.kernel.syscalls import UserApi
+from repro.sim.errors import KernelPanic
+from tests.conftest import boot_kernel
+
+
+class TestRtcDriver:
+    def _setup(self, sim, machine, config=None):
+        kernel = boot_kernel(sim, machine, config or vanilla_2_4_21())
+        rtc = RtcDevice(hz=1024)
+        machine.attach_device(rtc)
+        driver = RtcDriver(kernel, rtc)
+        rtc.enable_periodic()
+        rtc.start()
+        return kernel, rtc, driver
+
+    def test_read_blocks_until_interrupt(self, sim, machine):
+        kernel, rtc, driver = self._setup(sim, machine)
+        api = UserApi(kernel)
+        results = []
+
+        def body():
+            fd = api.open("/dev/rtc")
+            fire = yield from api.read(fd)
+            now = yield api.tsc()
+            results.append((fire, now))
+
+        kernel.create_task("t", body())
+        sim.run_until(100_000_000)
+        fire, now = results[0]
+        assert fire == rtc.period_ns  # first interrupt
+        assert 0 < now - fire < 100_000
+
+    def test_consecutive_reads_track_periods(self, sim, machine):
+        kernel, rtc, driver = self._setup(sim, machine)
+        api = UserApi(kernel)
+        fires = []
+
+        def body():
+            fd = api.open("/dev/rtc")
+            for _ in range(5):
+                fire = yield from api.read(fd)
+                fires.append(fire)
+
+        kernel.create_task("t", body())
+        sim.run_until(100_000_000)
+        assert len(fires) == 5
+        deltas = [b - a for a, b in zip(fires, fires[1:])]
+        assert all(d == rtc.period_ns for d in deltas)
+
+    def test_exit_path_takes_file_lock(self, sim, machine):
+        kernel, rtc, driver = self._setup(sim, machine)
+        api = UserApi(kernel)
+
+        def body():
+            fd = api.open("/dev/rtc")
+            yield from api.read(fd)
+
+        kernel.create_task("t", body())
+        sim.run_until(100_000_000)
+        assert kernel.locks.file_lock.acquisitions >= 2  # entry + exit
+
+    def test_wake_all_readers(self, sim, machine):
+        kernel, rtc, driver = self._setup(sim, machine)
+        woke = []
+
+        def reader(i):
+            api = UserApi(kernel)
+            fd = api.open("/dev/rtc")
+            yield from api.read(fd)
+            woke.append(i)
+
+        for i in range(3):
+            kernel.create_task(f"r{i}", reader(i))
+        sim.run_until(100_000_000)
+        assert sorted(woke) == [0, 1, 2]
+
+
+class TestRcimDriver:
+    def _setup(self, sim, machine, config):
+        kernel = boot_kernel(sim, machine, config)
+        rcim = RcimCard(period_ns=500_000)
+        machine.attach_device(rcim)
+        driver = RcimDriver(kernel, rcim)
+        rcim.enable_timer()
+        rcim.start()
+        return kernel, rcim, driver
+
+    def test_ioctl_wait_measures_latency(self, sim, machine):
+        kernel, rcim, driver = self._setup(sim, machine, redhawk_1_4())
+        api = UserApi(kernel)
+        lats = []
+
+        def body():
+            fd = api.open("/dev/rcim")
+            for _ in range(10):
+                yield from api.ioctl(fd, "RCIM_WAIT_INTERRUPT")
+                lat = yield api.call(rcim.read_count)
+                lats.append(lat)
+
+        kernel.create_task("t", body())
+        sim.run_until(100_000_000)
+        assert len(lats) == 10
+        assert all(0 < lat < 100_000 for lat in lats)
+
+    def test_bkl_skipped_with_flag(self, sim, machine):
+        kernel, rcim, driver = self._setup(sim, machine, redhawk_1_4())
+        api = UserApi(kernel)
+
+        def body():
+            fd = api.open("/dev/rcim")
+            yield from api.ioctl(fd)
+
+        kernel.create_task("t", body())
+        sim.run_until(100_000_000)
+        assert kernel.locks.bkl.acquisitions == 0
+
+    def test_bkl_taken_without_flag(self, sim, machine):
+        kernel, rcim, driver = self._setup(sim, machine, vanilla_2_4_21())
+        api = UserApi(kernel)
+
+        def body():
+            fd = api.open("/dev/rcim")
+            yield from api.ioctl(fd)
+
+        kernel.create_task("t", body())
+        sim.run_until(100_000_000)
+        # lock_kernel() around entry and reacquired after the sleep.
+        assert kernel.locks.bkl.acquisitions == 2
+
+
+class TestNetDriver:
+    def test_nic_irq_raises_net_rx_work(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        nic = EthernetNic()
+        machine.attach_device(nic)
+        net = NetDriver(kernel, nic)
+        nic.start()
+        nic.add_flow(TrafficFlow("f", packets_per_sec=5000, burst_mean=4))
+        sim.run_until(200_000_000)
+        assert net.rx_softirq_ns > 0
+        assert kernel.stats.softirq_items > 0
+
+    def test_backlog_cap_drops(self, sim, machine):
+        """netdev_max_backlog: flooding must drop, not queue forever."""
+        kernel = boot_kernel(sim, machine)
+        net = NetDriver(kernel, None)
+        for _ in range(100):
+            net._queue_rx_work(0, 50, sock=None, from_irq=True)
+        assert net.dropped_packets > 0
+        assert (net._backlog_ns[0]
+                <= NetDriver.MAX_BACKLOG_NS + 50 * 40_000)
+
+    def test_socket_delivery_wakes_receiver(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        net = NetDriver(kernel, None)
+        sock = net.socket("test")
+        api = UserApi(kernel)
+        got = []
+
+        def receiver():
+            if not sock.has_data:
+                yield from api.pipe_wait(sock.wq)
+            got.append(sock.take())
+
+        kernel.create_task("rx", receiver())
+        sim.run_until(1_000_000)
+
+        def sender():
+            yield op.Compute(1_000, kernel=True)
+            yield op.Call(net.loopback_deliver, (7, "test"))
+            yield op.Compute(1_000, kernel=True)
+
+        def sender_wrapped():
+            yield op.EnterSyscall("send")
+            yield from sender()
+            yield op.ExitSyscall()
+
+        kernel.create_task("tx", sender_wrapped())
+        sim.run_until(1_000_000_000)
+        assert got == [7]
+
+    def test_socket_registry(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        net = NetDriver(kernel, None)
+        assert net.socket("a") is net.socket("a")
+        assert net.socket("a") is not net.socket("b")
+
+
+class TestBlockDriver:
+    def test_submit_and_wait_round_trip(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        disk = ScsiDisk()
+        machine.attach_device(disk)
+        driver = BlockDriver(kernel, disk)
+        disk.start()
+        api = UserApi(kernel)
+        done = []
+
+        def body():
+            yield op.EnterSyscall("read")
+            req = yield from driver.submit_and_wait(api, sectors=16)
+            yield op.ExitSyscall()
+            done.append(req)
+
+        kernel.create_task("t", body())
+        sim.run_until(1_000_000_000)
+        assert done and done[0].completed_at > 0
+        assert driver.completed == 1
+
+    def test_io_request_lock_used(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        disk = ScsiDisk()
+        machine.attach_device(disk)
+        driver = BlockDriver(kernel, disk)
+        disk.start()
+        api = UserApi(kernel)
+
+        def body():
+            yield op.EnterSyscall("read")
+            yield from driver.submit_and_wait(api)
+            yield op.ExitSyscall()
+
+        kernel.create_task("t", body())
+        sim.run_until(1_000_000_000)
+        assert kernel.locks.io_request_lock.acquisitions >= 1
+
+    def test_concurrent_requests_all_complete(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        disk = ScsiDisk()
+        machine.attach_device(disk)
+        driver = BlockDriver(kernel, disk)
+        disk.start()
+        done = []
+
+        def body(i):
+            api = UserApi(kernel)
+            yield op.EnterSyscall("read")
+            yield from driver.submit_and_wait(api)
+            yield op.ExitSyscall()
+            done.append(i)
+
+        for i in range(6):
+            kernel.create_task(f"t{i}", body(i))
+        sim.run_until(2_000_000_000)
+        assert sorted(done) == list(range(6))
+
+
+class TestDriverRegistry:
+    def test_duplicate_path_panics(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        rtc = RtcDevice()
+        machine.attach_device(rtc)
+        RtcDriver(kernel, rtc)
+        with pytest.raises(KernelPanic):
+            RtcDriver(kernel, rtc)
+
+    def test_base_driver_unimplemented_methods_panic(self, sim, machine):
+        from repro.kernel.drivers.base import CharDriver
+
+        kernel = boot_kernel(sim, machine)
+        driver = CharDriver(kernel, "/dev/null0")
+        with pytest.raises(KernelPanic):
+            next(driver.read_body(None))
+        with pytest.raises(KernelPanic):
+            next(driver.ioctl_body(None, "", True))

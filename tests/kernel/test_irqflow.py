@@ -1,0 +1,209 @@
+"""Tests for hardirq delivery, softirq processing and the local timer."""
+
+import pytest
+
+from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
+from repro.core.affinity import CpuMask
+from repro.kernel import ops as op
+from repro.kernel.irqflow.softirq import SoftirqQueue, SoftirqVector
+from repro.kernel.task import TaskState
+from tests.conftest import boot_kernel
+
+
+class TestSoftirqQueue:
+    def test_priority_order(self):
+        queue = SoftirqQueue(0)
+        queue.raise_softirq(SoftirqVector.NET_RX, 10)
+        queue.raise_softirq(SoftirqVector.TIMER, 10)
+        queue.raise_softirq(SoftirqVector.HI, 10)
+        vecs = []
+        while True:
+            item = queue.take_next()
+            if item is None:
+                break
+            vecs.append(item[0])
+        assert vecs == [SoftirqVector.HI, SoftirqVector.TIMER,
+                        SoftirqVector.NET_RX]
+
+    def test_granularity_split(self):
+        queue = SoftirqQueue(0)
+        fired = []
+        queue.raise_softirq(SoftirqVector.NET_RX, 250_000,
+                            action=lambda: fired.append(1))
+        items = []
+        while True:
+            item = queue.take_next()
+            if item is None:
+                break
+            items.append(item)
+        assert len(items) == 3
+        assert sum(work for _v, work, _a in items) == 250_000
+        # Action rides on the final chunk only.
+        actions = [a for _v, _w, a in items if a is not None]
+        assert len(actions) == 1
+
+    def test_pending_work_accounting(self):
+        queue = SoftirqQueue(0)
+        queue.raise_softirq(SoftirqVector.BLOCK, 5_000)
+        queue.raise_softirq(SoftirqVector.NET_RX, 7_000)
+        assert queue.pending
+        assert queue.pending_work_ns() == 12_000
+        queue.take_next()  # NET_RX outranks BLOCK in vector order
+        assert queue.pending_work_ns() == 5_000
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            SoftirqQueue(0).raise_softirq(SoftirqVector.HI, -1)
+
+
+class TestHardirqFlow:
+    def test_handler_cost_steals_task_time(self, sim, machine):
+        kernel = boot_kernel(sim, machine, vanilla_2_4_21())
+        done = []
+
+        def body():
+            yield op.Compute(1_000_000)
+            yield op.Call(lambda: done.append(sim.now))
+
+        kernel.create_task("t", body(), affinity=CpuMask([0]))
+        kernel.register_irq_handler(60, "irq.handler.default",
+                                    lambda cpu: None)
+        machine.apic.register_irq(60, "dev")
+        machine.apic.set_requested_affinity(60, CpuMask([0]))
+        sim.run_until(100_000)
+        for _ in range(10):
+            machine.apic.raise_irq(60)
+        sim.run_until(100_000_000)
+        # Ten handlers (entry + body, several us each) stretch the
+        # 1 ms compute segment measurably.
+        assert done[0] > 1_020_000
+
+    def test_softirq_runs_after_handler(self, sim, machine):
+        kernel = boot_kernel(sim, machine, vanilla_2_4_21())
+        order = []
+        kernel.register_irq_handler(
+            60, "irq.handler.default",
+            lambda cpu: (order.append("top"),
+                         kernel.raise_softirq(cpu, SoftirqVector.NET_RX,
+                                              10_000,
+                                              lambda: order.append("bottom"),
+                                              from_irq=True)))
+        machine.apic.register_irq(60, "dev")
+        machine.apic.raise_irq(60)
+        sim.run_until(10_000_000)
+        assert order == ["top", "bottom"]
+
+    def test_stats_count_hardirqs(self, sim, machine):
+        kernel = boot_kernel(sim, machine, vanilla_2_4_21())
+        kernel.register_irq_handler(60, "irq.handler.default",
+                                    lambda cpu: None)
+        machine.apic.register_irq(60, "dev")
+        base = kernel.stats.hardirqs
+        for _ in range(5):
+            machine.apic.raise_irq(60)
+            sim.run_until(sim.now + 1_000_000)
+        assert kernel.stats.hardirqs >= base + 5
+
+
+class TestSoftirqBudget:
+    def _flood(self, sim, machine, config, work_each=200_000, items=10):
+        kernel = boot_kernel(sim, machine, config, ksoftirqd=True)
+        finished = []
+        for i in range(items):
+            kernel.raise_softirq(0, SoftirqVector.NET_RX, work_each,
+                                 (lambda i=i: finished.append((i, sim.now))),
+                                 from_irq=True)
+        kernel.register_irq_handler(60, "irq.handler.default",
+                                    lambda cpu: None)
+        machine.apic.register_irq(60, "dev")
+        machine.apic.set_requested_affinity(60, CpuMask([0]))
+        machine.apic.raise_irq(60)
+        return kernel, finished
+
+    def test_vanilla_drains_everything_at_irq_exit(self, sim, machine):
+        kernel, finished = self._flood(sim, machine, vanilla_2_4_21())
+        sim.run_until(5_000_000)
+        assert len(finished) == 10  # 2 ms of work all done at exit
+
+    def test_redhawk_budget_defers_to_ksoftirqd(self, sim, machine):
+        kernel, finished = self._flood(sim, machine, redhawk_1_4())
+        sim.run_until(600_000)
+        # Budget is 400 us: only ~2 of the 200 us items ran at exit.
+        assert 1 <= len(finished) <= 4
+        sim.run_until(100_000_000)
+        assert len(finished) == 10  # ksoftirqd finished the rest
+
+    def test_ksoftirqd_spawned_per_cpu(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4(), ksoftirqd=True)
+        names = [t.name for t in kernel.iter_tasks()]
+        assert "ksoftirqd/0" in names and "ksoftirqd/1" in names
+
+
+class TestSyscallExitDrain:
+    def _measure(self, sim, machine, config):
+        kernel = boot_kernel(sim, machine, config)
+        done = []
+
+        def body():
+            yield op.EnterSyscall("send")
+            yield op.Compute(1_000, kernel=True)
+            yield op.Call(lambda: kernel.raise_softirq(
+                0, SoftirqVector.NET_RX, 50_000,
+                lambda: done.append(sim.now)))
+            yield op.ExitSyscall()
+            yield op.Call(lambda: done.append(("user", sim.now)))
+            yield op.Sleep(100_000_000)
+
+        kernel.create_task("t", body(), affinity=CpuMask([0]))
+        sim.run_until(80_000_000)
+        return done
+
+    def test_vanilla_drains_at_syscall_exit(self, sim, machine):
+        done = self._measure(sim, machine, vanilla_2_4_21())
+        assert len(done) == 2
+        # Softirq completion precedes the return to user mode.
+        assert isinstance(done[0], int)
+
+    def test_redhawk_defers_past_syscall_exit(self, sim, machine):
+        done = self._measure(
+            sim, machine,
+            redhawk_1_4().with_overrides(ksoftirqd=False))
+        # The task reaches user mode first; the softirq waits for the
+        # next interrupt exit (a timer tick within 20 ms).
+        assert done[0][0] == "user"
+
+
+class TestLocalTimer:
+    def test_ticks_at_hz(self, sim, machine):
+        kernel = boot_kernel(sim, machine, vanilla_2_4_21())
+        sim.run_until(1_000_000_000)
+        assert 95 <= kernel.local_timer.ticks[0] <= 105
+        assert 95 <= kernel.local_timer.ticks[1] <= 105
+
+    def test_jiffies_advance(self, sim, machine):
+        kernel = boot_kernel(sim, machine, vanilla_2_4_21())
+        sim.run_until(1_000_000_000)
+        assert 95 <= kernel.jiffies <= 105
+
+    def test_disable_one_cpu(self, sim, machine):
+        kernel = boot_kernel(sim, machine, vanilla_2_4_21())
+        kernel.set_local_timer_enabled(1, False)
+        sim.run_until(1_000_000_000)
+        assert kernel.local_timer.ticks[1] == 0
+        assert kernel.local_timer.ticks[0] > 90
+
+    def test_timeslice_expiry_rotates_other_tasks(self, sim, machine):
+        kernel = boot_kernel(sim, machine, vanilla_2_4_21())
+        progress = {"a": 0, "b": 0}
+
+        def body(tag):
+            while True:
+                yield op.Compute(1_000_000)
+                yield op.Call(lambda t=tag: progress.__setitem__(
+                    t, progress[t] + 1))
+
+        kernel.create_task("a", body("a"), affinity=CpuMask([0]))
+        kernel.create_task("b", body("b"), affinity=CpuMask([0]))
+        sim.run_until(3_000_000_000)
+        # Both made progress on one CPU: the tick preempted them.
+        assert progress["a"] > 100 and progress["b"] > 100

@@ -1,0 +1,159 @@
+"""Tests for the preemption rules -- the crux of the paper's analysis.
+
+The same scenario is run on the vanilla and RedHawk configurations to
+verify the behavioural difference the patches make:
+
+* user-mode code is preemptible everywhere;
+* kernel-mode code is preemptible only with the preemption patch, and
+  never while a spinlock is held;
+* the low-latency reschedule points break up long kernel sections.
+"""
+
+import pytest
+
+from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
+from repro.core.affinity import CpuMask
+from repro.kernel import ops as op
+from repro.kernel.sync.spinlock import SpinLock
+from repro.kernel.sync.waitqueue import WaitQueue
+from repro.kernel.task import SchedPolicy
+from tests.conftest import boot_kernel
+
+
+def _wake_latency(sim, machine, kernel, hog_body, wake_at=1_000_000):
+    """Measure wakeup->run latency of an RT task against a hog on CPU0."""
+    wq = WaitQueue("rt")
+    ran = []
+
+    def rt_body():
+        yield op.Block(wq)
+        yield op.Call(lambda: ran.append(sim.now))
+
+    kernel.create_task("hog", hog_body(), affinity=CpuMask([0]))
+    kernel.create_task("rt", rt_body(), policy=SchedPolicy.FIFO, rt_prio=90,
+                       affinity=CpuMask([0]))
+    sim.at(wake_at, lambda: kernel.wake_up(wq))
+    sim.run_until(wake_at + 500_000_000)
+    assert ran, "rt task never ran"
+    return ran[0] - wake_at
+
+
+HOG_SECTION_NS = 80_000_000  # 80 ms of kernel work
+
+
+def _syscall_hog():
+    """A task inside one long non-preemptible syscall section."""
+    while True:
+        yield op.EnterSyscall("truncate")
+        yield op.Compute(HOG_SECTION_NS, kernel=True)
+        yield op.ExitSyscall()
+        yield op.Compute(1_000)
+
+
+def _user_hog():
+    while True:
+        yield op.Compute(HOG_SECTION_NS)
+
+
+class TestUserModePreemption:
+    def test_vanilla_preempts_user_code(self, sim, machine):
+        kernel = boot_kernel(sim, machine, vanilla_2_4_21())
+        latency = _wake_latency(sim, machine, kernel, _user_hog)
+        assert latency < 100_000  # well under 0.1 ms
+
+    def test_redhawk_preempts_user_code(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        latency = _wake_latency(sim, machine, kernel, _user_hog)
+        assert latency < 100_000
+
+
+class TestKernelModePreemption:
+    def test_vanilla_waits_for_syscall_exit(self, sim, machine):
+        """Without the preemption patch the RT task waits out the
+        whole kernel section -- Figure 5's mechanism."""
+        kernel = boot_kernel(sim, machine, vanilla_2_4_21())
+        latency = _wake_latency(sim, machine, kernel, _syscall_hog)
+        assert latency > 10_000_000  # tens of ms
+
+    def test_redhawk_preempts_inside_syscall(self, sim, machine):
+        """The preemption patch switches at preempt_count == 0."""
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        latency = _wake_latency(sim, machine, kernel, _syscall_hog)
+        assert latency < 100_000
+
+    def test_preemptible_kernel_respects_spinlocks(self, sim, machine):
+        """Even with the patch, a held spinlock defers the switch."""
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        lock = SpinLock("guard")
+        hold_ns = 3_000_000
+
+        def hog():
+            while True:
+                yield op.EnterSyscall("op")
+                yield op.Acquire(lock)
+                yield op.Compute(hold_ns, kernel=True)
+                yield op.Release(lock)
+                yield op.ExitSyscall()
+
+        latency = _wake_latency(sim, machine, kernel, hog)
+        # Must wait for the section end (several hundred us at least,
+        # up to the full hold), but not longer than one hold.
+        assert 50_000 < latency < hold_ns + 500_000
+
+
+class TestLowLatencyChunking:
+    def _chunked_hog(self, kernel):
+        from repro.kernel.syscalls import UserApi
+
+        api = UserApi(kernel)
+
+        def body():
+            while True:
+                yield op.EnterSyscall("truncate")
+                yield from api.kernel_section(HOG_SECTION_NS)
+                yield op.ExitSyscall()
+
+        return body
+
+    def test_lowlat_bounds_nonpreemptible_window(self, sim, machine):
+        """A low-latency (but NOT preemptible) kernel still switches
+        quickly thanks to the cond_resched points."""
+        config = redhawk_1_4().with_overrides(preemptible=False)
+        kernel = boot_kernel(sim, machine, config)
+        latency = _wake_latency(sim, machine, kernel,
+                                self._chunked_hog(kernel))
+        assert latency < 2_000_000  # bounded by the chunk size
+
+    def test_vanilla_section_not_chunked(self, sim, machine):
+        config = vanilla_2_4_21()
+        kernel = boot_kernel(sim, machine, config)
+        latency = _wake_latency(sim, machine, kernel,
+                                self._chunked_hog(kernel))
+        assert latency > 10_000_000
+
+
+class TestInterruptReturnPath:
+    def test_wake_from_irq_preempts_at_iret(self, sim, machine):
+        """A handler wakeup switches on interrupt return (user-mode
+        interrupted context)."""
+        kernel = boot_kernel(sim, machine, vanilla_2_4_21())
+        wq = WaitQueue("rt")
+        ran = []
+
+        def rt_body():
+            yield op.Block(wq)
+            yield op.Call(lambda: ran.append(sim.now))
+
+        kernel.create_task("hog", _user_hog(), affinity=CpuMask([0]))
+        kernel.create_task("rt", rt_body(), policy=SchedPolicy.FIFO,
+                           rt_prio=90, affinity=CpuMask([0]))
+        kernel.register_irq_handler(60, "irq.handler.default",
+                                    lambda cpu: kernel.wake_up(wq,
+                                                               from_cpu=cpu))
+        machine.apic.register_irq(60, "dev")
+        machine.apic.set_requested_affinity(60, CpuMask([0]))
+        sim.run_until(500_000)
+        fire = sim.now
+        machine.apic.raise_irq(60)
+        sim.run_until(fire + 100_000_000)
+        assert ran and ran[0] - fire < 50_000

@@ -1,0 +1,66 @@
+"""Tests for the /proc interface."""
+
+import pytest
+
+from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
+from repro.core.affinity import CpuMask
+from repro.kernel.procfs import ProcFsError
+from tests.conftest import boot_kernel
+
+
+class TestIrqAffinityFiles:
+    def test_read_write_round_trip(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        machine.apic.register_irq(8, "rtc")
+        kernel.procfs.write("/proc/irq/8/smp_affinity", "2")
+        assert kernel.procfs.read("/proc/irq/8/smp_affinity").strip() == "2"
+        assert machine.apic.irqs[8].effective_affinity == CpuMask([1])
+
+    def test_unknown_irq_errors(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        with pytest.raises(ProcFsError):
+            kernel.procfs.read("/proc/irq/77/smp_affinity")
+
+    def test_interrupts_table(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        machine.apic.register_irq(8, "rtc")
+        text = kernel.procfs.read("/proc/interrupts")
+        assert "rtc" in text
+        assert "CPU0" in text and "CPU1" in text
+
+    def test_uptime(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        sim.run_until(2_500_000_000)
+        assert kernel.procfs.read("/proc/uptime").startswith("2.50")
+
+
+class TestShieldFiles:
+    def test_write_and_read_masks(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        for name in ("procs", "irqs", "ltmr"):
+            kernel.procfs.write(f"/proc/shield/{name}", "2")
+            assert kernel.procfs.read(f"/proc/shield/{name}").strip() == "2"
+        assert kernel.shield.is_shielded(1)
+
+    def test_absent_without_shield_support(self, sim, machine):
+        kernel = boot_kernel(sim, machine, vanilla_2_4_21())
+        with pytest.raises(ProcFsError):
+            kernel.procfs.read("/proc/shield/procs")
+        with pytest.raises(ProcFsError):
+            kernel.procfs.write("/proc/shield/procs", "2")
+
+    def test_write_applies_dynamically(self, sim, machine):
+        """Writing the file immediately rewrites affinities (section 3)."""
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        machine.apic.register_irq(8, "rtc")
+        kernel.procfs.write("/proc/shield/irqs", "2")
+        assert machine.apic.irqs[8].effective_affinity == CpuMask([0])
+        kernel.procfs.write("/proc/shield/irqs", "0")
+        assert machine.apic.irqs[8].effective_affinity == CpuMask.all(2)
+
+    def test_unknown_paths(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        with pytest.raises(ProcFsError):
+            kernel.procfs.read("/proc/shield/bogus")
+        with pytest.raises(ProcFsError):
+            kernel.procfs.write("/proc/not/a/file", "1")

@@ -1,0 +1,105 @@
+"""Tests for the RCIM's external edge-triggered interrupt inputs."""
+
+import pytest
+
+from repro.configs.kernels import redhawk_1_4
+from repro.core.affinity import CpuMask
+from repro.hw.devices.rcim import RcimCard
+from repro.kernel.drivers.rcim_dev import RcimDriver
+from repro.kernel.syscalls import UserApi
+from tests.conftest import boot_kernel
+
+
+@pytest.fixture
+def setup(sim, machine):
+    kernel = boot_kernel(sim, machine, redhawk_1_4())
+    rcim = RcimCard()
+    machine.attach_device(rcim)
+    driver = RcimDriver(kernel, rcim)
+    rcim.start()
+    return kernel, rcim, driver
+
+
+class TestDeviceSide:
+    def test_edge_counts_and_status(self, sim, machine, setup):
+        kernel, rcim, driver = setup
+        sim.run_until(1_000)
+        rcim.trigger_external(2)
+        assert rcim.edge_counts[2] == 1
+        assert rcim.last_edge_ns[2] == sim.now
+        # Status already consumed by the handler at the same instant:
+        sim.run_until(1_000_000)
+        assert rcim.status == 0
+
+    def test_invalid_line_rejected(self, sim, machine, setup):
+        _kernel, rcim, _driver = setup
+        with pytest.raises(ValueError):
+            rcim.trigger_external(99)
+
+    def test_edge_before_start_rejected(self):
+        rcim = RcimCard()
+        with pytest.raises(RuntimeError):
+            rcim.trigger_external(0)
+
+    def test_status_multiplexes_sources(self, sim, machine):
+        rcim = RcimCard()
+        machine.attach_device(rcim)
+        machine.apic.deliver = lambda cpu, desc: None  # no kernel
+        rcim.start()
+        sim.run_until(100)
+        rcim.trigger_external(0)
+        rcim.trigger_external(3)
+        assert rcim.status == (1 << 1) | (1 << 4)
+        assert rcim.read_and_clear_status() == (1 << 1) | (1 << 4)
+        assert rcim.status == 0
+
+
+class TestDriverSide:
+    def test_wait_edge_wakes_correct_waiter(self, sim, machine, setup):
+        kernel, rcim, driver = setup
+        woke = []
+
+        def waiter(line):
+            api = UserApi(kernel)
+            fd = api.open("/dev/rcim")
+            yield from api.ioctl(fd, f"RCIM_WAIT_EDGE:{line}")
+            woke.append(line)
+
+        kernel.create_task("w0", waiter(0))
+        kernel.create_task("w1", waiter(1))
+        sim.run_until(1_000_000)
+        rcim.trigger_external(1)
+        sim.run_until(10_000_000)
+        assert woke == [1]
+        rcim.trigger_external(0)
+        sim.run_until(20_000_000)
+        assert sorted(woke) == [0, 1]
+
+    def test_edge_latency_on_shielded_cpu(self, sim, machine, setup):
+        """External device interrupts get the same tens-of-us guarantee
+        as the timer source."""
+        kernel, rcim, driver = setup
+        from repro.kernel.task import SchedPolicy
+
+        lat = []
+
+        def waiter():
+            api = UserApi(kernel)
+            yield from api.mlockall()
+            yield from api.sched_setscheduler(SchedPolicy.FIFO, 90)
+            yield from api.sched_setaffinity(CpuMask([1]))
+            fd = api.open("/dev/rcim")
+            while True:
+                yield from api.ioctl(fd, "RCIM_WAIT_EDGE:0")
+                t = yield api.tsc()
+                lat.append(t - rcim.last_edge_ns[0])
+
+        kernel.create_task("w", waiter())
+        kernel.shield.set_masks(procs=CpuMask([1]), irqs=CpuMask([1]),
+                                ltmr=CpuMask([1]))
+        kernel.procfs.write(f"/proc/irq/{rcim.irq}/smp_affinity", "2")
+        for i in range(20):
+            sim.after(1_000_000 * (i + 1), lambda: rcim.trigger_external(0))
+        sim.run_until(100_000_000)
+        assert len(lat) == 20
+        assert max(lat) < 40_000

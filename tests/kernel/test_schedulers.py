@@ -1,0 +1,199 @@
+"""Tests for the goodness and O(1) schedulers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
+from repro.core.affinity import CpuMask
+from repro.kernel import ops as op
+from repro.kernel.sched.o1 import PrioArray
+from repro.kernel.task import SchedPolicy, Task, TaskState
+from tests.conftest import boot_kernel
+
+
+def _spin_body():
+    while True:
+        yield op.Compute(100_000)
+
+
+def _make_task(pid, prio=0, policy=SchedPolicy.OTHER):
+    def body():
+        yield None
+    t = Task(pid, f"t{pid}", body(), policy=policy, rt_prio=prio)
+    t.requested_affinity = t.effective_affinity = CpuMask.all(4)
+    return t
+
+
+class TestPrioArray:
+    def test_pop_best_is_highest_prio(self):
+        array = PrioArray()
+        lo = _make_task(1, 10, SchedPolicy.FIFO)
+        hi = _make_task(2, 90, SchedPolicy.FIFO)
+        array.insert(lo)
+        array.insert(hi)
+        assert array.pop_best() is hi
+        assert array.pop_best() is lo
+        assert array.pop_best() is None
+
+    def test_fifo_within_level(self):
+        array = PrioArray()
+        a, b = _make_task(1, 50, SchedPolicy.FIFO), _make_task(2, 50, SchedPolicy.FIFO)
+        array.insert(a)
+        array.insert(b)
+        assert array.pop_best() is a
+
+    def test_head_insert(self):
+        array = PrioArray()
+        a, b = _make_task(1, 50, SchedPolicy.FIFO), _make_task(2, 50, SchedPolicy.FIFO)
+        array.insert(a)
+        array.insert(b, head=True)
+        assert array.pop_best() is b
+
+    def test_remove_clears_bitmap(self):
+        array = PrioArray()
+        t = _make_task(1, 50, SchedPolicy.FIFO)
+        array.insert(t)
+        assert array.remove(t)
+        assert array.peek_best_prio() == -1
+        assert not array.remove(t)
+
+    @settings(max_examples=50)
+    @given(prios=st.lists(st.integers(1, 99), min_size=1, max_size=30))
+    def test_pop_order_is_sorted(self, prios):
+        array = PrioArray()
+        tasks = [_make_task(i, p, SchedPolicy.FIFO)
+                 for i, p in enumerate(prios)]
+        for t in tasks:
+            array.insert(t)
+        popped = []
+        while True:
+            t = array.pop_best()
+            if t is None:
+                break
+            popped.append(t.rt_prio)
+        assert popped == sorted(prios, reverse=True)
+        assert array.count == 0
+
+
+class TestO1Behaviour:
+    def test_constant_switch_cost(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        for i in range(20):
+            kernel.create_task(f"t{i}", _spin_body())
+        costs = [kernel.scheduler.switch_cost_ns(0) for _ in range(50)]
+        assert max(costs) < 10_000  # independent of 20 runnable tasks
+
+    def test_idle_balancing_steals(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        # Many tasks initially placed; both CPUs should end up busy.
+        for i in range(6):
+            kernel.create_task(f"t{i}", _spin_body())
+        sim.run_until(50_000_000)
+        assert kernel.current[0] is not None
+        assert kernel.current[1] is not None
+
+    def test_rt_task_runs_ahead_of_timesharing(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        progress = []
+        for i in range(4):
+            kernel.create_task(f"bg{i}", _spin_body())
+
+        def rt_body():
+            for _ in range(100):
+                yield op.Compute(100_000)
+            progress.append(sim.now)
+
+        kernel.create_task("rt", rt_body(), policy=SchedPolicy.FIFO,
+                           rt_prio=50, affinity=CpuMask([0]))
+        sim.run_until(100_000_000)
+        # 10 ms of work, never preempted by timesharing tasks: finishes
+        # in barely more than its own runtime.
+        assert progress and progress[0] < 15_000_000
+
+
+class TestGoodnessBehaviour:
+    def test_switch_cost_scales_with_queue(self, sim, machine):
+        kernel = boot_kernel(sim, machine, vanilla_2_4_21())
+        empty_cost = sum(kernel.scheduler.switch_cost_ns(0)
+                         for _ in range(20)) / 20
+        for i in range(30):
+            kernel.create_task(f"t{i}", _spin_body())
+        kernel.scheduler  # queue now has ~28 waiting tasks
+        loaded_cost = sum(kernel.scheduler.switch_cost_ns(0)
+                          for _ in range(20)) / 20
+        assert loaded_cost > empty_cost + 1_000
+
+    def test_rt_always_selected_first(self, sim, machine):
+        kernel = boot_kernel(sim, machine, vanilla_2_4_21())
+        for i in range(4):
+            kernel.create_task(f"bg{i}", _spin_body())
+        ran = []
+
+        def rt_body():
+            yield op.Compute(1_000_000)
+            ran.append(sim.now)
+
+        kernel.create_task("rt", rt_body(), policy=SchedPolicy.FIFO,
+                           rt_prio=10)
+        sim.run_until(50_000_000)
+        assert ran and ran[0] < 3_000_000
+
+    def test_counter_epoch_recalculation(self, sim, machine):
+        """Timesharing tasks keep running after counters exhaust."""
+        kernel = boot_kernel(sim, machine, vanilla_2_4_21())
+        progress = {"n": 0}
+
+        def body():
+            while True:
+                yield op.Compute(1_000_000)
+                yield op.Call(lambda: progress.__setitem__(
+                    "n", progress["n"] + 1))
+
+        kernel.create_task("t", body(), affinity=CpuMask([0]))
+        kernel.create_task("u", _spin_body(), affinity=CpuMask([0]))
+        sim.run_until(3_000_000_000)  # 300 ticks >> timeslices
+        assert progress["n"] > 500
+
+    def test_affinity_respected_by_pick(self, sim, machine):
+        kernel = boot_kernel(sim, machine, vanilla_2_4_21())
+        task = kernel.create_task("pinned", _spin_body(),
+                                  affinity=CpuMask([1]))
+        sim.run_until(10_000_000)
+        assert task.on_cpu == 1
+
+
+class TestCrossSchedulerInvariants:
+    @pytest.mark.parametrize("factory", [vanilla_2_4_21, redhawk_1_4])
+    def test_no_task_lost_under_churn(self, sim, machine, factory):
+        """Every task keeps making progress under heavy mixed load."""
+        kernel = boot_kernel(sim, machine, factory())
+        progress = {}
+
+        def body(i):
+            while True:
+                yield op.Compute(200_000)
+                yield op.Call(lambda: progress.__setitem__(
+                    i, progress.get(i, 0) + 1))
+                if i % 3 == 0:
+                    yield op.Sleep(500_000)
+                elif i % 3 == 1:
+                    yield op.YieldCpu()
+
+        for i in range(9):
+            kernel.create_task(f"t{i}", body(i))
+        sim.run_until(2_000_000_000)
+        assert len(progress) == 9
+        assert all(count > 10 for count in progress.values())
+
+    @pytest.mark.parametrize("factory", [vanilla_2_4_21, redhawk_1_4])
+    def test_single_current_per_cpu(self, sim, machine, factory):
+        kernel = boot_kernel(sim, machine, factory())
+        for i in range(6):
+            kernel.create_task(f"t{i}", _spin_body())
+        for _ in range(50):
+            sim.run_until(sim.now + 1_000_000)
+            on_cpu = [t for t in kernel.iter_tasks()
+                      if t.state is TaskState.RUNNING]
+            assert len(on_cpu) <= machine.ncpus
+            for task in on_cpu:
+                assert kernel.current[task.on_cpu] is task

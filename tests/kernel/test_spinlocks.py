@@ -1,0 +1,223 @@
+"""Tests for spinlock behaviour: contention, FIFO handoff, irq masking,
+and the invariants whose violation is a kernel bug."""
+
+import pytest
+
+from repro.core.affinity import CpuMask
+from repro.kernel import ops as op
+from repro.kernel.sync.spinlock import SpinLock
+from repro.kernel.sync.waitqueue import WaitQueue
+from repro.sim.errors import KernelPanic
+from tests.conftest import boot_kernel
+
+
+class TestUncontended:
+    def test_acquire_release(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        lock = SpinLock("test")
+
+        def body():
+            yield op.Acquire(lock)
+            yield op.Compute(1_000, kernel=True)
+            yield op.Release(lock)
+
+        task = kernel.create_task("t", body())
+        sim.run_until(1_000_000)
+        assert not lock.held
+        assert lock.acquisitions == 1
+        assert lock.contentions == 0
+        assert task.preempt_count == 0
+
+    def test_hold_time_accounted(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        lock = SpinLock("test")
+
+        def body():
+            yield op.Acquire(lock)
+            yield op.Compute(5_000, kernel=True)
+            yield op.Release(lock)
+
+        kernel.create_task("t", body())
+        sim.run_until(1_000_000)
+        assert lock.max_hold_ns >= 5_000
+
+    def test_preempt_count_while_held(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        lock = SpinLock("test")
+        counts = []
+
+        def body():
+            yield op.Acquire(lock)
+            yield op.Call(lambda: counts.append(kernel.tasks[1].preempt_count))
+            yield op.Release(lock)
+            yield op.Call(lambda: counts.append(kernel.tasks[1].preempt_count))
+
+        kernel.create_task("t", body())
+        sim.run_until(1_000_000)
+        assert counts == [1, 0]
+
+
+class TestContention:
+    def _two_holders(self, sim, machine, hold_ns=50_000):
+        """Two tasks on different CPUs contending for one lock."""
+        kernel = boot_kernel(sim, machine)
+        lock = SpinLock("test")
+        sections = []
+
+        def body(tag, cpu):
+            yield op.Compute(100)
+            yield op.Acquire(lock)
+            yield op.Call(lambda: sections.append((tag, "in", sim.now)))
+            yield op.Compute(hold_ns, kernel=True)
+            yield op.Call(lambda: sections.append((tag, "out", sim.now)))
+            yield op.Release(lock)
+
+        kernel.create_task("a", body("a", 0), affinity=CpuMask([0]))
+        kernel.create_task("b", body("b", 1), affinity=CpuMask([1]))
+        return kernel, lock, sections
+
+    def test_mutual_exclusion(self, sim, machine):
+        kernel, lock, sections = self._two_holders(sim, machine)
+        sim.run_until(10_000_000)
+        assert len(sections) == 4
+        # Sections must not interleave: in/out pairs strictly ordered.
+        events = sorted(sections, key=lambda e: e[2])
+        assert [e[1] for e in events] == ["in", "out", "in", "out"]
+
+    def test_contention_counted_and_spin_accounted(self, sim, machine):
+        kernel, lock, _ = self._two_holders(sim, machine)
+        sim.run_until(10_000_000)
+        assert lock.contentions == 1
+        assert lock.max_spin_ns > 10_000  # waited most of the hold
+
+    def test_fifo_handoff(self, sim, machine):
+        """Waiters acquire in arrival order."""
+        sim2 = sim
+        from repro.hw.machine import Machine, MachineSpec
+        machine4 = Machine(sim2, MachineSpec(cores=4))
+        kernel = boot_kernel(sim2, machine4)
+        lock = SpinLock("test")
+        order = []
+
+        def body(tag, delay):
+            yield op.Compute(delay)
+            yield op.Acquire(lock)
+            yield op.Call(lambda: order.append(tag))
+            yield op.Compute(20_000, kernel=True)
+            yield op.Release(lock)
+
+        # Spacing must exceed the randomised context-switch costs so
+        # the arrival order at Acquire is deterministic.
+        for i, tag in enumerate("abcd"):
+            kernel.create_task(tag, body(tag, 30_000 * (i + 1)),
+                               affinity=CpuMask([i]))
+        sim2.run_until(10_000_000)
+        assert order == ["a", "b", "c", "d"]
+
+    def test_recursive_acquire_panics(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        lock = SpinLock("test")
+
+        def body():
+            yield op.Acquire(lock)
+            yield op.Acquire(lock)
+
+        with pytest.raises(KernelPanic):
+            kernel.create_task("t", body())
+            sim.run_until(1_000_000)
+
+    def test_release_by_non_owner_panics(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        lock = SpinLock("test")
+
+        def body():
+            yield op.Release(lock)
+
+        with pytest.raises(KernelPanic):
+            kernel.create_task("t", body())
+            sim.run_until(1_000_000)
+
+    def test_block_while_holding_panics(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        lock = SpinLock("test")
+        wq = WaitQueue("wq")
+
+        def body():
+            yield op.Acquire(lock)
+            yield op.Block(wq)
+
+        with pytest.raises(KernelPanic):
+            kernel.create_task("t", body())
+            sim.run_until(1_000_000)
+
+
+class TestIrqDisablingLocks:
+    def test_interrupts_pended_while_held(self, sim, machine):
+        """An IRQ raised during an irq-disabling critical section is
+        delivered only after the release."""
+        kernel = boot_kernel(sim, machine)
+        lock = SpinLock("blk", irq_disabling=True)
+        handled = []
+        kernel.register_irq_handler(50, "irq.handler.default",
+                                    lambda cpu: handled.append(sim.now))
+        desc = machine.apic.register_irq(50, "dev")
+        machine.apic.set_requested_affinity(50, CpuMask([0]))
+
+        release_time = []
+
+        def body():
+            yield op.Acquire(lock)
+            yield op.Compute(100_000, kernel=True)
+            yield op.Call(lambda: release_time.append(sim.now))
+            yield op.Release(lock)
+            yield op.Compute(10_000)
+
+        kernel.create_task("t", body(), affinity=CpuMask([0]))
+        sim.run_until(20_000)
+        machine.apic.raise_irq(50)  # arrives mid-section
+        sim.run_until(10_000_000)
+        assert handled, "irq lost"
+        assert handled[0] >= release_time[0]
+
+    def test_non_irq_lock_interruptible(self, sim, machine):
+        """A plain spinlock section is preempted by interrupts -- the
+        property Figure 6's latency tail depends on."""
+        kernel = boot_kernel(sim, machine)
+        lock = SpinLock("file")
+        handled = []
+        kernel.register_irq_handler(50, "irq.handler.default",
+                                    lambda cpu: handled.append(sim.now))
+        machine.apic.register_irq(50, "dev")
+        machine.apic.set_requested_affinity(50, CpuMask([0]))
+
+        def body():
+            yield op.Acquire(lock)
+            yield op.Compute(100_000, kernel=True)
+            yield op.Release(lock)
+
+        kernel.create_task("t", body(), affinity=CpuMask([0]))
+        sim.run_until(20_000)
+        machine.apic.raise_irq(50)
+        sim.run_until(60_000)
+        assert handled and handled[0] < 60_000  # ran inside the section
+
+    def test_interrupt_stretches_held_section(self, sim, machine):
+        """Interrupt time adds to the hold time of a non-irq lock."""
+        kernel = boot_kernel(sim, machine)
+        lock = SpinLock("file")
+        kernel.register_irq_handler(50, "irq.handler.default",
+                                    lambda cpu: None)
+        machine.apic.register_irq(50, "dev")
+        machine.apic.set_requested_affinity(50, CpuMask([0]))
+
+        def body():
+            yield op.Acquire(lock)
+            yield op.Compute(100_000, kernel=True)
+            yield op.Release(lock)
+
+        kernel.create_task("t", body(), affinity=CpuMask([0]))
+        sim.run_until(20_000)
+        for _ in range(5):
+            machine.apic.raise_irq(50)
+        sim.run_until(10_000_000)
+        assert lock.max_hold_ns > 100_000  # stretched beyond base work

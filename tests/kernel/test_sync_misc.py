@@ -1,0 +1,97 @@
+"""Tests for wait queues, semaphores and the BKL class."""
+
+import pytest
+
+from repro.kernel.sync.bkl import BigKernelLock
+from repro.kernel.sync.semaphore import Semaphore
+from repro.kernel.sync.waitqueue import WaitQueue
+from repro.kernel.task import Task
+from repro.sim.errors import KernelPanic
+
+
+def make_task(pid=1):
+    def body():
+        yield None
+    return Task(pid, f"t{pid}", body())
+
+
+class TestWaitQueue:
+    def test_fifo_wake_one(self):
+        wq = WaitQueue("w")
+        a, b = make_task(1), make_task(2)
+        wq.add(a)
+        wq.add(b)
+        assert wq.pop_one() == [a]
+        assert wq.pop_one() == [b]
+        assert wq.pop_one() == []
+
+    def test_pop_all(self):
+        wq = WaitQueue("w")
+        tasks = [make_task(i) for i in range(3)]
+        for t in tasks:
+            wq.add(t)
+        assert wq.pop_all() == tasks
+        assert len(wq) == 0
+
+    def test_remove_specific(self):
+        wq = WaitQueue("w")
+        a, b = make_task(1), make_task(2)
+        wq.add(a)
+        wq.add(b)
+        assert wq.remove(a) is True
+        assert wq.remove(a) is False
+        assert wq.pop_one() == [b]
+
+    def test_counters(self):
+        wq = WaitQueue("w")
+        wq.add(make_task())
+        wq.pop_one()
+        wq.pop_all()
+        assert wq.total_waits == 1
+        assert wq.total_wakes == 2
+
+
+class TestSemaphore:
+    def test_down_up_cycle(self):
+        sem = Semaphore("s", count=1)
+        a, b = make_task(1), make_task(2)
+        assert sem.try_down(a) is True
+        assert sem.try_down(b) is False  # queued
+        woken = sem.up()
+        assert woken is b               # handed directly
+        assert sem.up() is None
+        assert sem.count == 1
+
+    def test_counting_beyond_one(self):
+        sem = Semaphore("s", count=2)
+        assert sem.try_down(make_task(1))
+        assert sem.try_down(make_task(2))
+        assert not sem.try_down(make_task(3))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Semaphore("s", count=-1)
+
+    def test_cancel_wait(self):
+        sem = Semaphore("s", count=0)
+        t = make_task()
+        sem.try_down(t)
+        sem.cancel_wait(t)
+        assert sem.up() is None
+
+    def test_cancel_nonwaiter_panics(self):
+        sem = Semaphore("s")
+        with pytest.raises(KernelPanic):
+            sem.cancel_wait(make_task())
+
+
+class TestBkl:
+    def test_is_a_plain_contended_spinlock(self):
+        bkl = BigKernelLock()
+        assert bkl.name == "BKL"
+        assert bkl.irq_disabling is False
+        t = make_task()
+        bkl.take(t, 0)
+        assert bkl.held
+        assert bkl.drop(t, 10) is None
+        assert bkl.total_hold_ns == 10

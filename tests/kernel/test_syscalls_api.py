@@ -1,0 +1,185 @@
+"""Tests for the UserApi syscall helpers."""
+
+import pytest
+
+from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
+from repro.core.affinity import CpuMask
+from repro.kernel import ops as op
+from repro.kernel.syscalls import LOWLAT_CHUNK_NS, UserApi
+from repro.kernel.task import SchedPolicy
+from repro.kernel.timekeeping import sleep_quantum
+from tests.conftest import boot_kernel
+
+
+def run_body(sim, kernel, gen, until=1_000_000_000):
+    task = kernel.create_task("t", gen)
+    sim.run_until(until)
+    return task
+
+
+class TestComputeFaults:
+    def test_mlocked_compute_single_segment(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        api = UserApi(kernel)
+
+        def body():
+            yield from api.mlockall()
+            before = kernel.stats.syscalls
+            yield from api.compute(10_000_000)
+            after = kernel.stats.syscalls
+            assert after == before  # no page-fault kernel entries
+
+        run_body(sim, kernel, body())
+
+    def test_unlocked_compute_takes_faults(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        api = UserApi(kernel)
+        counts = []
+
+        def body():
+            before = kernel.stats.syscalls
+            yield from api.compute(50_000_000)  # 50 ms: ~40 faults
+            counts.append(kernel.stats.syscalls - before)
+
+        run_body(sim, kernel, body())
+        assert counts and counts[0] > 5
+
+
+class TestNanosleep:
+    def test_vanilla_rounds_to_jiffies(self, sim, machine):
+        config = vanilla_2_4_21()
+        assert sleep_quantum(config, 1_000_000, highres=False) == 20_000_000
+        assert sleep_quantum(config, 10_000_000, highres=False) == 20_000_000
+        assert sleep_quantum(config, 15_000_000, highres=False) == 30_000_000
+
+    def test_highres_exact(self, sim, machine):
+        config = redhawk_1_4()
+        assert sleep_quantum(config, 1_234_567, highres=True) == 1_234_567
+
+    def test_zero_sleep(self):
+        assert sleep_quantum(vanilla_2_4_21(), 0, highres=False) == 0
+
+    def test_sleep_durations_differ_between_kernels(self, sim, machine):
+        results = {}
+        for name, factory in (("vanilla", vanilla_2_4_21),
+                              ("redhawk", redhawk_1_4)):
+            from repro.sim.engine import Simulator
+            from repro.hw.machine import Machine, MachineSpec
+
+            local_sim = Simulator(seed=2)
+            local_machine = Machine(local_sim, MachineSpec(cores=2))
+            kernel = boot_kernel(local_sim, local_machine, factory())
+            api = UserApi(kernel)
+            times = []
+
+            def body(api=api, times=times, local_sim=local_sim):
+                t0 = yield api.tsc()
+                yield from api.nanosleep(1_000_000)
+                t1 = yield api.tsc()
+                times.append(t1 - t0)
+
+            kernel.create_task("t", body())
+            local_sim.run_until(1_000_000_000)
+            results[name] = times[0]
+        assert results["vanilla"] >= 20_000_000
+        assert results["redhawk"] < 3_000_000
+
+
+class TestKernelSection:
+    def test_vanilla_unbroken(self, sim, machine):
+        kernel = boot_kernel(sim, machine, vanilla_2_4_21())
+        api = UserApi(kernel)
+        ops = list(api.kernel_section(1_000_000))
+        computes = [o for o in ops if isinstance(o, op.Compute)]
+        points = [o for o in ops if isinstance(o, op.PreemptPoint)]
+        assert len(computes) == 1
+        assert not points
+
+    def test_lowlat_chunked_with_resched_points(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        api = UserApi(kernel)
+        total = 1_000_000
+        ops_list = list(api.kernel_section(total))
+        computes = [o for o in ops_list if isinstance(o, op.Compute)]
+        points = [o for o in ops_list if isinstance(o, op.PreemptPoint)]
+        assert sum(c.work for c in computes) == total
+        assert all(c.work <= LOWLAT_CHUNK_NS for c in computes)
+        assert len(points) == len(computes) - 1
+
+    def test_lock_dropped_around_resched_points(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        api = UserApi(kernel)
+        lock = kernel.locks.file_lock
+        ops_list = list(api.kernel_section(600_000, lock=lock))
+        acquires = sum(isinstance(o, op.Acquire) for o in ops_list)
+        releases = sum(isinstance(o, op.Release) for o in ops_list)
+        assert acquires == releases
+        assert acquires >= 2  # re-taken per chunk
+
+
+class TestIoctlBklConvention:
+    def test_multithreaded_driver_skips_bkl_with_flag(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        api = UserApi(kernel)
+
+        class Driver:
+            multithreaded = True
+
+            def ioctl_body(self, api, cmd, needs_bkl):
+                Driver.seen = needs_bkl
+                return
+                yield
+
+        kernel.register_driver("/dev/x", Driver())
+
+        def body():
+            yield from api.ioctl(api.open("/dev/x"))
+
+        run_body(sim, kernel, body())
+        assert Driver.seen is False
+
+    def test_bkl_taken_without_flag(self, sim, machine):
+        kernel = boot_kernel(sim, machine, vanilla_2_4_21())
+        api = UserApi(kernel)
+
+        class Driver:
+            multithreaded = True  # flag ignored: kernel lacks support
+
+            def ioctl_body(self, api, cmd, needs_bkl):
+                Driver.seen = needs_bkl
+                return
+                yield
+
+        kernel.register_driver("/dev/x", Driver())
+
+        def body():
+            yield from api.ioctl(api.open("/dev/x"))
+
+        run_body(sim, kernel, body())
+        assert Driver.seen is True
+
+    def test_legacy_driver_needs_bkl_even_on_redhawk(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        api = UserApi(kernel)
+
+        class Driver:
+            multithreaded = False
+
+            def ioctl_body(self, api, cmd, needs_bkl):
+                Driver.seen = needs_bkl
+                return
+                yield
+
+        kernel.register_driver("/dev/x", Driver())
+
+        def body():
+            yield from api.ioctl(api.open("/dev/x"))
+
+        run_body(sim, kernel, body())
+        assert Driver.seen is True
+
+    def test_open_unknown_path_raises(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        api = UserApi(kernel)
+        with pytest.raises(KeyError):
+            api.open("/dev/nonexistent")

@@ -1,0 +1,83 @@
+"""Tests for task structures and priority ordering."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.affinity import CpuMask
+from repro.kernel.task import SchedPolicy, Task, TaskState
+
+
+def make_task(policy=SchedPolicy.OTHER, rt_prio=0, nice=0, pid=1):
+    def body():
+        yield None
+    return Task(pid, f"t{pid}", body(), policy=policy, rt_prio=rt_prio,
+                nice=nice)
+
+
+class TestPriorities:
+    def test_fifo_beats_other(self):
+        rt = make_task(SchedPolicy.FIFO, rt_prio=1)
+        ts = make_task(SchedPolicy.OTHER, nice=-20)
+        assert rt.beats(ts)
+        assert not ts.beats(rt)
+
+    def test_rr_beats_other(self):
+        rr = make_task(SchedPolicy.RR, rt_prio=1)
+        assert rr.beats(make_task())
+
+    def test_higher_rt_prio_wins(self):
+        hi = make_task(SchedPolicy.FIFO, rt_prio=90)
+        lo = make_task(SchedPolicy.FIFO, rt_prio=10)
+        assert hi.beats(lo)
+
+    def test_lower_nice_wins_for_other(self):
+        nice = make_task(nice=19)
+        normal = make_task(nice=0)
+        assert normal.beats(nice)
+
+    def test_everything_beats_idle(self):
+        assert make_task(nice=19).beats(None)
+
+    def test_equal_priority_does_not_beat(self):
+        a, b = make_task(), make_task(pid=2)
+        assert not a.beats(b) and not b.beats(a)
+
+    @given(p1=st.integers(1, 99), p2=st.integers(1, 99))
+    def test_rt_prio_ordering_total(self, p1, p2):
+        a = make_task(SchedPolicy.FIFO, rt_prio=p1)
+        b = make_task(SchedPolicy.FIFO, rt_prio=p2, pid=2)
+        assert a.beats(b) == (p1 > p2)
+
+    def test_realtime_flag(self):
+        assert SchedPolicy.FIFO.realtime
+        assert SchedPolicy.RR.realtime
+        assert not SchedPolicy.OTHER.realtime
+
+
+class TestState:
+    def test_initial_state(self):
+        task = make_task()
+        assert task.state is TaskState.NEW
+        assert not task.runnable
+        assert task.preempt_count == 0
+        assert task.in_syscall == 0
+
+    def test_runnable_states(self):
+        task = make_task()
+        task.state = TaskState.READY
+        assert task.runnable
+        task.state = TaskState.RUNNING
+        assert task.runnable
+        task.state = TaskState.BLOCKED
+        assert not task.runnable
+
+    def test_in_kernel_conditions(self):
+        task = make_task()
+        assert not task.in_kernel
+        task.in_syscall = 1
+        assert task.in_kernel
+
+    def test_kernel_thread_always_in_kernel(self):
+        def body():
+            yield None
+        kt = Task(9, "kthread", body(), kernel_thread=True)
+        assert kt.in_kernel

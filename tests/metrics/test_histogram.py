@@ -1,0 +1,100 @@
+"""Unit and property tests for the histograms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.histogram import Histogram, LogHistogram
+
+
+class TestLinearHistogram:
+    def test_basic_binning(self):
+        h = Histogram(0, 10, 10)
+        for v in (0.5, 1.5, 1.7, 9.9):
+            h.add(v)
+        bins = h.bins()
+        assert bins[0].count == 1
+        assert bins[1].count == 2
+        assert bins[9].count == 1
+
+    def test_under_overflow(self):
+        h = Histogram(0, 10, 5)
+        h.add(-1)
+        h.add(10)
+        h.add(100)
+        assert h.underflow == 1
+        assert h.overflow == 2
+
+    def test_total(self):
+        h = Histogram(0, 10, 5)
+        h.add_many([1, 2, 3, -5, 50])
+        assert h.total() == 5
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            Histogram(10, 0, 5)
+        with pytest.raises(ValueError):
+            Histogram(0, 10, 0)
+
+    @given(values=st.lists(st.floats(-100, 100, allow_nan=False),
+                           max_size=200))
+    def test_counts_conserved(self, values):
+        h = Histogram(0, 50, 7)
+        h.add_many(values)
+        assert h.total() == len(values)
+
+
+class TestLogHistogram:
+    def test_bins_span_range(self):
+        h = LogHistogram(1.0, 1000.0, bins_per_decade=10)
+        assert h.nbins == 30
+        assert h.edges[0] == pytest.approx(1.0)
+        assert h.edges[-1] == pytest.approx(1000.0)
+
+    def test_values_land_in_bracketing_bin(self):
+        h = LogHistogram(1.0, 1000.0)
+        h.add(50.0)
+        occupied = [b for b in h.bins() if b.count]
+        assert len(occupied) == 1
+        assert occupied[0].lo <= 50.0 < occupied[0].hi
+
+    def test_under_overflow(self):
+        h = LogHistogram(10.0, 100.0)
+        h.add(5.0)
+        h.add(100.0)
+        assert h.counts[0] == 1
+        assert h.counts[-1] == 1
+
+    def test_requires_positive_range(self):
+        with pytest.raises(ValueError):
+            LogHistogram(0.0, 10.0)
+        with pytest.raises(ValueError):
+            LogHistogram(10.0, 10.0)
+
+    def test_render_ascii(self):
+        h = LogHistogram(1_000.0, 100_000_000.0)  # 1 us .. 100 ms in ns
+        h.add_many([15_000.0] * 100 + [50_000_000.0])
+        art = h.render_ascii(unit="ms", scale=1e6)
+        lines = art.splitlines()
+        assert len(lines) == 2
+        assert "100" in art
+
+    def test_render_empty(self):
+        h = LogHistogram(1.0, 10.0)
+        assert h.render_ascii() == "(empty histogram)"
+
+    @given(values=st.lists(st.floats(0.1, 10**6, allow_nan=False),
+                           max_size=300))
+    def test_counts_conserved(self, values):
+        h = LogHistogram(1.0, 10**5, bins_per_decade=5)
+        h.add_many(values)
+        assert h.total() == len(values)
+
+    @given(value=st.floats(1.0, 9.99e4, allow_nan=False))
+    def test_single_value_bracketing(self, value):
+        h = LogHistogram(1.0, 1e5)
+        h.add(value)
+        occupied = [b for b in h.bins() if b.count]
+        assert len(occupied) == 1
+        assert occupied[0].lo <= value
+        assert value < occupied[0].hi or value == pytest.approx(occupied[0].hi)

@@ -1,0 +1,125 @@
+"""Unit and property tests for the measurement recorders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.recorder import JitterRecorder, LatencyRecorder
+
+
+class TestLatencyRecorderRealfeelStyle:
+    def test_first_return_arms_only(self):
+        rec = LatencyRecorder("t", period_ns=1000)
+        assert rec.record_return(5_000) is None
+        assert rec.count == 0
+
+    def test_on_time_returns_zero_latency(self):
+        rec = LatencyRecorder("t", period_ns=1000)
+        rec.record_return(1_000)
+        assert rec.record_return(2_000) == 0
+        assert rec.record_return(3_000) == 0
+
+    def test_late_return_books_excess(self):
+        rec = LatencyRecorder("t", period_ns=1000)
+        rec.record_return(1_000)
+        assert rec.record_return(2_400) == 400
+
+    def test_missed_periods_accumulate(self):
+        """Sleeping through N periods books N*period + delay -- the
+        realfeel behaviour that produces the 92 ms samples."""
+        rec = LatencyRecorder("t", period_ns=1000)
+        rec.record_return(1_000)
+        assert rec.record_return(5_300) == 3_300
+
+    def test_early_return_clamped_to_zero(self):
+        rec = LatencyRecorder("t", period_ns=1000)
+        rec.record_return(1_000)
+        assert rec.record_return(1_900) == 0
+
+    def test_record_return_requires_period(self):
+        rec = LatencyRecorder("t")
+        with pytest.raises(ValueError):
+            rec.record_return(100)
+
+    @given(returns=st.lists(st.integers(1, 10**6), min_size=2, max_size=50))
+    def test_all_latencies_non_negative(self, returns):
+        rec = LatencyRecorder("t", period_ns=500)
+        t = 0
+        for delta in returns:
+            t += delta
+            rec.record_return(t)
+        assert all(s >= 0 for s in rec.samples)
+
+
+class TestLatencyRecorderStats:
+    def _filled(self):
+        rec = LatencyRecorder("t")
+        for v in (10, 20, 30, 40, 1000):
+            rec.record_latency(v)
+        return rec
+
+    def test_min_max_mean(self):
+        rec = self._filled()
+        assert rec.min() == 10
+        assert rec.max() == 1000
+        assert rec.mean() == pytest.approx(220.0)
+
+    def test_fraction_below(self):
+        rec = self._filled()
+        assert rec.fraction_below(50) == pytest.approx(0.8)
+        assert rec.fraction_below(5000) == 1.0
+
+    def test_count_in_range(self):
+        rec = self._filled()
+        assert rec.count_in(15, 45) == 3
+
+    def test_empty_recorder_safe(self):
+        rec = LatencyRecorder("t")
+        assert rec.min() == 0 and rec.max() == 0 and rec.mean() == 0.0
+        assert rec.fraction_below(10) == 0.0
+
+    def test_negative_clamped(self):
+        rec = LatencyRecorder("t")
+        rec.record_latency(-5)
+        assert rec.samples == [0]
+
+
+class TestJitterRecorder:
+    def test_ideal_is_min_by_default(self):
+        rec = JitterRecorder("d")
+        for v in (1_100, 1_000, 1_050):
+            rec.record_duration(v)
+        assert rec.ideal() == 1_000
+        assert rec.max() == 1_100
+        assert rec.jitter_ns() == 100
+
+    def test_forced_ideal(self):
+        rec = JitterRecorder("d", ideal_ns=900)
+        rec.record_duration(1_100)
+        assert rec.jitter_ns() == 200
+
+    def test_jitter_fraction_matches_paper_formula(self):
+        """ideal 1.147225 s, max 1.447509 s -> 26.17% (Figure 1)."""
+        rec = JitterRecorder("d", ideal_ns=1_147_225_000)
+        rec.record_duration(1_447_509_000)
+        assert 100 * rec.jitter_fraction() == pytest.approx(26.17, abs=0.01)
+
+    def test_variances_ms(self):
+        rec = JitterRecorder("d", ideal_ns=1_000_000)
+        rec.record_duration(1_000_000)
+        rec.record_duration(3_500_000)
+        assert list(rec.variances_ms()) == [0.0, 2.5]
+
+    def test_empty_safe(self):
+        rec = JitterRecorder("d")
+        assert rec.jitter_ns() == 0
+        assert rec.jitter_fraction() == 0.0
+
+    @given(durations=st.lists(st.integers(1, 10**9), min_size=1,
+                              max_size=100))
+    def test_jitter_non_negative_property(self, durations):
+        rec = JitterRecorder("d")
+        for d in durations:
+            rec.record_duration(d)
+        assert rec.jitter_ns() >= 0
+        assert rec.max() >= rec.ideal()

@@ -1,0 +1,82 @@
+"""Tests for the paper-format report renderers."""
+
+from repro.metrics.recorder import JitterRecorder, LatencyRecorder
+from repro.metrics.report import (
+    FIG5_THRESHOLDS_MS,
+    FIG6_THRESHOLDS_MS,
+    bucket_table,
+    comparison_table,
+    determinism_summary,
+    latency_summary,
+)
+
+
+class TestDeterminismSummary:
+    def test_matches_paper_legend_format(self):
+        rec = JitterRecorder("d", ideal_ns=1_147_225_000)
+        rec.record_duration(1_447_509_000)
+        text = determinism_summary(rec, "Figure 1")
+        assert "ideal:  1.147225 sec" in text
+        assert "max:    1.447509 sec" in text
+        assert "jitter: 0.300284 sec (26.17%)" in text
+
+
+class TestBucketTable:
+    def _rec(self):
+        rec = LatencyRecorder("t")
+        # 990 fast samples, 10 slow ones.
+        for _ in range(990):
+            rec.record_latency(50_000)       # 0.05 ms
+        for _ in range(8):
+            rec.record_latency(150_000)      # 0.15 ms
+        rec.record_latency(3_000_000)        # 3 ms
+        rec.record_latency(92_300_000)       # 92.3 ms
+        return rec
+
+    def test_cumulative_counts(self):
+        text = bucket_table(self._rec(), "Figure 5", FIG5_THRESHOLDS_MS)
+        assert "1000 measured interrupts" in text
+        assert "990 samples < 0.1ms (99.000%)" in text
+        assert "998 samples < 0.2ms (99.800%)" in text
+        assert "max latency: 92.300ms" in text
+        assert "1000 samples < 100.0ms (100.000%)" in text
+
+    def test_stops_at_full_coverage(self):
+        rec = LatencyRecorder("t")
+        rec.record_latency(10_000)
+        text = bucket_table(rec, "T", FIG5_THRESHOLDS_MS)
+        # Only the first threshold line should be present.
+        assert text.count("samples <") == 1
+
+    def test_fig6_thresholds(self):
+        rec = LatencyRecorder("t")
+        rec.record_latency(50_000)
+        rec.record_latency(550_000)
+        text = bucket_table(rec, "Figure 6", FIG6_THRESHOLDS_MS)
+        assert "< 0.1ms" in text and "< 0.6ms" in text
+
+
+class TestLatencySummary:
+    def test_microsecond_format(self):
+        rec = LatencyRecorder("t")
+        for v in (11_000, 11_300, 27_000):
+            rec.record_latency(v)
+        text = latency_summary(rec, "Figure 7", unit="us")
+        assert "minimum latency: 11.0 us" in text
+        assert "maximum latency: 27.0 us" in text
+        assert "average latency: 16.4 us" in text
+
+
+class TestComparisonTable:
+    def test_alignment_and_content(self):
+        rows = [("vanilla", "92.3", "no"), ("redhawk", "0.565", "yes")]
+        text = comparison_table(rows, ["kernel", "max(ms)", "shield"])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "vanilla" in lines[2] and "redhawk" in lines[3]
+        # Columns align: header starts where data starts.
+        assert lines[0].index("max(ms)") == lines[2].index("92.3")
+
+    def test_empty_rows(self):
+        text = comparison_table([], ["a", "b"])
+        assert len(text.splitlines()) == 2

@@ -1,0 +1,142 @@
+"""Unit tests for the event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.errors import SchedulingInPastError, SimulationStalledError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        sim.at(30, lambda: order.append("c"))
+        sim.at(10, lambda: order.append("a"))
+        sim.at(20, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fires_in_scheduling_order(self, sim):
+        order = []
+        for tag in "abcde":
+            sim.at(5, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_after_is_relative(self, sim):
+        sim.at(100, lambda: sim.after(50, lambda: None, label="x"))
+        sim.run()
+        assert sim.now == 150
+
+    def test_cannot_schedule_in_past(self, sim):
+        sim.at(100, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingInPastError):
+            sim.at(50, lambda: None)
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SchedulingInPastError):
+            sim.after(-1, lambda: None)
+
+    def test_clock_advances_to_event_time(self, sim):
+        sim.at(77, lambda: None)
+        sim.step()
+        assert sim.now == 77
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        handle = sim.at(10, lambda: fired.append(1))
+        assert handle.cancel() is True
+        sim.run()
+        assert fired == []
+
+    def test_double_cancel_returns_false(self, sim):
+        handle = sim.at(10, lambda: None)
+        assert handle.cancel() is True
+        assert handle.cancel() is False
+
+    def test_cancel_after_fire_returns_false(self, sim):
+        handle = sim.at(10, lambda: None)
+        sim.run()
+        assert handle.cancel() is False
+
+    def test_peek_skips_cancelled(self, sim):
+        first = sim.at(10, lambda: None)
+        sim.at(20, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == 20
+
+    def test_pending_count_excludes_cancelled(self, sim):
+        handles = [sim.at(10 + i, lambda: None) for i in range(5)]
+        handles[0].cancel()
+        handles[3].cancel()
+        assert sim.events_pending == 3
+
+
+class TestRunModes:
+    def test_run_until_inclusive(self, sim):
+        fired = []
+        sim.at(100, lambda: fired.append(100))
+        sim.at(101, lambda: fired.append(101))
+        sim.run_until(100)
+        assert fired == [100]
+        assert sim.now == 100
+
+    def test_run_until_advances_clock_past_last_event(self, sim):
+        sim.at(10, lambda: None)
+        sim.run_until(500)
+        assert sim.now == 500
+
+    def test_run_steps_limits_count(self, sim):
+        fired = []
+        for i in range(10):
+            sim.at(i + 1, lambda i=i: fired.append(i))
+        assert sim.run_steps(4) == 4
+        assert fired == [0, 1, 2, 3]
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_require_events_raises_when_empty(self, sim):
+        with pytest.raises(SimulationStalledError):
+            sim.require_events()
+
+    def test_events_fired_counter(self, sim):
+        for i in range(7):
+            sim.at(i + 1, lambda: None)
+        sim.run()
+        assert sim.events_fired == 7
+
+
+class TestEventChaining:
+    def test_event_scheduling_more_events(self, sim):
+        """Periodic self-rescheduling pattern used by devices."""
+        count = []
+
+        def tick():
+            count.append(sim.now)
+            if len(count) < 5:
+                sim.after(10, tick)
+
+        sim.after(10, tick)
+        sim.run()
+        assert count == [10, 20, 30, 40, 50]
+
+    def test_zero_delay_event_fires_at_same_time(self, sim):
+        times = []
+        sim.at(10, lambda: sim.after(0, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [10]
+
+
+class TestDeterminism:
+    def test_same_seed_same_streams(self):
+        a = Simulator(seed=99).rng.stream("x").integers(0, 1000, 10)
+        b = Simulator(seed=99).rng.stream("x").integers(0, 1000, 10)
+        assert list(a) == list(b)
+
+    def test_different_seed_differs(self):
+        a = Simulator(seed=1).rng.stream("x").integers(0, 10**9)
+        b = Simulator(seed=2).rng.stream("x").integers(0, 10**9)
+        assert a != b

@@ -1,0 +1,61 @@
+"""Property-based tests for the event engine."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Simulator
+
+
+class TestOrderingProperties:
+    @settings(max_examples=80)
+    @given(times=st.lists(st.integers(0, 10**9), min_size=1, max_size=60))
+    def test_events_always_fire_in_nondecreasing_time(self, times):
+        sim = Simulator(seed=0)
+        fired = []
+        for t in times:
+            sim.at(t, lambda t=t: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+    @settings(max_examples=60)
+    @given(times=st.lists(st.integers(0, 10**6), min_size=2, max_size=40),
+           cancel_idx=st.data())
+    def test_cancellation_removes_exactly_those(self, times, cancel_idx):
+        sim = Simulator(seed=0)
+        fired = []
+        handles = [sim.at(t, lambda i=i: fired.append(i))
+                   for i, t in enumerate(times)]
+        to_cancel = cancel_idx.draw(st.sets(
+            st.integers(0, len(times) - 1), max_size=len(times)))
+        for i in to_cancel:
+            handles[i].cancel()
+        sim.run()
+        assert set(fired) == set(range(len(times))) - to_cancel
+
+    @settings(max_examples=60)
+    @given(delays=st.lists(st.integers(0, 1000), min_size=1, max_size=30))
+    def test_chained_after_accumulates(self, delays):
+        sim = Simulator(seed=0)
+        reached = []
+
+        def chain(i=0):
+            reached.append(sim.now)
+            if i < len(delays):
+                sim.after(delays[i], lambda: chain(i + 1))
+
+        chain()
+        sim.run()
+        expected = [sum(delays[:i]) for i in range(len(delays) + 1)]
+        assert reached == expected
+
+    @settings(max_examples=40)
+    @given(stop=st.integers(0, 10**6),
+           times=st.lists(st.integers(0, 10**6), max_size=40))
+    def test_run_until_boundary_exact(self, stop, times):
+        sim = Simulator(seed=0)
+        fired = []
+        for t in times:
+            sim.at(t, lambda t=t: fired.append(t))
+        sim.run_until(stop)
+        assert fired == sorted(t for t in times if t <= stop)
+        assert sim.now == stop

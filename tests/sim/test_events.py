@@ -1,0 +1,32 @@
+"""Unit tests for EventHandle semantics."""
+
+from repro.sim.events import EventHandle
+
+
+class TestEventHandle:
+    def test_ordering_by_time(self):
+        a = EventHandle(10, 0, lambda: None)
+        b = EventHandle(20, 1, lambda: None)
+        assert a < b and not b < a
+
+    def test_tie_break_by_sequence(self):
+        a = EventHandle(10, 0, lambda: None)
+        b = EventHandle(10, 1, lambda: None)
+        assert a < b
+
+    def test_alive_lifecycle(self):
+        h = EventHandle(1, 0, lambda: None)
+        assert h.alive
+        assert h._consume() is True
+        assert not h.alive
+        assert h._consume() is False
+
+    def test_cancel_semantics(self):
+        h = EventHandle(1, 0, lambda: None)
+        assert h.cancel() is True
+        assert h.cancel() is False
+        assert not h.alive
+
+    def test_label_stored(self):
+        h = EventHandle(1, 0, lambda: None, label="tick")
+        assert h.label == "tick"

@@ -1,0 +1,47 @@
+"""Unit tests for time units and formatting."""
+
+import pytest
+
+from repro.sim import simtime
+from repro.sim.simtime import MSEC, NSEC, SEC, USEC, format_ns
+
+
+class TestUnits:
+    def test_unit_ratios(self):
+        assert USEC == 1_000 * NSEC
+        assert MSEC == 1_000 * USEC
+        assert SEC == 1_000 * MSEC
+
+    def test_conversions_round_trip(self):
+        assert simtime.us(2.5) == 2_500
+        assert simtime.ms(1.5) == 1_500_000
+        assert simtime.s(0.25) == 250_000_000
+
+    def test_ns_to_float_units(self):
+        assert simtime.ns_to_us(1_500) == pytest.approx(1.5)
+        assert simtime.ns_to_ms(2_500_000) == pytest.approx(2.5)
+        assert simtime.ns_to_s(3_000_000_000) == pytest.approx(3.0)
+
+    def test_rounding(self):
+        # 0.3 us is 300 ns exactly; 0.0001 us rounds to 0 ns.
+        assert simtime.us(0.3) == 300
+        assert simtime.us(0.0001) == 0
+
+
+class TestFormat:
+    def test_ns_range(self):
+        assert format_ns(999) == "999ns"
+
+    def test_us_range(self):
+        assert format_ns(1_500) == "1.500us"
+
+    def test_ms_range(self):
+        assert format_ns(92_300_000) == "92.300ms"
+
+    def test_s_range(self):
+        assert format_ns(1_147_000_000) == "1.147s"
+
+    def test_boundaries(self):
+        assert format_ns(1_000) == "1.000us"
+        assert format_ns(1_000_000) == "1.000ms"
+        assert format_ns(1_000_000_000) == "1.000s"

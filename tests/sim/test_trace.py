@@ -1,0 +1,67 @@
+"""Unit tests for the trace ring buffer."""
+
+import pytest
+
+from repro.sim.trace import TraceBuffer
+
+
+class TestTraceBuffer:
+    def test_disabled_by_default(self):
+        buf = TraceBuffer()
+        buf.emit(1, "x", "msg")
+        assert len(buf) == 0
+
+    def test_enabled_records(self):
+        buf = TraceBuffer()
+        buf.enabled = True
+        buf.emit(5, "irq", "hello")
+        records = buf.records()
+        assert len(records) == 1
+        assert records[0].time == 5
+        assert records[0].category == "irq"
+
+    def test_ring_wraps_and_counts_drops(self):
+        buf = TraceBuffer(capacity=3)
+        buf.enabled = True
+        for i in range(5):
+            buf.emit(i, "c", str(i))
+        assert len(buf) == 3
+        assert buf.dropped == 2
+        assert [r.message for r in buf.records()] == ["2", "3", "4"]
+
+    def test_category_filter(self):
+        buf = TraceBuffer()
+        buf.enabled = True
+        buf.emit(1, "irq", "a")
+        buf.emit(2, "frame", "b")
+        buf.emit(3, "irq", "c")
+        assert [r.message for r in buf.records("irq")] == ["a", "c"]
+
+    def test_since_filter(self):
+        buf = TraceBuffer()
+        buf.enabled = True
+        for t in (10, 20, 30):
+            buf.emit(t, "c", str(t))
+        assert [r.time for r in buf.since(20)] == [20, 30]
+
+    def test_clear(self):
+        buf = TraceBuffer(capacity=2)
+        buf.enabled = True
+        for i in range(5):
+            buf.emit(i, "c", "m")
+        buf.clear()
+        assert len(buf) == 0
+        assert buf.dropped == 0
+
+    def test_format_renders_lines(self):
+        buf = TraceBuffer()
+        buf.enabled = True
+        buf.emit(1, "irq", "alpha")
+        buf.emit(2, "irq", "beta")
+        text = buf.format()
+        assert "alpha" in text and "beta" in text
+        assert len(text.splitlines()) == 2
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(capacity=0)

@@ -1,0 +1,54 @@
+"""Tests for the cyclictest workload."""
+
+import pytest
+
+from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
+from repro.core.affinity import CpuMask
+from repro.experiments.harness import build_bench
+from repro.hw.machine import interrupt_testbed
+from repro.sim.simtime import MSEC
+from repro.workloads.base import spawn
+from repro.workloads.cyclictest import CyclicTest
+
+
+def run_test(config, cycles=200, interval=1 * MSEC, seed=5):
+    bench = build_bench(config, interrupt_testbed(), seed=seed)
+    bench.start_devices()
+    test = CyclicTest(interval_ns=interval, cycles=cycles)
+    spawn(bench.kernel, test.spec())
+    bench.run_until_done(test, limit_ns=test.estimated_sim_ns())
+    return test
+
+
+class TestCyclicTest:
+    def test_collects_all_cycles(self, ):
+        test = run_test(redhawk_1_4())
+        assert test.finished
+        assert test.recorder.count == 200
+
+    def test_highres_kernel_low_latency(self):
+        test = run_test(redhawk_1_4())
+        # Unloaded, high-res timers: wakeups within tens of us.
+        assert test.recorder.max() < 100_000
+
+    def test_jiffy_kernel_dominated_by_rounding(self):
+        test = run_test(vanilla_2_4_21(), cycles=50)
+        # nanosleep rounds up to 10-20 ms: every wakeup is >= ~9 ms
+        # past the 1 ms deadline.
+        assert test.recorder.min() > 5_000_000
+
+    def test_deadlines_do_not_drift(self):
+        """Absolute-deadline mode: latency must not accumulate."""
+        test = run_test(redhawk_1_4(), cycles=300)
+        samples = test.recorder.samples
+        early = sum(samples[:100]) / 100
+        late = sum(samples[-100:]) / 100
+        assert abs(late - early) < 50_000
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            CyclicTest(interval_ns=0)
+
+    def test_estimated_sim_ns_sane(self):
+        test = CyclicTest(interval_ns=1 * MSEC, cycles=100)
+        assert test.estimated_sim_ns() >= 100 * MSEC

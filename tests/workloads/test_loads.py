@@ -1,0 +1,117 @@
+"""Tests for the background loads: stress-kernel suite, scp, disknoise,
+x11perf.  Each load must generate its characteristic kernel traffic."""
+
+import pytest
+
+from repro.configs.kernels import vanilla_2_4_21
+from repro.experiments.harness import build_bench
+from repro.hw.machine import interrupt_testbed
+from repro.kernel.task import TaskState
+from repro.sim.simtime import SEC
+from repro.workloads.base import spawn, spawn_all
+from repro.workloads.disknoise import disknoise
+from repro.workloads.netload import scp_copy_loop, ttcp_ethernet
+from repro.workloads.stress_kernel import (
+    crashme,
+    fifos_mmap,
+    fs_stress,
+    nfs_compile,
+    p3_fpu,
+    stress_kernel_suite,
+    ttcp_loopback,
+)
+from repro.workloads.x11perf import x11perf
+
+
+@pytest.fixture
+def bench():
+    b = build_bench(vanilla_2_4_21(), interrupt_testbed(), seed=21)
+    b.start_devices()
+    return b
+
+
+def run(bench, duration_ns=SEC):
+    bench.sim.run_until(bench.sim.now + duration_ns)
+
+
+class TestStressKernelSuite:
+    def test_suite_has_all_six_programs(self, bench):
+        specs = stress_kernel_suite(bench.kernel)
+        names = " ".join(s.name for s in specs)
+        for program in ("nfs-compile", "ttcp", "fifos_mmap", "p3_fpu",
+                        "fs", "crashme"):
+            assert program in names
+
+    def test_suite_keeps_cpus_busy(self, bench):
+        spawn_all(bench.kernel, stress_kernel_suite(bench.kernel))
+        run(bench, 2 * SEC)
+        for cpu in bench.machine.cpus:
+            assert cpu.utilization() > 0.5
+
+    def test_all_tasks_stay_alive(self, bench):
+        tasks = spawn_all(bench.kernel, stress_kernel_suite(bench.kernel))
+        run(bench, 2 * SEC)
+        for task in tasks:
+            assert task.state is not TaskState.EXITED
+
+
+class TestIndividualPrograms:
+    def test_nfs_compile_generates_softirq_traffic(self, bench):
+        spawn_all(bench.kernel, nfs_compile(bench.kernel))
+        run(bench)
+        assert bench.net_driver.rx_softirq_ns > 0
+
+    def test_ttcp_loopback_generates_net_rx(self, bench):
+        spawn_all(bench.kernel, ttcp_loopback(bench.kernel))
+        run(bench)
+        sock = bench.net_driver.socket("ttcp-lo")
+        assert sock.received_packets > 100
+
+    def test_fifos_mmap_ping_pongs(self, bench):
+        tasks = spawn_all(bench.kernel, fifos_mmap(bench.kernel))
+        run(bench)
+        # Both sides context-switch repeatedly.
+        assert all(t.switches > 50 for t in tasks)
+
+    def test_fs_stress_uses_locks_and_disk(self, bench):
+        spawn(bench.kernel, fs_stress(bench.kernel))
+        run(bench, 2 * SEC)
+        assert bench.kernel.locks.file_lock.acquisitions > 100
+        assert bench.kernel.locks.dcache_lock.acquisitions > 100
+        assert bench.disk.requests_seen > 0
+
+    def test_p3_fpu_is_user_dominated(self, bench):
+        task = spawn(bench.kernel, p3_fpu(bench.kernel))
+        run(bench)
+        assert task.user_ns > 5 * task.kernel_ns
+
+    def test_crashme_generates_kernel_entries(self, bench):
+        spawn(bench.kernel, crashme(bench.kernel))
+        before = bench.kernel.stats.syscalls
+        run(bench)
+        assert bench.kernel.stats.syscalls - before > 100
+
+
+class TestNetworkLoads:
+    def test_scp_generates_nic_traffic_and_disk_io(self, bench):
+        spawn(bench.kernel, scp_copy_loop(bench.kernel, bench.nic))
+        run(bench, 2 * SEC)
+        assert bench.nic.rx_packets > 5_000
+        assert bench.disk.requests_seen > 0
+
+    def test_ttcp_ethernet_runs_and_echoes(self, bench):
+        spawn(bench.kernel, ttcp_ethernet(bench.kernel, bench.nic))
+        run(bench, 2 * SEC)
+        assert bench.nic.rx_packets > 500
+        assert bench.nic.tx_completions > 10
+
+    def test_disknoise_hammers_disk(self, bench):
+        spawn(bench.kernel, disknoise(bench.kernel))
+        run(bench, 2 * SEC)
+        assert bench.disk.requests_seen > 50
+
+    def test_x11perf_generates_gpu_interrupts(self, bench):
+        spawn(bench.kernel, x11perf(bench.kernel, bench.gpu))
+        run(bench)
+        assert bench.gpu.completions > 100
+        assert bench.gfx_driver.handled > 100
