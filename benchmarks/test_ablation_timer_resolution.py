@@ -5,55 +5,40 @@ rounds every nanosleep up to jiffies (HZ=100: 10-20 ms!), so its timer
 latency is dominated by the clock, not the scheduler; RedHawk's
 high-res timers expose the actual scheduling latency, which shielding
 then bounds.
+
+The three variants are the registered scenarios ``a5-vanilla``,
+``a5-highres`` and ``a5-highres-shield``.
 """
 
 from conftest import print_report, scaled
 
-from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
-from repro.core.affinity import CpuMask
-from repro.experiments.harness import build_bench
-from repro.hw.machine import interrupt_testbed
+from repro.experiments.ablations import run_timer_resolution_ablation
 from repro.metrics.report import comparison_table
-from repro.sim.simtime import MSEC
-from repro.workloads.base import spawn, spawn_all
-from repro.workloads.cyclictest import CyclicTest
-from repro.workloads.stress_kernel import stress_kernel_suite
 
-
-def _run(config, shielded, cycles, seed=5):
-    bench = build_bench(config, interrupt_testbed(), seed=seed)
-    bench.start_devices()
-    spawn_all(bench.kernel, stress_kernel_suite(bench.kernel))
-    test = CyclicTest(interval_ns=1 * MSEC, cycles=cycles,
-                      affinity=CpuMask.single(1) if shielded else None)
-    spawn(bench.kernel, test.spec())
-    if shielded and config.shield_support:
-        bench.shield_cpu(1)
-    bench.run_until_done(test, limit_ns=test.estimated_sim_ns())
-    return test.recorder
+LABELS = {
+    "vanilla": "vanilla (jiffies timers)",
+    "highres": "redhawk (high-res)",
+    "highres-shield": "redhawk (high-res, shield)",
+}
 
 
 def test_ablation_timer_resolution(benchmark):
     cycles = scaled(3_000, minimum=800)
 
-    def run_all():
-        return {
-            "vanilla (jiffies timers)": _run(vanilla_2_4_21(), False, cycles),
-            "redhawk (high-res)": _run(redhawk_1_4(), False, cycles),
-            "redhawk (high-res, shield)": _run(redhawk_1_4(), True, cycles),
-        }
+    results = benchmark.pedantic(
+        lambda: run_timer_resolution_ablation(cycles=cycles),
+        rounds=1, iterations=1)
 
-    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
-
-    rows = [(name, f"{rec.min() / 1e3:.1f}", f"{rec.mean() / 1e3:.1f}",
-             f"{rec.max() / 1e3:.1f}")
-            for name, rec in results.items()]
+    rows = [(LABELS[name], f"{r.recorder.min() / 1e3:.1f}",
+             f"{r.recorder.mean() / 1e3:.1f}",
+             f"{r.recorder.max() / 1e3:.1f}")
+            for name, r in results.items()]
     print_report(comparison_table(
         rows, ["kernel", "min(us)", "mean(us)", "max(us)"]))
 
-    vanilla = results["vanilla (jiffies timers)"]
-    highres = results["redhawk (high-res)"]
-    shielded = results["redhawk (high-res, shield)"]
+    vanilla = results["vanilla"].recorder
+    highres = results["highres"].recorder
+    shielded = results["highres-shield"].recorder
     # Jiffy rounding dominates: every vanilla wakeup is >= ~10 ms late.
     assert vanilla.min() > 5_000_000
     # High-res timers bring latency down by orders of magnitude.

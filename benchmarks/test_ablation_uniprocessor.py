@@ -9,52 +9,35 @@ This ablation runs realfeel on a single-CPU machine under a scaled
 stress load: the vanilla kernel shows the unbounded tail, RedHawk's
 preemption + low-latency + bounded-softirq machinery bounds it to the
 low-millisecond class -- without any shield to hide behind.
+
+The two variants are the registered scenarios ``a6-vanilla-up`` and
+``a6-redhawk-up``.
 """
 
 from conftest import print_report, scaled
 
-from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
-from repro.experiments.harness import build_bench
-from repro.hw.machine import MachineSpec
+from repro.experiments.ablations import run_uniprocessor_ablation
 from repro.metrics.report import comparison_table
-from repro.workloads.base import spawn, spawn_all
-from repro.workloads.realfeel import Realfeel
-from repro.workloads.stress_kernel import stress_kernel_suite
 
-
-def _run(config, samples, seed=9):
-    spec = MachineSpec(cores=1, hyperthreading=False, name="up-xeon")
-    bench = build_bench(config, spec, seed=seed)
-    bench.add_background_broadcast()
-    bench.start_devices()
-    bench.rtc.enable_periodic()
-    spawn_all(bench.kernel, stress_kernel_suite(bench.kernel))
-    test = Realfeel(bench.rtc, samples=samples)
-    spawn(bench.kernel, test.spec())
-    bench.run_until_done(test, limit_ns=test.estimated_sim_ns())
-    return test.recorder
+LABELS = {"vanilla-up": "vanilla-UP", "redhawk-up": "redhawk-UP"}
 
 
 def test_ablation_uniprocessor(benchmark):
     samples = scaled(6_000, minimum=2_000)
 
-    def run_both():
-        return {
-            "vanilla-UP": _run(vanilla_2_4_21(), samples),
-            "redhawk-UP": _run(redhawk_1_4(), samples),
-        }
+    results = benchmark.pedantic(
+        lambda: run_uniprocessor_ablation(samples=samples),
+        rounds=1, iterations=1)
 
-    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
-
-    rows = [(name, f"{rec.max() / 1e6:.3f}",
-             f"{100 * rec.fraction_below(100_000):.2f}",
-             f"{100 * rec.fraction_below(1_000_000):.2f}")
-            for name, rec in results.items()]
+    rows = [(LABELS[name], f"{r.recorder.max() / 1e6:.3f}",
+             f"{100 * r.recorder.fraction_below(100_000):.2f}",
+             f"{100 * r.recorder.fraction_below(1_000_000):.2f}")
+            for name, r in results.items()]
     print_report(comparison_table(
         rows, ["kernel", "max(ms)", "<0.1ms(%)", "<1ms(%)"]))
 
-    vanilla = results["vanilla-UP"]
-    redhawk = results["redhawk-UP"]
+    vanilla = results["vanilla-up"].recorder
+    redhawk = results["redhawk-up"].recorder
     # No shield is possible on UP; the patches alone must carry it.
     assert redhawk.max() < vanilla.max()
     assert vanilla.max() > 2_000_000      # unbounded-tail class

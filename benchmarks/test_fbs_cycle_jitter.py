@@ -1,82 +1,43 @@
 """Extension benchmark: FBS frame integrity with and without a shield.
 
-A 400 Hz frequency-based schedule (servo + dynamics + logger) under
-stress-kernel load.  On the shielded CPU the frame structure holds
-with microsecond wakeup jitter and no overruns; unshielded, wakeup
-jitter grows by orders of magnitude and frames overrun.
+A 400 Hz frequency-based schedule (servo under stress-kernel load).
+On the shielded CPU the frame structure holds with microsecond wakeup
+jitter and no overruns; unshielded, wakeup jitter grows by orders of
+magnitude and frames overrun.
+
+Both variants are registered scenarios (``fbs-shielded`` /
+``fbs-unshielded``) driven through the declarative scenario layer.
 """
 
 from conftest import print_report, scaled
 
-from repro.configs.kernels import redhawk_1_4
-from repro.core.affinity import CpuMask
-from repro.experiments.harness import build_bench
-from repro.fbs import FrequencyBasedScheduler
-from repro.hw.machine import interrupt_testbed
-from repro.kernel.syscalls import UserApi
-from repro.kernel.task import SchedPolicy
+from repro.experiments.scenario import run_named
 from repro.metrics.report import comparison_table
-from repro.sim.simtime import MSEC, SEC, USEC
-from repro.workloads.base import WorkloadSpec, spawn, spawn_all
-from repro.workloads.stress_kernel import stress_kernel_suite
-
-CYCLE_NS = 2_500 * USEC
-
-
-def _run(shielded: bool, seconds: int, seed=31):
-    bench = build_bench(redhawk_1_4(), interrupt_testbed(), seed=seed,
-                        rcim_period_ns=CYCLE_NS)
-    bench.start_devices()
-    spawn_all(bench.kernel, stress_kernel_suite(bench.kernel))
-    fbs = FrequencyBasedScheduler(bench.kernel, cycle_ns=CYCLE_NS,
-                                  cycles_per_frame=20, rcim=bench.rcim)
-    jitter = []
-    proc = fbs.register("servo", period=1)
-    api = UserApi(bench.kernel)
-
-    def body(_api):
-        yield from api.mlockall()
-        yield from api.sched_setscheduler(SchedPolicy.FIFO, 80)
-        yield from api.sched_setaffinity(CpuMask.single(1))
-        expected = None
-        while True:
-            yield from fbs.wait(api, proc)
-            now = bench.sim.now
-            if expected is not None:
-                jitter.append(abs(now - expected))
-            expected = now + CYCLE_NS
-            yield from api.compute(600 * USEC, label="servo")
-
-    spawn(bench.kernel, WorkloadSpec("servo", body, SchedPolicy.FIFO, 80,
-                                     affinity=CpuMask.single(1)))
-    if shielded:
-        bench.shield_cpu(1)
-        bench.set_irq_affinity(bench.rcim.irq, 1)
-    bench.run_for(2 * MSEC)
-    fbs.start()
-    bench.run_for(seconds * SEC)
-    stats = fbs.monitor.stats_for("servo")
-    return jitter, stats
+from repro.sim.simtime import SEC
 
 
 def test_fbs_cycle_jitter(benchmark):
     seconds = scaled(3, minimum=2)
 
     def run_both():
-        return _run(False, seconds), _run(True, seconds)
+        return (run_named("fbs-unshielded", seed=31,
+                          duration_ns=seconds * SEC),
+                run_named("fbs-shielded", seed=31,
+                          duration_ns=seconds * SEC))
 
-    (open_j, open_s), (shield_j, shield_s) = benchmark.pedantic(
-        run_both, rounds=1, iterations=1)
+    open_r, shield_r = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    open_j = list(open_r.recorder.samples)
+    shield_j = list(shield_r.recorder.samples)
 
-    def row(name, jitter, stats):
+    def row(name, jitter, result):
         mean = sum(jitter) / len(jitter) if jitter else 0
         return (name, f"{mean / 1e3:.1f}",
                 f"{max(jitter) / 1e3:.1f}" if jitter else "-",
-                stats.cycles, stats.overruns)
+                result.details["cycles"], result.details["overruns"])
 
     print_report(comparison_table(
-        [row("unshielded", open_j, open_s),
-         row("shielded", shield_j, shield_s)],
+        [row("unshielded", open_j, open_r),
+         row("shielded", shield_j, shield_r)],
         ["variant", "mean jitter(us)", "max jitter(us)", "cycles",
          "overruns"]))
 
@@ -84,4 +45,4 @@ def test_fbs_cycle_jitter(benchmark):
     # Shielding cuts worst-case wakeup jitter dramatically.
     assert max(shield_j) < max(open_j) / 3
     # The 400 Hz frame holds on the shield.
-    assert shield_s.overruns == 0
+    assert shield_r.details["overruns"] == 0

@@ -3,26 +3,23 @@
 
 Times the sine-wave computation loop (section 5.1) under the scp +
 disknoise load on all four configurations and prints the paper-style
-legends plus a variance histogram per run.
+legends plus a variance histogram per run.  Each figure is a
+registered scenario (``fig1`` .. ``fig4``) run through the declarative
+scenario layer.
 
 Run:  python examples/determinism_comparison.py  [iterations]
 """
 
 import sys
 
-from repro.experiments.determinism import (
-    run_fig1_vanilla_ht,
-    run_fig2_redhawk_shielded,
-    run_fig3_redhawk_unshielded,
-    run_fig4_vanilla_noht,
-)
+from repro.experiments.scenario import run_named
 from repro.metrics.histogram import Histogram
 
 PAPER = {
-    "Figure 1": 26.17,
-    "Figure 2": 1.87,
-    "Figure 3": 14.82,
-    "Figure 4": 13.15,
+    "fig1": 26.17,
+    "fig2": 1.87,
+    "fig3": 14.82,
+    "fig4": 13.15,
 }
 
 
@@ -42,18 +39,10 @@ def render_variances(result, width=56):
 def main():
     iterations = int(sys.argv[1]) if len(sys.argv) > 1 else 10
 
-    runners = [
-        run_fig1_vanilla_ht,
-        run_fig2_redhawk_shielded,
-        run_fig3_redhawk_unshielded,
-        run_fig4_vanilla_noht,
-    ]
-    for runner in runners:
-        result = runner(iterations=iterations)
+    for name, paper_pct in PAPER.items():
+        result = run_named(name, iterations=iterations).to_determinism()
         print(result.report())
         print(render_variances(result))
-        paper_pct = next(v for k, v in PAPER.items()
-                         if result.figure.startswith(k))
         print(f"  paper jitter: {paper_pct}%   "
               f"measured: {result.jitter_percent:.2f}%")
         print()

@@ -5,16 +5,15 @@ Runs Andrew Morton's realfeel benchmark (as modelled in
 :mod:`repro.workloads.realfeel`) under the stress-kernel load on the
 stock 2.4.21 kernel and on RedHawk 1.4 with a shielded CPU, and prints
 the same cumulative bucket tables the paper shows under its figures.
+The two configurations are the registered scenarios ``fig5`` and
+``fig6``.
 
 Run:  python examples/rtc_latency_comparison.py  [samples]
 """
 
 import sys
 
-from repro.experiments.interrupt_response import (
-    run_fig5_vanilla_rtc,
-    run_fig6_redhawk_shielded_rtc,
-)
+from repro.experiments.scenario import run_named
 from repro.metrics.histogram import LogHistogram
 
 
@@ -23,7 +22,7 @@ def main():
 
     print(f"realfeel @2048 Hz, {samples} samples, stress-kernel load\n")
 
-    fig5 = run_fig5_vanilla_rtc(samples=samples)
+    fig5 = run_named("fig5", samples=samples)
     print(fig5.report("buckets"))
     print()
     hist = LogHistogram(10_000.0, 100_000_000.0)
@@ -31,13 +30,13 @@ def main():
     print(hist.render_ascii(unit="ms", scale=1e6))
     print()
 
-    fig6 = run_fig6_redhawk_shielded_rtc(samples=samples)
+    fig6 = run_named("fig6", samples=samples)
     print(fig6.report("fine-buckets"))
     print()
 
-    ratio = fig5.max_ns / max(1, fig6.max_ns)
-    print(f"worst case: {fig5.max_ns / 1e6:.2f} ms (stock) vs "
-          f"{fig6.max_ns / 1e6:.3f} ms (shielded RedHawk)  "
+    ratio = fig5.max_ns() / max(1, fig6.max_ns())
+    print(f"worst case: {fig5.max_ns() / 1e6:.2f} ms (stock) vs "
+          f"{fig6.max_ns() / 1e6:.3f} ms (shielded RedHawk)  "
           f"[{ratio:.0f}x]")
     print("paper:      92.3 ms vs 0.565 ms  [163x]")
 

@@ -1,10 +1,55 @@
-"""Factory functions for the kernels the paper benchmarks."""
+"""Factory functions and a by-name registry for kernel configurations.
+
+The registry lets declarative scenarios (and campaign workers in other
+processes) refer to a kernel by a stable string instead of a callable,
+keeping :class:`~repro.experiments.scenario.ScenarioSpec` picklable.
+"""
 
 from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
 
 from repro.configs.calibration import redhawk_timing_table, vanilla_timing_table
 from repro.kernel.config import KernelConfig
 from repro.sim.simtime import MSEC, USEC
+
+KernelFactory = Callable[[], KernelConfig]
+
+_KERNELS: Dict[str, KernelFactory] = {}
+
+
+def register_kernel(name: str, factory: KernelFactory,
+                    replace: bool = False) -> KernelFactory:
+    """Register *factory* under *name* (e.g. a site-local kernel)."""
+    if name in _KERNELS and not replace:
+        raise ValueError(f"kernel {name!r} already registered")
+    _KERNELS[name] = factory
+    return factory
+
+
+def kernel_factory(name: str) -> KernelFactory:
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        raise KeyError(f"unknown kernel {name!r}; registered: "
+                       f"{sorted(_KERNELS)}") from None
+
+
+def kernel_config(name: str) -> KernelConfig:
+    """Build a fresh config for the registered kernel *name*."""
+    return kernel_factory(name)()
+
+
+def kernel_names() -> List[str]:
+    return sorted(_KERNELS)
+
+
+def kernel_name_of(factory: KernelFactory) -> Optional[str]:
+    """Reverse lookup: the registry name of *factory*, if registered."""
+    for name, registered in _KERNELS.items():
+        if registered is factory:
+            return name
+    return None
 
 
 def vanilla_2_4_21() -> KernelConfig:
@@ -53,3 +98,7 @@ def redhawk_1_4() -> KernelConfig:
         hz=100,
         timing=redhawk_timing_table(),
     )
+
+
+register_kernel("vanilla-2.4.21", vanilla_2_4_21)
+register_kernel("redhawk-1.4", redhawk_1_4)

@@ -1,6 +1,34 @@
-"""Experiment runners: one per figure of the paper, plus ablations."""
+"""Experiment runners and the declarative scenario/campaign layer.
+
+The scenario registry (:mod:`repro.experiments.scenario` +
+:mod:`repro.experiments.catalog`) holds every figure, ablation and FBS
+run as declarative data; the campaign runner
+(:mod:`repro.experiments.campaign`) executes scenario x seed x
+config-override matrices in parallel.  The per-figure functions remain
+as thin wrappers.
+"""
 
 from repro.experiments.harness import Bench, build_bench
+from repro.experiments.scenario import (
+    MeasurementSpec,
+    ScenarioResult,
+    ScenarioSpec,
+    ShieldSpec,
+    UnknownScenarioError,
+    all_scenarios,
+    register_scenario,
+    run_named,
+    run_scenario,
+    scenario,
+    scenario_groups,
+    scenario_names,
+)
+from repro.experiments.campaign import (
+    CampaignResult,
+    CampaignRunner,
+    CampaignSpec,
+    run_campaign,
+)
 from repro.experiments.determinism import (
     run_fig1_vanilla_ht,
     run_fig2_redhawk_shielded,
@@ -19,6 +47,25 @@ from repro.experiments.interrupt_response import (
 __all__ = [
     "Bench",
     "build_bench",
+    # scenario layer
+    "MeasurementSpec",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "ShieldSpec",
+    "UnknownScenarioError",
+    "all_scenarios",
+    "register_scenario",
+    "run_named",
+    "run_scenario",
+    "scenario",
+    "scenario_groups",
+    "scenario_names",
+    # campaigns
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "run_campaign",
+    # legacy figure entry points
     "run_determinism",
     "run_fig1_vanilla_ht",
     "run_fig2_redhawk_shielded",

@@ -1,12 +1,23 @@
-"""Command-line figure runner.
+"""Command-line experiment runner.
 
-Usage::
+Figures (legacy form, kept stable)::
 
     python -m repro.experiments fig5 --samples 20000
     python -m repro.experiments fig2 --iterations 20
     python -m repro.experiments all
 
-Prints the paper-format report for the requested figure(s).
+Scenario registry::
+
+    python -m repro.experiments list-scenarios [--group a1]
+    python -m repro.experiments run a1-full --samples 2000
+
+Campaigns (scenario x seed matrix, parallel workers)::
+
+    python -m repro.experiments campaign --scenarios fig5,fig6 \\
+        --seeds 1..8 --workers 4 --json campaign.json
+
+Prints the paper-format report for the requested figure(s), or the
+campaign summary.
 """
 
 from __future__ import annotations
@@ -25,6 +36,12 @@ from repro.experiments.interrupt_response import (
     run_fig6_redhawk_shielded_rtc,
     run_fig7_rcim,
 )
+from repro.experiments.scenario import (
+    UnknownScenarioError,
+    all_scenarios,
+    run_scenario,
+    scenario,
+)
 
 DETERMINISM = {
     "fig1": run_fig1_vanilla_ht,
@@ -38,40 +55,128 @@ LATENCY = {
     "fig7": (run_fig7_rcim, "summary"),
 }
 
+SUBCOMMANDS = ("campaign", "list-scenarios", "run")
+
 
 def run_one(name: str, iterations: int, samples: int, seed: int,
             json_dir: str = "") -> None:
-    from repro.experiments.export import (
-        determinism_to_dict,
-        latency_to_dict,
-        to_json,
-    )
+    """Run one registered scenario and print its paper-format report."""
+    from repro.experiments.export import scenario_to_dict, to_json
 
-    if name in DETERMINISM:
-        result = DETERMINISM[name](iterations=iterations, seed=seed)
-        print(result.report())
-        data = determinism_to_dict(result)
-    elif name in LATENCY:
-        runner, style = LATENCY[name]
-        result = runner(samples=samples, seed=seed)
-        print(result.report(style))
-        data = latency_to_dict(result)
-    else:
+    try:
+        spec = scenario(name)
+    except UnknownScenarioError:
         raise SystemExit(f"unknown figure {name!r}; choose from "
-                         f"{sorted(DETERMINISM) + sorted(LATENCY)} or 'all'")
+                         f"{sorted(DETERMINISM) + sorted(LATENCY)} or 'all' "
+                         f"(or use 'list-scenarios')")
+    spec = spec.configured(iterations=iterations, samples=samples, seed=seed)
+    result = run_scenario(spec)
+    print(result.report())
     if json_dir:
         import os
 
         path = os.path.join(json_dir, f"{name}.json")
-        to_json(data, path=path)
+        to_json(scenario_to_dict(result), path=path)
         print(f"(wrote {path})")
     print()
 
 
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_list_scenarios(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments list-scenarios",
+        description="List the registered scenarios.")
+    parser.add_argument("--group", default=None,
+                        help="only this group (figures, a1..a6, fbs)")
+    args = parser.parse_args(argv)
+
+    rows = [s for s in all_scenarios()
+            if args.group is None or s.group == args.group]
+    if not rows:
+        print(f"no scenarios in group {args.group!r}")
+        return 1
+    width = max(len(s.name) for s in rows)
+    for s in rows:
+        extra = s.description or s.title
+        print(f"{s.name:<{width}}  [{s.group or '-'}]  "
+              f"{s.kernel}  {extra}")
+    return 0
+
+
+def _cmd_campaign(argv) -> int:
+    from repro.experiments.campaign import parse_seeds, run_campaign
+    from repro.experiments.export import campaign_to_dict, to_json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments campaign",
+        description="Run a scenario x seed matrix, optionally in "
+                    "parallel worker processes.")
+    parser.add_argument("--scenarios", required=True,
+                        help="comma-separated scenario names (see "
+                             "list-scenarios)")
+    parser.add_argument("--seeds", default="1",
+                        help="seed list: '1..8' or '1,2,5' (default 1)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parallel worker processes (default 1)")
+    parser.add_argument("--samples", type=int, default=None,
+                        help="override latency sample counts")
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="override determinism iteration counts")
+    parser.add_argument("--json", default="",
+                        help="write the full campaign data here")
+    args = parser.parse_args(argv)
+
+    names = tuple(n.strip() for n in args.scenarios.split(",") if n.strip())
+    try:
+        seeds = parse_seeds(args.seeds)
+    except ValueError:
+        parser.error(f"--seeds must look like '1..8' or '1,2,5', "
+                     f"got {args.seeds!r}")
+    try:
+        result = run_campaign(names, seeds=seeds,
+                              workers=args.workers, samples=args.samples,
+                              iterations=args.iterations)
+    except (UnknownScenarioError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    print(result.summary())
+    if args.json:
+        to_json(campaign_to_dict(result), path=args.json)
+        print(f"(wrote {args.json})")
+    return 0
+
+
+def _cmd_run(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments run",
+        description="Run one registered scenario by name.")
+    parser.add_argument("scenario")
+    parser.add_argument("--iterations", type=int, default=15)
+    parser.add_argument("--samples", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--json-dir", default="")
+    args = parser.parse_args(argv)
+    run_one(args.scenario, args.iterations, args.samples, args.seed,
+            json_dir=args.json_dir)
+    return 0
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in SUBCOMMANDS:
+        command, rest = argv[0], argv[1:]
+        if command == "campaign":
+            return _cmd_campaign(rest)
+        if command == "list-scenarios":
+            return _cmd_list_scenarios(rest)
+        return _cmd_run(rest)
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Reproduce a figure from the shielded-processors paper.")
+        description="Reproduce a figure from the shielded-processors "
+                    "paper (see also the campaign / list-scenarios / "
+                    "run subcommands).")
     parser.add_argument("figure",
                         help="fig1..fig7, or 'all'")
     parser.add_argument("--iterations", type=int, default=15,

@@ -9,24 +9,40 @@ each mechanism DESIGN.md calls out:
   Figure 5 setup in all four combinations;
 * A3 -- the generic-ioctl BKL-avoidance flag on the Figure 7 setup;
 * A4 -- hyperthreading on/off under RedHawk (why RedHawk ships with
-  it disabled by default).
+  it disabled by default);
+* A5 -- the POSIX high-res timers patch (cyclictest on each kernel);
+* A6 -- the uniprocessor case, where no shield is possible and the
+  patches alone must carry the latency bound.
+
+Every variant is a registered scenario (``a1-none`` .. ``a6-redhawk-up``
+in :mod:`repro.experiments.catalog`); the functions here run one family
+and return the familiar per-variant result dictionaries.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
-from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
-from repro.core.affinity import CpuMask
-from repro.experiments.determinism import DeterminismResult, run_determinism
-from repro.experiments.harness import build_bench
-from repro.experiments.interrupt_response import LatencyResult, _finish
-from repro.hw.machine import interrupt_testbed
-from repro.workloads.base import spawn, spawn_all
-from repro.workloads.realfeel import Realfeel
-from repro.workloads.stress_kernel import stress_kernel_suite
+from repro.experiments.determinism import DeterminismResult
+from repro.experiments.interrupt_response import LatencyResult
+from repro.experiments.scenario import run_scenario, scenario, scenario_names
 
-MEASURE_CPU = 1
+
+def run_ablation_family(group: str, samples: Optional[int] = None,
+                        iterations: Optional[int] = None,
+                        seed: int = 1) -> Dict:
+    """Run every scenario in ablation *group*, keyed by variant name."""
+    results = {}
+    prefix = f"{group}-"
+    for name in scenario_names(group=group):
+        spec = scenario(name).configured(samples=samples,
+                                         iterations=iterations, seed=seed)
+        result = run_scenario(spec)
+        variant = name[len(prefix):] if name.startswith(prefix) else name
+        results[variant] = (result.to_determinism()
+                            if result.kind == "determinism"
+                            else result.to_latency())
+    return results
 
 
 def run_shield_component_ablation(samples: int = 10_000, seed: int = 1
@@ -37,29 +53,7 @@ def run_shield_component_ablation(samples: int = 10_000, seed: int = 1
     (only process shielding), ``procs+irqs``, ``full`` (adds the local
     timer).
     """
-    variants = {
-        "none": (False, False, False),
-        "procs": (True, False, False),
-        "procs+irqs": (True, True, False),
-        "full": (True, True, True),
-    }
-    results: Dict[str, LatencyResult] = {}
-    for name, (procs, irqs, ltmr) in variants.items():
-        config = redhawk_1_4()
-        bench = build_bench(config, interrupt_testbed(), seed=seed)
-        bench.add_background_broadcast()
-        bench.start_devices()
-        bench.rtc.enable_periodic()
-        spawn_all(bench.kernel, stress_kernel_suite(bench.kernel))
-        test = Realfeel(bench.rtc, samples=samples,
-                        affinity=CpuMask.single(MEASURE_CPU))
-        spawn(bench.kernel, test.spec())
-        bench.set_irq_affinity(bench.rtc.irq, MEASURE_CPU)
-        if procs or irqs or ltmr:
-            bench.shield_cpu(MEASURE_CPU, procs=procs, irqs=irqs, ltmr=ltmr)
-        bench.run_until_done(test, limit_ns=test.estimated_sim_ns())
-        results[name] = _finish(f"A1[{name}]", config, test.recorder)
-    return results
+    return run_ablation_family("a1", samples=samples, seed=seed)
 
 
 def run_patch_ablation(samples: int = 10_000, seed: int = 1
@@ -71,25 +65,7 @@ def run_patch_ablation(samples: int = 10_000, seed: int = 1
     paper's introduction describes (stock -> low-latency -> preempt ->
     both, the combination Clark Williams measured at 1.2 ms).
     """
-    variants = {
-        "stock": dict(preemptible=False, low_latency=False),
-        "low-latency": dict(preemptible=False, low_latency=True),
-        "preempt": dict(preemptible=True, low_latency=False),
-        "preempt+lowlat": dict(preemptible=True, low_latency=True),
-    }
-    results: Dict[str, LatencyResult] = {}
-    for name, flags in variants.items():
-        config = vanilla_2_4_21().with_overrides(**flags)
-        bench = build_bench(config, interrupt_testbed(), seed=seed)
-        bench.add_background_broadcast()
-        bench.start_devices()
-        bench.rtc.enable_periodic()
-        spawn_all(bench.kernel, stress_kernel_suite(bench.kernel))
-        test = Realfeel(bench.rtc, samples=samples)
-        spawn(bench.kernel, test.spec())
-        bench.run_until_done(test, limit_ns=test.estimated_sim_ns())
-        results[name] = _finish(f"A2[{name}]", config, test.recorder)
-    return results
+    return run_ablation_family("a2", samples=samples, seed=seed)
 
 
 def run_bkl_flag_ablation(samples: int = 10_000, seed: int = 1
@@ -100,15 +76,7 @@ def run_bkl_flag_ablation(samples: int = 10_000, seed: int = 1
     around the driver routine and reacquires it after the blocking
     wait -- contending with the X server's DRM ioctls.
     """
-    from repro.experiments.interrupt_response import run_rcim_experiment
-
-    results: Dict[str, LatencyResult] = {}
-    for name, flag in (("no-flag", False), ("flag", True)):
-        factory = lambda flag=flag: redhawk_1_4().with_overrides(
-            bkl_ioctl_flag=flag)
-        results[name] = run_rcim_experiment(
-            factory, samples=samples, seed=seed, figure=f"A3[{name}]")
-    return results
+    return run_ablation_family("a3", samples=samples, seed=seed)
 
 
 def run_hyperthreading_ablation(iterations: int = 8, seed: int = 1
@@ -118,11 +86,27 @@ def run_hyperthreading_ablation(iterations: int = 8, seed: int = 1
     RedHawk disables hyperthreading by default; this shows what that
     default is worth on an unshielded CPU.
     """
-    return {
-        "ht-off": run_determinism(redhawk_1_4, hyperthreading=False,
-                                  shielded=False, iterations=iterations,
-                                  seed=seed, figure="A4[ht-off]"),
-        "ht-on": run_determinism(redhawk_1_4, hyperthreading=True,
-                                 shielded=False, iterations=iterations,
-                                 seed=seed, figure="A4[ht-on]"),
-    }
+    return run_ablation_family("a4", iterations=iterations, seed=seed)
+
+
+def run_timer_resolution_ablation(cycles: int = 3_000, seed: int = 5
+                                  ) -> Dict[str, LatencyResult]:
+    """A5: jiffies-resolution vs high-res timers (cyclictest).
+
+    Vanilla 2.4 rounds every nanosleep up to jiffies (HZ=100:
+    10-20 ms!), so its timer latency is dominated by the clock;
+    RedHawk's high-res timers expose the actual scheduling latency,
+    which shielding then bounds.
+    """
+    return run_ablation_family("a5", samples=cycles, seed=seed)
+
+
+def run_uniprocessor_ablation(samples: int = 6_000, seed: int = 9
+                              ) -> Dict[str, LatencyResult]:
+    """A6: realfeel on a single-CPU machine.
+
+    No shield is possible on UP; RedHawk's preemption + low-latency +
+    bounded-softirq machinery alone must bound the tail that vanilla
+    leaves unbounded.
+    """
+    return run_ablation_family("a6", samples=samples, seed=seed)

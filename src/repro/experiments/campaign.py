@@ -1,0 +1,200 @@
+"""Parallel campaign execution over the scenario registry.
+
+A :class:`CampaignSpec` names a scenario x seed x config-override
+matrix; :class:`CampaignRunner` expands it into jobs and executes the
+benches in parallel with :mod:`multiprocessing`.  Each worker rebuilds
+its bench from the picklable :class:`ScenarioSpec`, so runs are fully
+independent; the merged :class:`CampaignResult` is **byte-identical
+regardless of worker count or scheduling order** because
+
+* every job's seed and configuration live in its spec (no shared RNG),
+* results are reassembled in the deterministic job-expansion order, and
+* merging recorders is a pure, order-preserving fold over that order.
+
+Usage::
+
+    campaign = CampaignSpec(scenarios=("fig5", "fig6"),
+                            seeds=tuple(range(1, 9)))
+    result = CampaignRunner(campaign, workers=4).run()
+    result.merged["fig5"].max()
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments.scenario import (
+    ScenarioResult,
+    ScenarioSpec,
+    run_scenario,
+    scenario,
+)
+from repro.metrics.recorder import JitterRecorder, LatencyRecorder
+from repro.sim.rng import DEFAULT_SEED
+
+
+def parse_seeds(text: str) -> Tuple[int, ...]:
+    """Parse a seed list: ``"1..8"`` (inclusive) or ``"1,2,5"``."""
+    text = text.strip()
+    if ".." in text:
+        lo, hi = text.split("..", 1)
+        return tuple(range(int(lo), int(hi) + 1))
+    return tuple(int(part) for part in text.split(",") if part.strip())
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One expanded (scenario, seed, override) cell of the matrix."""
+
+    index: int
+    spec: ScenarioSpec
+    override_tag: str = ""
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The campaign matrix, as data.
+
+    ``config_overrides`` is an optional extra axis: each entry is a
+    ``(tag, {field: value})`` pair applied to every scenario.  The
+    default single empty entry runs each scenario as registered.
+    """
+
+    scenarios: Tuple[str, ...]
+    seeds: Tuple[int, ...] = (DEFAULT_SEED,)
+    config_overrides: Tuple[Tuple[str, Dict[str, Any]], ...] = (("", {}),)
+    samples: Optional[int] = None
+    iterations: Optional[int] = None
+    duration_ns: Optional[int] = None
+
+    def expand(self) -> List[CampaignJob]:
+        """The deterministic job list: scenario-major, then override,
+        then seed."""
+        if not self.scenarios:
+            raise ValueError("a campaign needs at least one scenario")
+        if not self.seeds:
+            raise ValueError("a campaign needs at least one seed")
+        jobs: List[CampaignJob] = []
+        for name in self.scenarios:
+            base = scenario(name)
+            for tag, overrides in self.config_overrides:
+                for seed in self.seeds:
+                    spec = base.configured(
+                        samples=self.samples,
+                        iterations=self.iterations,
+                        duration_ns=self.duration_ns,
+                        seed=seed,
+                        config_overrides=overrides or None,
+                    )
+                    jobs.append(CampaignJob(index=len(jobs), spec=spec,
+                                            override_tag=tag))
+        return jobs
+
+
+def _run_job(job: CampaignJob) -> Tuple[int, ScenarioResult]:
+    """Worker entry point: rebuild the bench from the spec and run."""
+    return job.index, run_scenario(job.spec)
+
+
+@dataclass
+class CampaignResult:
+    """All runs of a campaign plus per-scenario merged recorders."""
+
+    campaign: CampaignSpec
+    jobs: List[CampaignJob]
+    runs: List[ScenarioResult]
+    workers: int = 1
+    merged: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.merged:
+            self.merged = self._merge()
+
+    def _merge(self) -> Dict[str, Any]:
+        """Fold each scenario's recorders in job order (deterministic)."""
+        by_scenario: Dict[str, List[ScenarioResult]] = {}
+        for result in self.runs:
+            by_scenario.setdefault(result.scenario, []).append(result)
+        merged: Dict[str, Any] = {}
+        for name, results in by_scenario.items():
+            recorders = [r.recorder for r in results]
+            if isinstance(recorders[0], JitterRecorder):
+                merged[name] = JitterRecorder.merged(name, recorders)
+            else:
+                merged[name] = LatencyRecorder.merged(name, recorders)
+        return merged
+
+    def results_for(self, scenario_name: str) -> List[ScenarioResult]:
+        return [r for r in self.runs if r.scenario == scenario_name]
+
+    def summary(self) -> str:
+        """One line per run plus one merged line per scenario."""
+        def headline(rec) -> str:
+            if isinstance(rec, JitterRecorder):
+                return (f"n={rec.count} "
+                        f"jitter={rec.jitter_ns() / 1e6:.2f}ms")
+            return f"n={rec.count} max={rec.max() / 1e3:.1f}us"
+
+        lines = []
+        for job, result in zip(self.jobs, self.runs):
+            tag = f" [{job.override_tag}]" if job.override_tag else ""
+            lines.append(f"{result.scenario}{tag} seed={result.seed}: "
+                         f"{headline(result.recorder)}")
+        for name in sorted(self.merged):
+            lines.append(f"{name} merged: {headline(self.merged[name])}")
+        return "\n".join(lines)
+
+
+class CampaignRunner:
+    """Expand and execute a campaign, optionally across processes."""
+
+    def __init__(self, campaign: CampaignSpec, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.campaign = campaign
+        self.workers = workers
+
+    def run(self) -> CampaignResult:
+        jobs = self.campaign.expand()
+        if self.workers == 1 or len(jobs) == 1:
+            results = [run_scenario(job.spec) for job in jobs]
+        else:
+            results = self._run_parallel(jobs)
+        return CampaignResult(campaign=self.campaign, jobs=jobs,
+                              runs=results, workers=self.workers)
+
+    def _run_parallel(self, jobs: List[CampaignJob]
+                      ) -> List[ScenarioResult]:
+        # fork keeps the already-imported registries; fall back to
+        # spawn on platforms without it (workers re-import the catalog).
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        workers = min(self.workers, len(jobs))
+        with ctx.Pool(processes=workers) as pool:
+            indexed = pool.map(_run_job, jobs, chunksize=1)
+        # Reassemble in job order no matter how the pool scheduled them.
+        ordered: List[Optional[ScenarioResult]] = [None] * len(jobs)
+        for index, result in indexed:
+            ordered[index] = result
+        return [r for r in ordered if r is not None]
+
+
+def run_campaign(scenarios: Tuple[str, ...],
+                 seeds: Tuple[int, ...] = (DEFAULT_SEED,),
+                 workers: int = 1,
+                 samples: Optional[int] = None,
+                 iterations: Optional[int] = None,
+                 duration_ns: Optional[int] = None,
+                 config_overrides: Optional[
+                     Tuple[Tuple[str, Dict[str, Any]], ...]] = None,
+                 ) -> CampaignResult:
+    """One-call campaign: expand the matrix and run it."""
+    campaign = CampaignSpec(
+        scenarios=tuple(scenarios), seeds=tuple(seeds),
+        samples=samples, iterations=iterations, duration_ns=duration_ns)
+    if config_overrides is not None:
+        campaign = replace(campaign, config_overrides=config_overrides)
+    return CampaignRunner(campaign, workers=workers).run()

@@ -13,25 +13,30 @@ Figure 2     RedHawk 1.4                 CPU 1 fully shielded
 Figure 3     RedHawk 1.4                 shield disabled
 Figure 4     kernel.org 2.4.21           hyperthreading off
 ===========  ==========================  =====================
+
+These runners are thin wrappers over the declarative scenario layer
+(:mod:`repro.experiments.scenario`): each builds or looks up a
+:class:`ScenarioSpec` and converts the result.  New experiments should
+register scenarios instead of adding bespoke runner functions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
-from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
-from repro.core.affinity import CpuMask
-from repro.experiments.harness import Bench, build_bench
+from repro.configs.kernels import kernel_name_of
+from repro.experiments.scenario import (
+    MeasurementSpec,
+    ScenarioSpec,
+    ShieldSpec,
+    run_scenario,
+)
 from repro.hw.machine import determinism_testbed
 from repro.kernel.config import KernelConfig
 from repro.metrics.recorder import JitterRecorder
 from repro.metrics.report import determinism_summary
-from repro.sim.simtime import SEC
-from repro.workloads.base import spawn
-from repro.workloads.determinism import DeterminismTest
-from repro.workloads.disknoise import disknoise
-from repro.workloads.netload import scp_copy_loop
+from repro.workloads.determinism import PAPER_IDEAL_NS
 
 #: CPU hosting the measurement task, as in the paper's shielded runs.
 MEASURE_CPU = 1
@@ -48,23 +53,33 @@ class DeterminismResult:
     max_ns: int
     jitter_ns: int
     jitter_percent: float
+    seed: int = 0
 
     def report(self) -> str:
         return determinism_summary(
             self.recorder, f"{self.figure}: {self.kernel_name}")
 
 
-def _measure_ideal(config_factory: Callable[[], KernelConfig],
-                   hyperthreading: bool, loop_ns: int, seed: int) -> int:
-    """The unloaded baseline run (3 iterations, no load, no shield)."""
-    bench = build_bench(config_factory(),
-                        determinism_testbed(hyperthreading), seed=seed + 777)
-    bench.start_devices()
-    test = DeterminismTest(iterations=3, loop_ns=loop_ns,
-                           affinity=CpuMask.single(MEASURE_CPU))
-    spawn(bench.kernel, test.spec())
-    bench.run_until_done(test, limit_ns=test.estimated_sim_ns())
-    return int(test.recorder.as_array().min())
+def determinism_spec(kernel: str, hyperthreading: bool, shielded: bool,
+                     iterations: int = 25,
+                     loop_ns: int = PAPER_IDEAL_NS,
+                     seed: int = 1,
+                     figure: str = "determinism") -> ScenarioSpec:
+    """An ad-hoc determinism scenario (the Figures 1-4 shape)."""
+    return ScenarioSpec(
+        name=figure,
+        title=figure,
+        kernel=kernel,
+        machine=determinism_testbed(hyperthreading),
+        workloads=("scp-copy", "disknoise"),
+        shield=(ShieldSpec.full(MEASURE_CPU) if shielded else ShieldSpec()),
+        measurement=MeasurementSpec(program="determinism",
+                                    iterations=iterations,
+                                    loop_ns=loop_ns,
+                                    pin_cpu=MEASURE_CPU,
+                                    measure_ideal=True),
+        seed=seed,
+    )
 
 
 def run_determinism(config_factory: Callable[[], KernelConfig],
@@ -74,70 +89,45 @@ def run_determinism(config_factory: Callable[[], KernelConfig],
                     loop_ns: int = 1_147_000_000,
                     seed: int = 1,
                     figure: str = "determinism") -> DeterminismResult:
-    """Run one determinism experiment end to end."""
-    ideal = _measure_ideal(config_factory, hyperthreading, loop_ns, seed)
-
-    config = config_factory()
-    bench = build_bench(config, determinism_testbed(hyperthreading),
-                        seed=seed)
-    bench.start_devices()
-
-    # Background load: the scp copy and the disknoise script.
-    spawn(bench.kernel, scp_copy_loop(bench.kernel, bench.nic))
-    spawn(bench.kernel, disknoise(bench.kernel))
-
-    test = DeterminismTest(iterations=iterations, loop_ns=loop_ns,
-                           affinity=CpuMask.single(MEASURE_CPU))
-    spawn(bench.kernel, test.spec())
-
-    if shielded:
-        if not config.shield_support:
-            raise ValueError(f"{config.name} has no shield support")
-        bench.shield_cpu(MEASURE_CPU)
-
-    bench.run_until_done(test, limit_ns=test.estimated_sim_ns())
-    test.recorder.set_ideal(ideal)
-    return DeterminismResult(
-        figure=figure,
-        kernel_name=config.describe(),
-        recorder=test.recorder,
-        ideal_ns=ideal,
-        max_ns=test.recorder.max(),
-        jitter_ns=test.recorder.jitter_ns(),
-        jitter_percent=100.0 * test.recorder.jitter_fraction(),
-    )
+    """Run one determinism experiment end to end (legacy entry point)."""
+    kernel = kernel_name_of(config_factory)
+    spec = determinism_spec(kernel or "ad-hoc", hyperthreading, shielded,
+                            iterations=iterations, loop_ns=loop_ns,
+                            seed=seed, figure=figure)
+    result = run_scenario(
+        spec, kernel_factory=None if kernel else config_factory)
+    return result.to_determinism()
 
 
 # ----------------------------------------------------------------------
-# The four figures
+# The four figures (registered as fig1..fig4 in the catalog)
 # ----------------------------------------------------------------------
+def _run_figure(name: str, iterations: int, seed: int) -> DeterminismResult:
+    from repro.experiments.scenario import scenario
+
+    spec = scenario(name).configured(iterations=iterations, seed=seed)
+    return run_scenario(spec).to_determinism()
+
+
 def run_fig1_vanilla_ht(iterations: int = 25, seed: int = 1
                         ) -> DeterminismResult:
     """Figure 1: kernel.org 2.4.21, hyperthreading enabled."""
-    return run_determinism(vanilla_2_4_21, hyperthreading=True,
-                           shielded=False, iterations=iterations, seed=seed,
-                           figure="Figure 1 (kernel.org, HT)")
+    return _run_figure("fig1", iterations, seed)
 
 
 def run_fig2_redhawk_shielded(iterations: int = 25, seed: int = 1
                               ) -> DeterminismResult:
     """Figure 2: RedHawk 1.4, CPU 1 shielded."""
-    return run_determinism(redhawk_1_4, hyperthreading=False,
-                           shielded=True, iterations=iterations, seed=seed,
-                           figure="Figure 2 (RedHawk, shielded CPU)")
+    return _run_figure("fig2", iterations, seed)
 
 
 def run_fig3_redhawk_unshielded(iterations: int = 25, seed: int = 1
                                 ) -> DeterminismResult:
     """Figure 3: RedHawk 1.4, shield disabled."""
-    return run_determinism(redhawk_1_4, hyperthreading=False,
-                           shielded=False, iterations=iterations, seed=seed,
-                           figure="Figure 3 (RedHawk, unshielded CPU)")
+    return _run_figure("fig3", iterations, seed)
 
 
 def run_fig4_vanilla_noht(iterations: int = 25, seed: int = 1
                           ) -> DeterminismResult:
     """Figure 4: kernel.org 2.4.21, hyperthreading disabled."""
-    return run_determinism(vanilla_2_4_21, hyperthreading=False,
-                           shielded=False, iterations=iterations, seed=seed,
-                           figure="Figure 4 (kernel.org, no HT)")
+    return _run_figure("fig4", iterations, seed)

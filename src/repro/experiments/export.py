@@ -11,11 +11,15 @@ identity of the experiment).
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence, TYPE_CHECKING
 
 from repro.experiments.determinism import DeterminismResult
 from repro.experiments.interrupt_response import LatencyResult
 from repro.metrics.histogram import Histogram, LogHistogram
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.campaign import CampaignResult
+    from repro.experiments.scenario import ScenarioResult
 
 
 def determinism_to_dict(result: DeterminismResult,
@@ -28,6 +32,7 @@ def determinism_to_dict(result: DeterminismResult,
     return {
         "figure": result.figure,
         "kernel": result.kernel_name,
+        "seed": result.seed,
         "iterations": result.recorder.count,
         "ideal_s": result.ideal_ns / 1e9,
         "max_s": result.max_ns / 1e9,
@@ -53,6 +58,7 @@ def latency_to_dict(result: LatencyResult,
     out: Dict[str, Any] = {
         "figure": result.figure,
         "kernel": result.kernel_name,
+        "seed": result.seed,
         "samples": rec.count,
         "min_us": rec.min() / 1e3,
         "mean_us": rec.mean() / 1e3,
@@ -70,6 +76,54 @@ def latency_to_dict(result: LatencyResult,
             for t in thresholds_ms
         ]
     return out
+
+
+def scenario_to_dict(result: "ScenarioResult") -> Dict[str, Any]:
+    """Flatten a scenario-layer result, whatever its kind."""
+    if result.kind == "determinism":
+        out = determinism_to_dict(result.to_determinism())
+    else:
+        out = latency_to_dict(result.to_latency())
+    out["scenario"] = result.scenario
+    out["kind"] = result.kind
+    if result.details:
+        out["details"] = dict(result.details)
+    return out
+
+
+def campaign_to_dict(result: "CampaignResult") -> Dict[str, Any]:
+    """Flatten a whole campaign: every run plus per-scenario merges.
+
+    The output is deterministic for a given campaign matrix (runs in
+    job-expansion order, merges folded in that same order), which is
+    what the worker-count-independence guarantee is asserted against.
+    """
+    runs = []
+    for job, run in zip(result.jobs, result.runs):
+        data = scenario_to_dict(run)
+        if job.override_tag:
+            data["override"] = job.override_tag
+        runs.append(data)
+    merged = {}
+    for name in sorted(result.merged):
+        rec = result.merged[name]
+        merged[name] = {
+            "count": rec.count,
+            "max_ns": rec.max(),
+            "samples_or_durations": list(
+                getattr(rec, "samples", None)
+                or getattr(rec, "durations", [])),
+        }
+    return {
+        "campaign": {
+            "scenarios": list(result.campaign.scenarios),
+            "seeds": list(result.campaign.seeds),
+            "overrides": [tag for tag, _ in result.campaign.config_overrides
+                          if tag],
+        },
+        "runs": runs,
+        "merged": merged,
+    }
 
 
 def to_json(data: Dict[str, Any], path: Optional[str] = None,

@@ -27,6 +27,7 @@ from repro.kernel.drivers.rcim_dev import RcimDriver
 from repro.kernel.drivers.rtc_dev import RtcDriver
 from repro.kernel.kernel import Kernel
 from repro.sim.engine import Simulator
+from repro.sim.errors import SimulationStalledError
 from repro.sim.simtime import MSEC, SEC, USEC
 
 
@@ -80,17 +81,34 @@ class Bench:
 
     def run_until_done(self, test, limit_ns: int,
                        chunk_ns: int = 250 * MSEC) -> None:
-        """Advance in chunks until *test.finished* or the time limit."""
+        """Advance in chunks until *test.finished* or the time limit.
+
+        If the event heap drains while the test is still unfinished the
+        simulation can never progress again; rather than silently
+        burning the remaining limit we raise a diagnostic immediately.
+        """
         deadline = self.sim.now + limit_ns
         while not test.finished and self.sim.now < deadline:
+            if self.sim.peek_time() is None:
+                name = getattr(test, "name", type(test).__name__)
+                raise SimulationStalledError(
+                    f"event heap drained at t={self.sim.now} ns with "
+                    f"measurement program {name!r} unfinished "
+                    f"({deadline - self.sim.now} ns short of its limit); "
+                    f"a workload or device stopped scheduling events")
             self.sim.run_until(min(deadline, self.sim.now + chunk_ns))
 
 
 def build_bench(config: KernelConfig, spec: Optional[MachineSpec] = None,
-                seed: int = 1,
+                seed: Optional[int] = None,
                 rtc_hz: int = 2048,
                 rcim_period_ns: int = 1000 * USEC) -> Bench:
-    """Assemble and boot a complete testbed."""
+    """Assemble and boot a complete testbed.
+
+    *seed* defaults to :data:`repro.sim.rng.DEFAULT_SEED`; scenario
+    runs always pass their ``ScenarioSpec.seed`` explicitly so the seed
+    of a run is stated in exactly one place.
+    """
     if spec is None:
         spec = interrupt_testbed()
     sim = Simulator(seed=seed)

@@ -10,16 +10,25 @@ lock contention on the read() exit path.
 Figure 7: the RCIM ioctl test on RedHawk with the full shield and the
 BKL-avoidance flag, under stress-kernel plus X11perf plus ttcp over
 Ethernet -- worst case below 30 us.
+
+These runners are thin wrappers over the declarative scenario layer
+(:mod:`repro.experiments.scenario`); the figure setups themselves are
+registered in :mod:`repro.experiments.catalog`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
-from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
-from repro.core.affinity import CpuMask
-from repro.experiments.harness import Bench, build_bench
+from repro.configs.kernels import kernel_name_of
+from repro.experiments.scenario import (
+    MeasurementSpec,
+    ScenarioSpec,
+    ShieldSpec,
+    run_scenario,
+    scenario,
+)
 from repro.hw.machine import interrupt_testbed
 from repro.kernel.config import KernelConfig
 from repro.metrics.recorder import LatencyRecorder
@@ -30,12 +39,6 @@ from repro.metrics.report import (
     latency_summary,
 )
 from repro.sim.simtime import USEC
-from repro.workloads.base import spawn, spawn_all
-from repro.workloads.netload import ttcp_ethernet
-from repro.workloads.realfeel import Realfeel
-from repro.workloads.rcim_response import RcimResponseTest
-from repro.workloads.stress_kernel import stress_kernel_suite
-from repro.workloads.x11perf import x11perf
 
 MEASURE_CPU = 1
 
@@ -50,6 +53,7 @@ class LatencyResult:
     max_ns: int
     mean_ns: float
     min_ns: int
+    seed: int = 0
 
     def report(self, style: str = "buckets") -> str:
         title = f"{self.figure}: {self.kernel_name}"
@@ -61,7 +65,7 @@ class LatencyResult:
 
 
 def _finish(figure: str, config: KernelConfig,
-            recorder: LatencyRecorder) -> LatencyResult:
+            recorder: LatencyRecorder, seed: int = 0) -> LatencyResult:
     return LatencyResult(
         figure=figure,
         kernel_name=config.describe(),
@@ -69,6 +73,7 @@ def _finish(figure: str, config: KernelConfig,
         max_ns=recorder.max(),
         mean_ns=recorder.mean(),
         min_ns=recorder.min(),
+        seed=seed,
     )
 
 
@@ -78,83 +83,81 @@ def run_rtc_experiment(config_factory: Callable[[], KernelConfig],
                        seed: int = 1,
                        figure: str = "rtc-latency") -> LatencyResult:
     """realfeel under stress-kernel (Figures 5 and 6)."""
-    config = config_factory()
-    bench = build_bench(config, interrupt_testbed(), seed=seed, rtc_hz=2048)
-    bench.add_background_broadcast()
-    bench.start_devices()
-    bench.rtc.enable_periodic()
-
-    spawn_all(bench.kernel, stress_kernel_suite(bench.kernel))
-
-    affinity = CpuMask.single(MEASURE_CPU) if shielded else None
-    test = Realfeel(bench.rtc, samples=samples, affinity=affinity)
-    spawn(bench.kernel, test.spec())
-
-    if shielded:
-        if not config.shield_support:
-            raise ValueError(f"{config.name} has no shield support")
-        bench.set_irq_affinity(bench.rtc.irq, MEASURE_CPU)
-        bench.shield_cpu(MEASURE_CPU)
-
-    bench.run_until_done(test, limit_ns=test.estimated_sim_ns())
-    return _finish(figure, config, test.recorder)
+    kernel = kernel_name_of(config_factory)
+    spec = ScenarioSpec(
+        name=figure,
+        title=figure,
+        kernel=kernel or "ad-hoc",
+        machine=interrupt_testbed(),
+        workloads=("broadcast", "stress-kernel"),
+        shield=(ShieldSpec.full(MEASURE_CPU, pin_irq="rtc") if shielded
+                else ShieldSpec()),
+        measurement=MeasurementSpec(
+            program="realfeel", samples=samples,
+            pin_cpu=MEASURE_CPU if shielded else None),
+        rtc_periodic=True,
+        seed=seed,
+    )
+    result = run_scenario(
+        spec, kernel_factory=None if kernel else config_factory)
+    return result.to_latency()
 
 
-def run_rcim_experiment(config_factory: Callable[[], KernelConfig] = redhawk_1_4,
+def run_rcim_experiment(config_factory: Callable[[], KernelConfig] = None,
                         samples: int = 40_000,
                         seed: int = 1,
                         shielded: bool = True,
                         rcim_period_ns: int = 1000 * USEC,
                         figure: str = "rcim-latency") -> LatencyResult:
     """The RCIM test under the heavier Figure 7 load."""
+    from repro.configs.kernels import redhawk_1_4
+
+    if config_factory is None:
+        config_factory = redhawk_1_4
+    kernel = kernel_name_of(config_factory)
     config = config_factory()
-    bench = build_bench(config, interrupt_testbed(), seed=seed,
-                        rcim_period_ns=rcim_period_ns)
-    bench.add_background_broadcast()
-    bench.start_devices()
-    bench.rcim.enable_timer()
-
-    spawn_all(bench.kernel, stress_kernel_suite(bench.kernel))
-    spawn(bench.kernel, x11perf(bench.kernel, bench.gpu))
-    spawn(bench.kernel, ttcp_ethernet(bench.kernel, bench.nic))
-
-    affinity = CpuMask.single(MEASURE_CPU) if shielded else None
-    test = RcimResponseTest(bench.rcim, samples=samples, affinity=affinity)
-    spawn(bench.kernel, test.spec())
-
-    if shielded:
-        if config.shield_support:
-            bench.set_irq_affinity(bench.rcim.irq, MEASURE_CPU)
-            bench.shield_cpu(MEASURE_CPU)
-        # On kernels without shield support the test still pins itself
-        # and the IRQ can still be steered the standard way:
-        else:
-            bench.set_irq_affinity(bench.rcim.irq, MEASURE_CPU)
-
-    bench.run_until_done(test, limit_ns=test.estimated_sim_ns())
-    return _finish(figure, config, test.recorder)
+    # On kernels without shield support the test still pins itself and
+    # the IRQ can still be steered the standard way:
+    shield_components = shielded and config.shield_support
+    spec = ScenarioSpec(
+        name=figure,
+        title=figure,
+        kernel=kernel or "ad-hoc",
+        machine=interrupt_testbed(),
+        workloads=("broadcast", "stress-kernel", "x11perf", "ttcp"),
+        shield=ShieldSpec(procs=shield_components, irqs=shield_components,
+                          ltmr=shield_components, cpu=MEASURE_CPU,
+                          pin_irq="rcim" if shielded else None),
+        measurement=MeasurementSpec(
+            program="rcim", samples=samples,
+            pin_cpu=MEASURE_CPU if shielded else None),
+        rcim_period_ns=rcim_period_ns,
+        rcim_timer=True,
+        seed=seed,
+    )
+    result = run_scenario(
+        spec, kernel_factory=None if kernel else config_factory)
+    return result.to_latency()
 
 
 # ----------------------------------------------------------------------
-# The three figures
+# The three figures (registered as fig5..fig7 in the catalog)
 # ----------------------------------------------------------------------
 def run_fig5_vanilla_rtc(samples: int = 40_000, seed: int = 1
                          ) -> LatencyResult:
     """Figure 5: kernel.org 2.4.21, realfeel, stress-kernel load."""
-    return run_rtc_experiment(vanilla_2_4_21, shielded=False,
-                              samples=samples, seed=seed,
-                              figure="Figure 5 (kernel.org realfeel)")
+    spec = scenario("fig5").configured(samples=samples, seed=seed)
+    return run_scenario(spec).to_latency()
 
 
 def run_fig6_redhawk_shielded_rtc(samples: int = 40_000, seed: int = 1
                                   ) -> LatencyResult:
     """Figure 6: RedHawk 1.4, realfeel on shielded CPU 1."""
-    return run_rtc_experiment(redhawk_1_4, shielded=True,
-                              samples=samples, seed=seed,
-                              figure="Figure 6 (RedHawk realfeel, shielded)")
+    spec = scenario("fig6").configured(samples=samples, seed=seed)
+    return run_scenario(spec).to_latency()
 
 
 def run_fig7_rcim(samples: int = 40_000, seed: int = 1) -> LatencyResult:
     """Figure 7: RedHawk 1.4, RCIM response on shielded CPU 1."""
-    return run_rcim_experiment(redhawk_1_4, samples=samples, seed=seed,
-                               figure="Figure 7 (RedHawk RCIM, shielded)")
+    spec = scenario("fig7").configured(samples=samples, seed=seed)
+    return run_scenario(spec).to_latency()

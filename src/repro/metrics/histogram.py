@@ -64,6 +64,13 @@ class Histogram:
     def total(self) -> int:
         return int(self.counts.sum())
 
+    def merge_from(self, other: "Histogram") -> None:
+        """Add *other*'s counts bin-for-bin (identical binning only)."""
+        if (other.lo, other.hi, other.nbins) != (self.lo, self.hi,
+                                                 self.nbins):
+            raise ValueError("cannot merge histograms with different bins")
+        self.counts += other.counts
+
 
 class LogHistogram:
     """Histogram with logarithmically spaced bin edges."""
@@ -100,6 +107,13 @@ class LogHistogram:
 
     def total(self) -> int:
         return int(self.counts.sum())
+
+    def merge_from(self, other: "LogHistogram") -> None:
+        """Add *other*'s counts bin-for-bin (identical binning only)."""
+        if (other.lo, other.hi, other.nbins) != (self.lo, self.hi,
+                                                 self.nbins):
+            raise ValueError("cannot merge histograms with different bins")
+        self.counts += other.counts
 
     def render_ascii(self, width: int = 60, unit: str = "ms",
                      scale: float = 1e6) -> str:

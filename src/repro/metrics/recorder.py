@@ -13,7 +13,7 @@ best (ideal) iteration is jitter.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -80,6 +80,27 @@ class LatencyRecorder:
         arr = self.as_array()
         return int(((arr >= lo_ns) & (arr < hi_ns)).sum())
 
+    # -- merging (campaign support) --------------------------------------
+    def merge_from(self, other: "LatencyRecorder") -> None:
+        """Append *other*'s samples (order-preserving, deterministic)."""
+        self.samples.extend(other.samples)
+
+    @classmethod
+    def merged(cls, name: str, recorders: Sequence["LatencyRecorder"]
+               ) -> "LatencyRecorder":
+        """Combine several recorders into one (e.g. a multi-seed sweep).
+
+        The period is kept only if all inputs agree; a merged recorder
+        is for statistics, not for feeding further ``record_return``
+        calls.
+        """
+        periods = {r.period_ns for r in recorders}
+        period = periods.pop() if len(periods) == 1 else None
+        out = cls(name, period_ns=period)
+        for rec in recorders:
+            out.merge_from(rec)
+        return out
+
 
 class JitterRecorder:
     """Execution-determinism samples (section 5 style)."""
@@ -132,3 +153,22 @@ class JitterRecorder:
         """Per-iteration excess in ms (the figures' x axis)."""
         arr = self.as_array()
         return (arr - self.ideal()) / 1e6
+
+    # -- merging (campaign support) --------------------------------------
+    def merge_from(self, other: "JitterRecorder") -> None:
+        """Append *other*'s iterations; the ideal becomes the best one."""
+        self.durations.extend(other.durations)
+        if other._forced_ideal is not None:
+            if self._forced_ideal is None:
+                self._forced_ideal = other._forced_ideal
+            else:
+                self._forced_ideal = min(self._forced_ideal,
+                                         other._forced_ideal)
+
+    @classmethod
+    def merged(cls, name: str, recorders: Sequence["JitterRecorder"]
+               ) -> "JitterRecorder":
+        out = cls(name)
+        for rec in recorders:
+            out.merge_from(rec)
+        return out

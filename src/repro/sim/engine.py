@@ -18,8 +18,12 @@ from typing import Callable, List, Optional
 
 from repro.sim.errors import SchedulingInPastError, SimulationStalledError
 from repro.sim.events import EventHandle
-from repro.sim.rng import RngStreams
+from repro.sim.rng import DEFAULT_SEED, RngStreams
 from repro.sim.trace import TraceBuffer
+
+#: Compact the heap only once it is at least this large; below that the
+#: lazy-deletion overhead is noise and compaction would just churn.
+_COMPACT_FLOOR = 64
 
 
 class Simulator:
@@ -28,17 +32,23 @@ class Simulator:
     Parameters
     ----------
     seed:
-        Master seed for all named random substreams.
+        Master seed for all named random substreams.  ``None`` uses the
+        repo-wide :data:`repro.sim.rng.DEFAULT_SEED` so that a run's
+        seed is stated in exactly one place (normally the
+        ``ScenarioSpec`` driving the experiment).
     trace_capacity:
         Ring-buffer size for the (normally disabled) trace facility.
     """
 
-    def __init__(self, seed: int = 0, trace_capacity: int = 65536) -> None:
+    def __init__(self, seed: Optional[int] = None,
+                 trace_capacity: int = 65536) -> None:
         self.now: int = 0
         self._heap: List[EventHandle] = []
         self._seq = 0
         self._events_fired = 0
-        self.rng = RngStreams(seed)
+        self._live = 0   # alive entries currently in the heap
+        self._dead = 0   # cancelled entries not yet popped or compacted
+        self.rng = RngStreams(DEFAULT_SEED if seed is None else seed)
         self.trace = TraceBuffer(trace_capacity)
 
     # ------------------------------------------------------------------
@@ -51,8 +61,10 @@ class Simulator:
             raise SchedulingInPastError(
                 f"cannot schedule {label or callback} at t={when} < now={self.now}")
         handle = EventHandle(when, self._seq, callback, label)
+        handle._owner = self
         self._seq += 1
         heapq.heappush(self._heap, handle)
+        self._live += 1
         return handle
 
     def after(self, delay: int, callback: Callable[[], None],
@@ -64,23 +76,50 @@ class Simulator:
         return self.at(self.now + delay, callback, label)
 
     # ------------------------------------------------------------------
+    # Heap hygiene
+    # ------------------------------------------------------------------
+    def _note_cancelled(self, handle: EventHandle) -> None:
+        """A handle still in the heap was cancelled (EventHandle hook)."""
+        self._live -= 1
+        self._dead += 1
+        if (self._dead > len(self._heap) // 2
+                and len(self._heap) >= _COMPACT_FLOOR):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        heapify preserves the (when, seq) ordering contract, so firing
+        order is unaffected; only the dead weight goes away.
+        """
+        self._heap = [h for h in self._heap if h._alive]
+        heapq.heapify(self._heap)
+        self._dead = 0
+
+    def _discard_dead_head(self) -> None:
+        """Pop cancelled entries sitting at the top of the heap."""
+        heap = self._heap
+        while heap and not heap[0]._alive:
+            heapq.heappop(heap)
+            self._dead -= 1
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def _pop_live(self) -> Optional[EventHandle]:
         """Pop the next live event, discarding cancelled entries."""
-        heap = self._heap
-        while heap:
-            handle = heapq.heappop(heap)
-            if handle._consume():
-                return handle
-        return None
+        self._discard_dead_head()
+        if not self._heap:
+            return None
+        handle = heapq.heappop(self._heap)
+        handle._consume()
+        self._live -= 1
+        return handle
 
     def peek_time(self) -> Optional[int]:
         """Timestamp of the next live event, or None if the heap is empty."""
-        heap = self._heap
-        while heap and not heap[0].alive:
-            heapq.heappop(heap)
-        return heap[0].when if heap else None
+        self._discard_dead_head()
+        return self._heap[0].when if self._heap else None
 
     def step(self) -> bool:
         """Fire the next event.  Returns False if none remain."""
@@ -99,11 +138,9 @@ class Simulator:
         earlier; this gives callers a consistent "the simulated world
         has reached t" view.
         """
-        heap = self._heap
         while True:
-            while heap and not heap[0].alive:
-                heapq.heappop(heap)
-            if not heap or heap[0].when > when:
+            self._discard_dead_head()
+            if not self._heap or self._heap[0].when > when:
                 break
             self.step()
         if when > self.now:
@@ -136,8 +173,8 @@ class Simulator:
 
     @property
     def events_pending(self) -> int:
-        """Number of live events still scheduled."""
-        return sum(1 for h in self._heap if h.alive)
+        """Number of live events still scheduled (O(1))."""
+        return self._live
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Simulator t={self.now} fired={self._events_fired} "

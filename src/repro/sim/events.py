@@ -1,10 +1,12 @@
 """Cancellable events for the simulation heap.
 
-Events are never physically removed from the heap on cancellation;
+Events are not physically removed from the heap on cancellation;
 instead each :class:`EventHandle` carries a liveness flag that the
 engine checks when the entry is popped.  This is the standard "lazy
 deletion" scheme: O(1) cancellation, O(log n) scheduling, and the
-stale entries are discarded as they surface.
+stale entries are discarded as they surface.  Cancellation notifies
+the owning simulator so it can keep exact live/dead counts and compact
+the heap when cancelled entries start to dominate it.
 """
 
 from __future__ import annotations
@@ -25,7 +27,7 @@ class EventHandle:
         Optional human-readable tag used by traces and error messages.
     """
 
-    __slots__ = ("when", "seq", "callback", "label", "_alive")
+    __slots__ = ("when", "seq", "callback", "label", "_alive", "_owner")
 
     def __init__(self, when: int, seq: int, callback: Callable[[], Any],
                  label: Optional[str] = None) -> None:
@@ -34,6 +36,7 @@ class EventHandle:
         self.callback = callback
         self.label = label
         self._alive = True
+        self._owner = None  # set by the scheduling Simulator
 
     @property
     def alive(self) -> bool:
@@ -44,6 +47,8 @@ class EventHandle:
         """Cancel the event.  Returns True if it had not yet fired."""
         was_alive = self._alive
         self._alive = False
+        if was_alive and self._owner is not None:
+            self._owner._note_cancelled(self)
         return was_alive
 
     def _consume(self) -> bool:

@@ -15,15 +15,22 @@ insensitive to creation order.
 from __future__ import annotations
 
 import zlib
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
+
+#: The repo-wide default master seed.  Every layer that needs a seed
+#: (``Simulator``, ``build_bench``, ``ScenarioSpec``) defaults to this
+#: one value, so a run's seed is stated in exactly one place.
+DEFAULT_SEED = 1
 
 
 class RngStreams:
     """Factory and registry for named random substreams."""
 
-    def __init__(self, master_seed: int = 0) -> None:
+    def __init__(self, master_seed: Optional[int] = None) -> None:
+        if master_seed is None:
+            master_seed = DEFAULT_SEED
         self._master_seed = int(master_seed)
         self._streams: Dict[str, np.random.Generator] = {}
 

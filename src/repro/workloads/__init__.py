@@ -21,9 +21,18 @@ Background loads
 from repro.workloads.base import WorkloadSpec, spawn, spawn_all
 from repro.workloads.determinism import DeterminismTest
 from repro.workloads.disknoise import disknoise
+from repro.workloads.fbs_cycle import FbsCycleTest
 from repro.workloads.netload import scp_copy_loop, ttcp_ethernet
 from repro.workloads.realfeel import Realfeel
 from repro.workloads.rcim_response import RcimResponseTest
+from repro.workloads.registry import (
+    load_entry,
+    load_names,
+    measurement_entry,
+    measurement_names,
+    register_load,
+    register_measurement,
+)
 from repro.workloads.x11perf import x11perf
 from repro.workloads.stress_kernel import stress_kernel_suite
 
@@ -32,6 +41,7 @@ __all__ = [
     "spawn",
     "spawn_all",
     "DeterminismTest",
+    "FbsCycleTest",
     "Realfeel",
     "RcimResponseTest",
     "disknoise",
@@ -39,4 +49,11 @@ __all__ = [
     "ttcp_ethernet",
     "x11perf",
     "stress_kernel_suite",
+    # registries
+    "load_entry",
+    "load_names",
+    "measurement_entry",
+    "measurement_names",
+    "register_load",
+    "register_measurement",
 ]

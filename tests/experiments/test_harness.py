@@ -6,6 +6,7 @@ from repro.configs.kernels import redhawk_1_4, vanilla_2_4_21
 from repro.core.affinity import CpuMask
 from repro.experiments.harness import build_bench
 from repro.hw.machine import determinism_testbed, interrupt_testbed
+from repro.sim.errors import SimulationStalledError
 
 
 class TestBuildBench:
@@ -55,6 +56,22 @@ class TestBuildBench:
 
         bench.run_until_done(Never(), limit_ns=100_000_000)
         assert bench.sim.now == pytest.approx(100_000_000, abs=2)
+
+    def test_run_until_done_diagnoses_stalled_simulation(self):
+        bench = build_bench(vanilla_2_4_21())
+
+        class Never:
+            finished = False
+            name = "never-test"
+
+        # Kill every pending event: nothing can ever progress again.
+        for handle in list(bench.sim._heap):
+            handle.cancel()
+        with pytest.raises(SimulationStalledError) as exc:
+            bench.run_until_done(Never(), limit_ns=1_000_000_000)
+        # The diagnostic names the program instead of burning the limit.
+        assert "never-test" in str(exc.value)
+        assert bench.sim.now == 0
 
     def test_machine_spec_selection(self):
         bench = build_bench(vanilla_2_4_21(),

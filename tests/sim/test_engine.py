@@ -130,6 +130,64 @@ class TestEventChaining:
         assert times == [10]
 
 
+class TestHeapHygiene:
+    def test_mass_cancel_compacts_heap(self, sim):
+        handles = [sim.at(10 + i, lambda: None) for i in range(200)]
+        for h in handles[:150]:
+            h.cancel()
+        # Compaction keeps the dead fraction at or below half, without
+        # waiting for pops to reach the cancelled entries.
+        assert len(sim._heap) < 200
+        assert sim._dead <= len(sim._heap) // 2
+        assert sim.events_pending == 50
+
+    def test_small_heaps_are_not_compacted(self, sim):
+        handles = [sim.at(10 + i, lambda: None) for i in range(10)]
+        for h in handles[:8]:
+            h.cancel()
+        # Below the floor the dead entries just wait to be popped.
+        assert len(sim._heap) == 10
+        assert sim.events_pending == 2
+
+    def test_compaction_preserves_firing_order(self, sim):
+        fired = []
+        handles = [sim.at(10 + i, lambda i=i: fired.append(i))
+                   for i in range(128)]
+        for h in handles[::2]:
+            h.cancel()
+        sim.run()
+        assert fired == list(range(1, 128, 2))
+
+    def test_pending_counter_tracks_fires_and_cancels(self, sim):
+        handles = [sim.at(10 + i, lambda: None) for i in range(100)]
+        assert sim.events_pending == 100
+        for h in handles[:30]:
+            h.cancel()
+        assert sim.events_pending == 70
+        sim.run_steps(20)
+        assert sim.events_pending == 50
+        sim.run()
+        assert sim.events_pending == 0
+        assert sim.events_fired == 70
+
+    def test_cancel_popped_handle_does_not_corrupt_counters(self, sim):
+        handle = sim.at(10, lambda: None)
+        sim.run()
+        assert handle.cancel() is False
+        assert sim.events_pending == 0
+        assert sim._dead == 0
+
+    def test_repeated_schedule_cancel_cycles_stay_bounded(self, sim):
+        # A device repeatedly arming and disarming a timer must not
+        # grow the heap without bound.
+        for _ in range(50):
+            handles = [sim.after(100 + i, lambda: None) for i in range(64)]
+            for h in handles:
+                h.cancel()
+        assert sim.events_pending == 0
+        assert len(sim._heap) < 128
+
+
 class TestDeterminism:
     def test_same_seed_same_streams(self):
         a = Simulator(seed=99).rng.stream("x").integers(0, 1000, 10)
