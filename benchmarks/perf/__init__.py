@@ -1,0 +1,19 @@
+"""Tracked performance microbenchmarks for the simulation core.
+
+The suite measures the discrete-event hot path (one-shot drain,
+periodic-tick throughput, cancel-heavy churn) and two end-to-end
+figure reproductions, then writes ``BENCH_core.json`` so the perf
+trajectory is tracked PR-over-PR.
+
+Every microbenchmark runs twice: once against the *current* core
+(:mod:`repro.sim.engine`) and once against a frozen copy of the
+pre-optimization core (:mod:`benchmarks.perf.legacy_core`).  The
+speedup ratio between the two is what CI gates on -- ratios are
+portable across machines in a way absolute events/sec numbers are
+not.
+
+Run it with::
+
+    python -m benchmarks.perf --output BENCH_core.json
+    python -m benchmarks.perf --check BENCH_core.json   # CI regression gate
+"""

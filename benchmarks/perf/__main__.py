@@ -1,0 +1,170 @@
+"""CLI for the core perf suite: measure, write and check BENCH_core.json.
+
+Measure and write (committed at the repo root, tracked PR-over-PR)::
+
+    python -m benchmarks.perf --output BENCH_core.json
+
+CI regression gate (re-measures and compares speedup ratios)::
+
+    python -m benchmarks.perf --check BENCH_core.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Any, Dict
+
+from benchmarks.perf.core_bench import (
+    cancel_churn_body,
+    drain_body,
+    periodic_body,
+    schedule_body,
+    time_body,
+)
+from benchmarks.perf.legacy_core import LegacySimulator
+
+#: Microbench sizes (events) for full and --quick runs.
+SIZES = {"schedule": 300_000, "drain": 300_000, "periodic": 200_000,
+         "cancel_churn": 192_000}
+QUICK_SIZES = {"schedule": 60_000, "drain": 60_000, "periodic": 40_000,
+               "cancel_churn": 38_400}
+
+#: The drain speedup may regress at most this factor vs the committed
+#: number before CI fails (the issue's ">20% regression" gate).
+REGRESSION_TOLERANCE = 0.8
+
+_BODIES = {
+    "schedule": schedule_body,
+    "drain": drain_body,
+    "periodic": periodic_body,
+    "cancel_churn": cancel_churn_body,
+}
+
+
+def _make_current():
+    from repro.sim.engine import Simulator
+
+    return Simulator(seed=1)
+
+
+def _make_legacy():
+    return LegacySimulator()
+
+
+def run_microbenches(sizes: Dict[str, int],
+                     repeats: int = 3) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for name, body in _BODIES.items():
+        n = sizes[name]
+        legacy_s, legacy_events = time_body(_make_legacy, body, n, repeats)
+        core_s, core_events = time_body(_make_current, body, n, repeats)
+        out[name] = {
+            "events": core_events,
+            "legacy_wall_s": round(legacy_s, 6),
+            "core_wall_s": round(core_s, 6),
+            "legacy_events_per_sec": round(legacy_events / legacy_s),
+            "core_events_per_sec": round(core_events / core_s),
+            "speedup": round((legacy_s / legacy_events)
+                             / (core_s / core_events), 3),
+        }
+    return out
+
+
+def run_figure_benches(samples: int = 10_000,
+                       iterations: int = 10) -> Dict[str, Any]:
+    """End-to-end wall-clock of one latency and one determinism figure."""
+    from repro.experiments.scenario import run_named
+
+    out: Dict[str, Any] = {}
+    for name, kwargs in (("fig6", {"samples": samples}),
+                         ("fig2", {"iterations": iterations})):
+        start = time.perf_counter()
+        result = run_named(name, **kwargs)
+        elapsed = time.perf_counter() - start
+        out[name] = {
+            "params": kwargs,
+            "wall_s": round(elapsed, 3),
+            "recorded_samples": result.recorder.count,
+        }
+    return out
+
+
+def measure(quick: bool = False, repeats: int = 3,
+            skip_figures: bool = False) -> Dict[str, Any]:
+    sizes = QUICK_SIZES if quick else SIZES
+    data: Dict[str, Any] = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "quick": quick,
+        "micro": run_microbenches(sizes, repeats=repeats),
+    }
+    if not skip_figures:
+        data["figures"] = run_figure_benches()
+    return data
+
+
+def report(data: Dict[str, Any]) -> str:
+    lines = ["core perf suite (best-of-N wall clock)", ""]
+    for name, row in data["micro"].items():
+        lines.append(
+            f"  {name:<13s} legacy {row['legacy_events_per_sec']:>10,}/s   "
+            f"core {row['core_events_per_sec']:>10,}/s   "
+            f"speedup {row['speedup']:.2f}x")
+    for name, row in data.get("figures", {}).items():
+        lines.append(f"  {name:<13s} {row['wall_s']:.2f}s wall "
+                     f"({row['params']})")
+    return "\n".join(lines)
+
+
+def check(path: str, quick: bool = True) -> int:
+    """Re-measure and fail if the drain speedup regressed >20%."""
+    with open(path, "r", encoding="utf-8") as fh:
+        committed = json.load(fh)
+    committed_speedup = committed["micro"]["drain"]["speedup"]
+    fresh = measure(quick=quick, skip_figures=True)
+    print(report(fresh))
+    fresh_speedup = fresh["micro"]["drain"]["speedup"]
+    floor = committed_speedup * REGRESSION_TOLERANCE
+    print(f"\ndrain speedup: committed {committed_speedup:.2f}x, "
+          f"measured {fresh_speedup:.2f}x, floor {floor:.2f}x")
+    if fresh_speedup < floor:
+        print("FAIL: drain microbench regressed more than 20% against "
+              "the committed baseline")
+        return 1
+    print("OK: within the regression budget")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m benchmarks.perf")
+    parser.add_argument("--output", default="",
+                        help="write BENCH_core.json here")
+    parser.add_argument("--check", default="",
+                        help="regression-gate against this committed file")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sizes (CI-friendly)")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--skip-figures", action="store_true",
+                        help="microbenchmarks only")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return check(args.check, quick=True)
+
+    data = measure(quick=args.quick, repeats=args.repeats,
+                   skip_figures=args.skip_figures)
+    print(report(data))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"(wrote {args.output})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

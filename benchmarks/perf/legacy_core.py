@@ -1,0 +1,137 @@
+"""Frozen copy of the pre-optimization event core (reference only).
+
+This is the ``Simulator``/``EventHandle`` hot path exactly as it stood
+before the fast-path overhaul: one ``EventHandle`` object per
+scheduled event, pushed onto a ``heapq`` whose comparisons dispatch
+through Python-level ``__lt__``, with lazy deletion and half-dead
+compaction.
+
+The perf suite runs every microbenchmark against both this module and
+the live :mod:`repro.sim.engine`; the ratio between the two is the
+machine-independent speedup number committed in ``BENCH_core.json``
+and gated in CI.  Do not "fix" or optimize this module -- its whole
+value is staying constant.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+_COMPACT_FLOOR = 64
+
+
+class LegacyEventHandle:
+    """Pre-optimization event: liveness flag carried on the heap entry."""
+
+    __slots__ = ("when", "seq", "callback", "label", "_alive", "_owner")
+
+    def __init__(self, when: int, seq: int, callback: Callable[[], Any],
+                 label: Optional[str] = None) -> None:
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self._alive = True
+        self._owner = None
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def cancel(self) -> bool:
+        was_alive = self._alive
+        self._alive = False
+        if was_alive and self._owner is not None:
+            self._owner._note_cancelled(self)
+        return was_alive
+
+    def _consume(self) -> bool:
+        was_alive = self._alive
+        self._alive = False
+        return was_alive
+
+    def __lt__(self, other: "LegacyEventHandle") -> bool:
+        if self.when != other.when:
+            return self.when < other.when
+        return self.seq < other.seq
+
+
+class LegacySimulator:
+    """Pre-optimization engine: handle-typed heap, per-event allocation."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List[LegacyEventHandle] = []
+        self._seq = 0
+        self._events_fired = 0
+        self._live = 0
+        self._dead = 0
+
+    def at(self, when: int, callback: Callable[[], None],
+           label: Optional[str] = None) -> LegacyEventHandle:
+        if when < self.now:
+            raise ValueError(f"cannot schedule at t={when} < now={self.now}")
+        handle = LegacyEventHandle(when, self._seq, callback, label)
+        handle._owner = self
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        self._live += 1
+        return handle
+
+    def after(self, delay: int, callback: Callable[[], None],
+              label: Optional[str] = None) -> LegacyEventHandle:
+        return self.at(self.now + delay, callback, label)
+
+    def _note_cancelled(self, handle: LegacyEventHandle) -> None:
+        self._live -= 1
+        self._dead += 1
+        if (self._dead > len(self._heap) // 2
+                and len(self._heap) >= _COMPACT_FLOOR):
+            self._compact()
+
+    def _compact(self) -> None:
+        self._heap = [h for h in self._heap if h._alive]
+        heapq.heapify(self._heap)
+        self._dead = 0
+
+    def _discard_dead_head(self) -> None:
+        heap = self._heap
+        while heap and not heap[0]._alive:
+            heapq.heappop(heap)
+            self._dead -= 1
+
+    def _pop_live(self) -> Optional[LegacyEventHandle]:
+        self._discard_dead_head()
+        if not self._heap:
+            return None
+        handle = heapq.heappop(self._heap)
+        handle._consume()
+        self._live -= 1
+        return handle
+
+    def step(self) -> bool:
+        handle = self._pop_live()
+        if handle is None:
+            return False
+        self.now = handle.when
+        self._events_fired += 1
+        handle.callback()
+        return True
+
+    def run_until(self, when: int) -> None:
+        while True:
+            self._discard_dead_head()
+            if not self._heap or self._heap[0].when > when:
+                break
+            self.step()
+        if when > self.now:
+            self.now = when
+
+    def run(self) -> None:
+        while self.step():
+            pass
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired

@@ -59,7 +59,7 @@ SUBCOMMANDS = ("campaign", "list-scenarios", "run")
 
 
 def run_one(name: str, iterations: int, samples: int, seed: int,
-            json_dir: str = "") -> None:
+            json_dir: str = "", profile: bool = False) -> None:
     """Run one registered scenario and print its paper-format report."""
     from repro.experiments.export import scenario_to_dict, to_json
 
@@ -70,7 +70,15 @@ def run_one(name: str, iterations: int, samples: int, seed: int,
                          f"{sorted(DETERMINISM) + sorted(LATENCY)} or 'all' "
                          f"(or use 'list-scenarios')")
     spec = spec.configured(iterations=iterations, samples=samples, seed=seed)
+    profiler = None
+    if profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     result = run_scenario(spec)
+    if profiler is not None:
+        profiler.disable()
     print(result.report())
     if json_dir:
         import os
@@ -78,6 +86,15 @@ def run_one(name: str, iterations: int, samples: int, seed: int,
         path = os.path.join(json_dir, f"{name}.json")
         to_json(scenario_to_dict(result), path=path)
         print(f"(wrote {path})")
+    if profiler is not None:
+        import os
+
+        # The .pstats lands next to the exported JSON (or in the
+        # current directory when no --json-dir was given); inspect it
+        # with `python -m pstats <file>` or snakeviz.
+        stats_path = os.path.join(json_dir or ".", f"{name}.pstats")
+        profiler.dump_stats(stats_path)
+        print(f"(wrote {stats_path})")
     print()
 
 
@@ -156,9 +173,12 @@ def _cmd_run(argv) -> int:
     parser.add_argument("--samples", type=int, default=20_000)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--json-dir", default="")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the run under cProfile and write "
+                             "<scenario>.pstats next to the exported JSON")
     args = parser.parse_args(argv)
     run_one(args.scenario, args.iterations, args.samples, args.seed,
-            json_dir=args.json_dir)
+            json_dir=args.json_dir, profile=args.profile)
     return 0
 
 
@@ -186,13 +206,16 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--json-dir", default="",
                         help="also write <figure>.json data files here")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile each run under cProfile and write "
+                             "<figure>.pstats next to the exported JSON")
     args = parser.parse_args(argv)
 
     names = (sorted(DETERMINISM) + sorted(LATENCY)
              if args.figure == "all" else [args.figure])
     for name in names:
         run_one(name, args.iterations, args.samples, args.seed,
-                json_dir=args.json_dir)
+                json_dir=args.json_dir, profile=args.profile)
     return 0
 
 

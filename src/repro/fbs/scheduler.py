@@ -141,16 +141,18 @@ class FrequencyBasedScheduler:
             self._tick_event = None
 
     def _arm_fallback(self) -> None:
-        """Plain simulator-event timing source (no RCIM attached)."""
-        self._tick_event = self.sim.after(
+        """Plain simulator timing source (no RCIM attached): a wheel
+        periodic, re-armed in place every minor cycle."""
+        self._tick_event = self.sim.periodic(
             self.cycle_ns, self._fallback_tick, label="fbs-cycle")
 
     def _fallback_tick(self) -> None:
-        self._tick_event = None
         if not self.running:
+            if self._tick_event is not None:
+                self._tick_event.cancel()
+                self._tick_event = None
             return
         self._minor_cycle_edge(cpu_idx=None)
-        self._arm_fallback()
 
     # ------------------------------------------------------------------
     # The minor-cycle edge

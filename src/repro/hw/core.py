@@ -40,6 +40,12 @@ class PhysicalCore:
         if len(self.cpus) >= 2:
             raise ValueError(f"core {self.index} already has two siblings")
         self.cpus.append(cpu)
+        if len(self.cpus) == 2:
+            # Cache the sibling pointers: speed_factor and the busy
+            # notification path resolve them on every frame start.
+            first, second = self.cpus
+            first.sibling = second
+            second.sibling = first
 
     @property
     def hyperthreaded(self) -> bool:
@@ -47,10 +53,7 @@ class PhysicalCore:
 
     def sibling_of(self, cpu: "LogicalCpu") -> Optional["LogicalCpu"]:
         """The other logical CPU on this core (None without HT)."""
-        for other in self.cpus:
-            if other is not cpu:
-                return other
-        return None
+        return cpu.sibling
 
     def resample_factor(self, rng: "np.random.Generator") -> None:
         """Draw a fresh contention factor for a both-busy episode."""
@@ -60,8 +63,8 @@ class PhysicalCore:
 
     def speed_factor(self, cpu: "LogicalCpu") -> float:
         """Execution-unit speed multiplier for *cpu* right now."""
-        sibling = self.sibling_of(cpu)
-        if sibling is None or not sibling.busy or not sibling.online:
+        sibling = cpu.sibling
+        if sibling is None or not sibling.frames or not sibling.online:
             return 1.0
         return self._current_factor
 

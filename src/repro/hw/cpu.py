@@ -46,6 +46,11 @@ class FrameKind(enum.Enum):
     SPIN = "spin"
     SWITCH = "switch"
 
+    # Enum's default __hash__ is a Python-level function; these members
+    # key the per-CPU frame-kind counters on every push/pop, so use the
+    # identity hash (members are singletons, equality is identity).
+    __hash__ = object.__hash__
+
 
 #: Frames whose presence means the CPU is "busy" for contention purposes.
 _BUSY_KINDS = frozenset(FrameKind)
@@ -101,6 +106,18 @@ class LogicalCpu:
         self.index = index
         self.core = core
         self.frames: List[ExecFrame] = []
+        #: Per-kind frame counts, maintained on push/pop so the
+        #: kernel's per-op context checks are O(1) lookups instead of
+        #: stack scans (in_kind is called several times per op).
+        self._kind_counts = dict.fromkeys(FrameKind, 0)
+        #: Aggregate counters the kernel's hottest per-op checks read
+        #: directly: hss_count covers HARDIRQ/SOFTIRQ/SWITCH frames,
+        #: spin_count covers SPIN frames.
+        self.hss_count = 0
+        self.spin_count = 0
+        #: Hyperthread sibling on the same core (set by the core when
+        #: a second logical CPU attaches); None on non-HT cores.
+        self.sibling: Optional["LogicalCpu"] = None
         self.pending_irqs: Deque[object] = deque()
         self._irq_disable_depth = 0
         self.online = True
@@ -145,18 +162,26 @@ class LogicalCpu:
         return self.frames[-1] if self.frames else None
 
     def in_kind(self, kind: FrameKind) -> bool:
-        """True if any frame of *kind* is on the stack."""
-        return any(f.kind is kind for f in self.frames)
+        """True if any frame of *kind* is on the stack (O(1))."""
+        return self._kind_counts[kind] > 0
 
     # ------------------------------------------------------------------
     # Frame stack operations
     # ------------------------------------------------------------------
     def push_frame(self, frame: ExecFrame) -> None:
         """Preempt the current top frame (if any) and run *frame*."""
-        was_busy = self.busy
-        if self.frames:
+        frames = self.frames
+        was_busy = bool(frames)
+        if frames:
             self._pause_top()
-        self.frames.append(frame)
+        frames.append(frame)
+        kind = frame.kind
+        self._kind_counts[kind] += 1
+        if kind is not FrameKind.TASK:
+            if kind is FrameKind.SPIN:
+                self.spin_count += 1
+            else:
+                self.hss_count += 1
         self._start_top()
         if not was_busy:
             # A frame can be pushed from inside another frame's
@@ -175,12 +200,23 @@ class LogicalCpu:
                 # Lock was handed over while we were preempted.
                 self._complete_top()
             return
-        frame.speed = self.machine.speed_for(self, frame)
-        assert frame.remaining is not None
-        duration = max(0, int(math.ceil(frame.remaining / frame.speed)))
-        frame._event = self.sim.after(
-            duration, self._on_frame_event,
-            label=f"cpu{self.index}:{frame.kind.value}:{frame.label}")
+        speed = self.machine.speed_for(self, frame)
+        frame.speed = speed
+        remaining = frame.remaining
+        assert remaining is not None
+        if speed == 1.0:
+            # Uncontended fast path: ceil without the float divide.
+            duration = int(remaining)
+            if duration != remaining:
+                duration += 1
+        else:
+            duration = max(0, int(math.ceil(remaining / speed)))
+        sim = self.sim
+        # Event labels are diagnostics; building the f-string for every
+        # frame start is measurable, so only pay for it when tracing.
+        label = (f"cpu{self.index}:{frame.kind.value}:{frame.label}"
+                 if sim.trace.enabled else None)
+        frame._event = sim.at(sim.now + duration, self._on_frame_event, label)
 
     def _pause_top(self) -> None:
         frame = self.frames[-1]
@@ -194,14 +230,43 @@ class LogicalCpu:
             frame._event = None
 
     def _on_frame_event(self) -> None:
-        """Completion event fired for the (still top) frame."""
-        frame = self.frames[-1]
+        """Completion event fired for the (still top) frame.
+
+        This is :meth:`_complete_top` fused into the event callback --
+        the per-op hot path.  The cancel branch cannot apply here (the
+        event just fired) and the frame is known to be top-of-stack.
+        """
+        frame = self.frames.pop()
+        kind = frame.kind
+        self._kind_counts[kind] -= 1
+        if kind is not FrameKind.TASK:
+            if kind is FrameKind.SPIN:
+                self.spin_count -= 1
+            else:
+                self.hss_count -= 1
+        self.frames_run += 1
+        frame.started_at = None
         frame._event = None
         frame.remaining = 0.0
-        self._complete_top()
+        sim = self.sim
+        if sim.trace.enabled:
+            sim.trace.emit(sim.now, "frame",
+                           f"cpu{self.index} done {kind.value} {frame.label}")
+        # The completion callback may push new frames (e.g. chained
+        # interrupts); resume the underlying frame only if it is still
+        # exposed afterwards.
+        frame.on_complete(frame)
+        self._after_pop()
 
     def _complete_top(self) -> None:
         frame = self.frames.pop()
+        kind = frame.kind
+        self._kind_counts[kind] -= 1
+        if kind is not FrameKind.TASK:
+            if kind is FrameKind.SPIN:
+                self.spin_count -= 1
+            else:
+                self.hss_count -= 1
         self.frames_run += 1
         frame.started_at = None
         if frame._event is not None:
@@ -224,6 +289,13 @@ class LogicalCpu:
                 f"cpu{self.index}: pop_frame of non-top frame {frame}")
         self._pause_top()
         self.frames.pop()
+        kind = frame.kind
+        self._kind_counts[kind] -= 1
+        if kind is not FrameKind.TASK:
+            if kind is FrameKind.SPIN:
+                self.spin_count -= 1
+            else:
+                self.hss_count -= 1
         self._after_pop()
 
     def _after_pop(self) -> None:

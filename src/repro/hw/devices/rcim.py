@@ -45,6 +45,7 @@ class RcimCard(Device):
         self.last_fire_ns = -1
         self.fires = 0
         self._timer_enabled = False
+        self._periodic = None  # live PeriodicHandle while enabled+started
         # External edge inputs: per-line edge counters plus a pending
         # status bitmask (bit 0 = timer, bits 1.. = external lines).
         self.edge_counts = [0] * self.EXTERNAL_LINES
@@ -56,6 +57,8 @@ class RcimCard(Device):
         if period_ns <= 0:
             raise ValueError("RCIM period must be positive")
         self.period_ns = period_ns
+        if self._periodic is not None:
+            self._periodic.set_period(period_ns)
 
     def enable_timer(self) -> None:
         if self._timer_enabled:
@@ -66,6 +69,9 @@ class RcimCard(Device):
 
     def disable_timer(self) -> None:
         self._timer_enabled = False
+        if self._periodic is not None:
+            self._periodic.cancel()
+            self._periodic = None
 
     def on_start(self) -> None:
         if self._timer_enabled:
@@ -74,10 +80,14 @@ class RcimCard(Device):
     def _begin_cycle(self) -> None:
         assert self.sim is not None
         self.cycle_start_ns = self.sim.now
-        self.sim.after(self.period_ns, self._fire, label="rcim-period")
+        self._periodic = self.sim.periodic(self.period_ns, self._fire,
+                                           label="rcim-period")
 
     def _fire(self) -> None:
         if not (self.started and self._timer_enabled):
+            if self._periodic is not None:
+                self._periodic.cancel()
+                self._periodic = None
             return
         assert self.sim is not None
         self.last_fire_ns = self.sim.now
@@ -86,7 +96,7 @@ class RcimCard(Device):
         self.raise_irq()
         # The hardware reloads the count register immediately; the next
         # periodic cycle begins at the moment of expiry.
-        self._begin_cycle()
+        self.cycle_start_ns = self.sim.now
 
     # ------------------------------------------------------------------
     # External edge-triggered inputs

@@ -30,6 +30,7 @@ class RtcDevice(Device):
         self.last_fire_ns = -1
         self.fires = 0
         self._periodic_enabled = False
+        self._periodic = None  # live PeriodicHandle while enabled+started
 
     def set_rate(self, hz: int) -> None:
         """Reprogram the periodic rate (takes effect next period)."""
@@ -37,6 +38,10 @@ class RtcDevice(Device):
             raise ValueError("RTC frequency must be positive")
         self.hz = hz
         self.period_ns = SEC // hz
+        if self._periodic is not None:
+            # Like the hardware reload register: the cycle in flight
+            # completes at the old rate, the next one uses the new.
+            self._periodic.set_period(self.period_ns)
 
     def enable_periodic(self) -> None:
         """Start the periodic interrupt stream (driver PIE enable)."""
@@ -48,6 +53,9 @@ class RtcDevice(Device):
 
     def disable_periodic(self) -> None:
         self._periodic_enabled = False
+        if self._periodic is not None:
+            self._periodic.cancel()
+            self._periodic = None
 
     def on_start(self) -> None:
         if self._periodic_enabled:
@@ -55,13 +63,16 @@ class RtcDevice(Device):
 
     def _arm(self) -> None:
         assert self.sim is not None
-        self.sim.after(self.period_ns, self._fire, label="rtc-period")
+        self._periodic = self.sim.periodic(self.period_ns, self._fire,
+                                           label="rtc-period")
 
     def _fire(self) -> None:
         if not (self.started and self._periodic_enabled):
+            if self._periodic is not None:
+                self._periodic.cancel()
+                self._periodic = None
             return
         assert self.sim is not None
         self.last_fire_ns = self.sim.now
         self.fires += 1
         self.raise_irq()
-        self._arm()

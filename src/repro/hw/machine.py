@@ -125,16 +125,23 @@ class Machine:
     # ------------------------------------------------------------------
     def speed_for(self, cpu: LogicalCpu, frame: ExecFrame) -> float:
         """Composite speed multiplier for a frame starting now."""
-        ht = cpu.core.speed_factor(cpu)
-        mem = self.memory.speed_factor(cpu)
-        return max(0.01, ht * mem)
+        # Inlined core.speed_factor: this runs on every frame start.
+        sibling = cpu.sibling
+        if sibling is None or not sibling.frames or not sibling.online:
+            ht = 1.0
+        else:
+            ht = cpu.core._current_factor
+        speed = ht * self.memory.speed_factor(cpu)
+        return speed if speed > 0.01 else 0.01
 
     def notify_busy_changed(self, cpu: LogicalCpu) -> None:
         """A CPU went busy or idle; update its hyperthread sibling."""
-        sibling = cpu.core.sibling_of(cpu)
-        if sibling is None:
+        sibling = cpu.sibling
+        if sibling is None or not sibling.frames:
+            # No sibling, or it is idle: nothing to resample (that
+            # needs both busy) and retime would be a no-op.
             return
-        if cpu.busy and sibling.busy:
+        if cpu.frames:
             # Entering a both-busy episode: draw its contention factor.
             cpu.core.resample_factor(self._ht_rng)
         sibling.retime()

@@ -47,11 +47,8 @@ class MemoryBus:
         self._machine = machine
         self._sim = machine.sim
         self._rng = machine.sim.rng.stream("memory-bus")
-        self._schedule_epoch()
-
-    def _schedule_epoch(self) -> None:
-        assert self._sim is not None
-        self._sim.after(self.epoch_ns, self._roll_epoch, label="membus-epoch")
+        self._sim.periodic(self.epoch_ns, self._roll_epoch,
+                           label="membus-epoch")
 
     def _roll_epoch(self) -> None:
         """Resample every CPU's contention level and retime them."""
@@ -60,7 +57,6 @@ class MemoryBus:
             self._levels[cpu.index] = self._sample_level(cpu)
         for cpu in self._machine.cpus:
             cpu.retime()
-        self._schedule_epoch()
 
     def _sample_level(self, cpu: "LogicalCpu") -> float:
         assert self._machine is not None and self._rng is not None

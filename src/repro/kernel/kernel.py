@@ -313,9 +313,7 @@ class Kernel:
     def _can_preempt_now(self, cpu_idx: int) -> bool:
         """May a context switch be performed on this CPU right now?"""
         cpu = self.machine.cpus[cpu_idx]
-        if (cpu.in_kind(FrameKind.HARDIRQ) or cpu.in_kind(FrameKind.SOFTIRQ)
-                or cpu.in_kind(FrameKind.SWITCH)
-                or cpu.in_kind(FrameKind.SPIN)):
+        if cpu.hss_count or cpu.spin_count:
             return False
         task = self.current[cpu_idx]
         if task is None:
@@ -357,7 +355,8 @@ class Kernel:
         cost = self.scheduler.switch_cost_ns(cpu_idx)
         frame = ExecFrame(FrameKind.SWITCH, cost,
                           lambda f: self._finish_switch(cpu_idx, nxt),
-                          label=f"switch->{nxt.name}")
+                          label=(f"switch->{nxt.name}"
+                                 if self.sim.trace.enabled else "switch"))
         cpu.push_frame(frame)
 
     def _deschedule_current(self, cpu: LogicalCpu, prev: Task) -> None:
@@ -412,27 +411,75 @@ class Kernel:
             self._step(task, cpu_idx)
 
     def _step(self, task: Task, cpu_idx: int) -> None:
-        """Advance the task generator by one op."""
+        """Advance the task generator, op by op.
+
+        The trivial ops (syscall entry, instrumentation calls, wakes,
+        flag twiddles) are handled inline in a loop rather than through
+        :meth:`_dispatch` recursion: at a few hundred thousand ops per
+        figure run, one Python frame per op is the difference between
+        the profile being dominated by the model or by the plumbing.
+        The loop re-runs the op-boundary checks (interrupt slipped in,
+        pending reschedule) before every ``send``, exactly as the
+        recursive formulation did.
+        """
         cpu = self.machine.cpus[cpu_idx]
-        if (cpu.in_kind(FrameKind.HARDIRQ) or cpu.in_kind(FrameKind.SOFTIRQ)
-                or cpu.in_kind(FrameKind.SWITCH)):
-            # An interrupt (e.g. a self-IPI raised by the op we just
-            # dispatched) slipped in at this op boundary.  Let it run;
-            # the quiescent path resumes this task afterwards.
+        need_resched = self.need_resched
+        send = task.body.send
+        while True:
+            if cpu.hss_count:
+                # An interrupt (e.g. a self-IPI raised by the op we
+                # just dispatched) slipped in at this op boundary.  Let
+                # it run; the quiescent path resumes this task after.
+                return
+            if (need_resched[cpu_idx] and task.preempt_count == 0
+                    and self._can_preempt_now(cpu_idx)):
+                # Op boundary: honour a pending reschedule before
+                # running the next op (approximates instruction-level
+                # preemption).
+                self.schedule(cpu_idx)
+                return
+            try:
+                value, task.send_value = task.send_value, None
+                next_op = send(value)
+            except StopIteration as stop:
+                self._task_exit(task, cpu_idx, stop.value)
+                return
+            self.dispatching_cpu = cpu_idx
+            t = type(next_op)
+            if t is op.Compute:
+                self._run_compute(task, cpu_idx, next_op, next_op.work)
+                return
+            if t is op.EnterSyscall:
+                task.in_syscall += 1
+                task.syscall_name = next_op.name
+                self.stats.syscalls += 1
+                continue
+            if t is op.Call:
+                task.send_value = next_op.fn(*next_op.args)
+                continue
+            if t is op.PreemptPoint:
+                if (need_resched[cpu_idx] and task.preempt_count == 0
+                        and self.current[cpu_idx] is task):
+                    self.schedule(cpu_idx)
+                    return
+                continue
+            if t is op.Wake:
+                self.wake_up(next_op.wq, all_waiters=next_op.all_waiters,
+                             from_cpu=cpu_idx)
+                continue
+            if t is op.SetScheduler:
+                task.policy = next_op.policy
+                task.rt_prio = next_op.rt_prio
+                task.nice = next_op.nice
+                continue
+            if t is op.MlockAll:
+                task.mm_locked = True
+                continue
+            # The remaining ops (locks, blocking, sleeps, syscall exit,
+            # affinity, exit...) change the execution context; hand
+            # them to the full dispatcher and stop stepping here.
+            self._dispatch(task, cpu_idx, next_op)
             return
-        if (self.need_resched[cpu_idx] and task.preempt_count == 0
-                and self._can_preempt_now(cpu_idx)):
-            # Op boundary: honour a pending reschedule before running
-            # the next op (approximates instruction-level preemption).
-            self.schedule(cpu_idx)
-            return
-        try:
-            value, task.send_value = task.send_value, None
-            next_op = task.body.send(value)
-        except StopIteration as stop:
-            self._task_exit(task, cpu_idx, stop.value)
-            return
-        self._dispatch(task, cpu_idx, next_op)
 
     def _dispatch(self, task: Task, cpu_idx: int, o: op.Op) -> None:
         """Execute one primitive op for the current task."""
@@ -492,23 +539,26 @@ class Kernel:
         cpu = self.machine.cpus[cpu_idx]
         task.current_compute = o
         frame = ExecFrame(FrameKind.TASK, max(0, work),
-                          lambda f: self._compute_done(task, cpu_idx, o, work),
+                          self._compute_done,
                           label=o.label or ("kcode" if o.kernel else "ucode"),
                           owner=task)
         task.frame = frame
         cpu.push_frame(frame)
 
-    def _compute_done(self, task: Task, cpu_idx: int, o: op.Compute,
-                      work: int) -> None:
-        # *work* is this frame's portion only, so preempted-and-resumed
-        # segments are not double counted.
+    def _compute_done(self, frame: ExecFrame) -> None:
+        # The completion callback is the bound method itself (one per
+        # kernel, not one closure per compute op); everything it needs
+        # lives on the frame.  frame.work is this frame's portion only,
+        # so preempted-and-resumed segments are not double counted.
+        task = frame.owner
+        o = task.current_compute
         task.frame = None
         task.current_compute = None
         if o.kernel:
-            task.kernel_ns += work
+            task.kernel_ns += frame.work
         else:
-            task.user_ns += work
-        self._step(task, cpu_idx)
+            task.user_ns += frame.work
+        self._step(task, task.on_cpu)
 
     # ------------------------------------------------------------------
     # Spinlocks
@@ -528,7 +578,9 @@ class Kernel:
         lock.enqueue_waiter(task)
         frame = ExecFrame(FrameKind.SPIN, None,
                           lambda f: self._spin_done(task, cpu_idx, lock),
-                          label=f"spin:{lock.name}", owner=task)
+                          label=(f"spin:{lock.name}"
+                                 if self.sim.trace.enabled else "spin"),
+                          owner=task)
         task.spin_frame = frame
         task.spin_started = self.sim.now
         cpu.push_frame(frame)
@@ -587,7 +639,8 @@ class Kernel:
         task.state = TaskState.BLOCKED
         task.sleep_event = self.sim.after(
             max(0, duration), lambda: self._sleep_expired(task),
-            label=f"sleep:{task.name}")
+            label=(f"sleep:{task.name}"
+                   if self.sim.trace.enabled else None))
         self.schedule(cpu_idx)
 
     def _sleep_expired(self, task: Task) -> None:
@@ -655,7 +708,9 @@ class Kernel:
         handler = self.config.timing.sample(cost_key, self.rng)
         frame = ExecFrame(FrameKind.HARDIRQ, entry + handler,
                           lambda f: self._hardirq_done(cpu, desc),
-                          label=f"irq{desc.irq}:{desc.name}", owner=desc)
+                          label=(f"irq{desc.irq}:{desc.name}"
+                                 if self.sim.trace.enabled else "irq"),
+                          owner=desc)
         cpu.push_frame(frame)
 
     def _hardirq_done(self, cpu: LogicalCpu, desc: IrqDescriptor) -> None:
@@ -726,7 +781,8 @@ class Kernel:
         frame = ExecFrame(
             FrameKind.SOFTIRQ, work,
             lambda f: self._softirq_item_done(cpu_idx, budget - work, action),
-            label=f"softirq:{vec.name}")
+            label=(f"softirq:{vec.name}"
+                   if self.sim.trace.enabled else "softirq"))
         cpu.push_frame(frame)
 
     def _softirq_item_done(self, cpu_idx: int, budget_left: int,

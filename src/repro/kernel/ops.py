@@ -25,7 +25,7 @@ class Op:
     __slots__ = ()
 
 
-@dataclass
+@dataclass(slots=True)
 class Compute(Op):
     """Execute *work* nanoseconds of computation.
 
@@ -40,35 +40,35 @@ class Compute(Op):
     label: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class Acquire(Op):
     """Take a spinlock (busy-waiting if contended); disables preemption."""
 
     lock: "SpinLock"
 
 
-@dataclass
+@dataclass(slots=True)
 class Release(Op):
     """Release a spinlock; re-enables preemption at depth zero."""
 
     lock: "SpinLock"
 
 
-@dataclass
+@dataclass(slots=True)
 class Block(Op):
     """Deschedule until a ``wake_up`` on the wait queue."""
 
     wq: "WaitQueue"
 
 
-@dataclass
+@dataclass(slots=True)
 class Sleep(Op):
     """Deschedule for a fixed interval (timer wakeup)."""
 
     duration: int
 
 
-@dataclass
+@dataclass(slots=True)
 class PreemptPoint(Op):
     """A voluntary reschedule opportunity (``cond_resched``).
 
@@ -78,24 +78,24 @@ class PreemptPoint(Op):
     """
 
 
-@dataclass
+@dataclass(slots=True)
 class YieldCpu(Op):
     """``sched_yield``: requeue behind equal-priority tasks."""
 
 
-@dataclass
+@dataclass(slots=True)
 class EnterSyscall(Op):
     """Cross the user/kernel boundary into a system call."""
 
     name: str
 
 
-@dataclass
+@dataclass(slots=True)
 class ExitSyscall(Op):
     """Return to user mode; runs pending softirqs and resched checks."""
 
 
-@dataclass
+@dataclass(slots=True)
 class SetScheduler(Op):
     """Change scheduling policy/priority (sched_setscheduler)."""
 
@@ -104,19 +104,19 @@ class SetScheduler(Op):
     nice: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class SetAffinity(Op):
     """Change the requested CPU affinity mask."""
 
     mask: "CpuMask"
 
 
-@dataclass
+@dataclass(slots=True)
 class MlockAll(Op):
     """Pin all pages: disables the page-fault model for this task."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Call(Op):
     """Invoke an arbitrary function synchronously (instrumentation).
 
@@ -130,7 +130,7 @@ class Call(Op):
     args: tuple = field(default_factory=tuple)
 
 
-@dataclass
+@dataclass(slots=True)
 class Wake(Op):
     """Wake tasks blocked on a wait queue (from this task's CPU).
 
@@ -143,7 +143,7 @@ class Wake(Op):
     all_waiters: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class Exit(Op):
     """Terminate the task explicitly (returning from the generator
     has the same effect)."""

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -119,10 +120,27 @@ class Choice(Dist):
         if total <= 0:
             raise ValueError("Choice weights must sum to a positive value")
 
-    def sample(self, rng: np.random.Generator) -> int:
+    @cached_property
+    def _cdf(self) -> np.ndarray:
+        """Normalised weight CDF, built once per (frozen) instance.
+
+        The double normalisation (weights, then the cumsum) replicates
+        ``np.random.Generator.choice`` bit-for-bit; ``sample`` below
+        must keep drawing exactly the numbers ``rng.choice`` would, or
+        every downstream RNG stream shifts and figure outputs change.
+        """
         weights = np.array([w for w, _ in self.options], dtype=float)
         weights /= weights.sum()
-        idx = int(rng.choice(len(self.options), p=weights))
+        cdf = weights.cumsum()
+        cdf /= cdf[-1]
+        return cdf
+
+    def sample(self, rng: np.random.Generator) -> int:
+        # Stream-identical inline of rng.choice(len(options), p=weights):
+        # one uniform draw searched against the cached CDF.  rng.choice
+        # itself revalidates and re-accumulates p on every call, which
+        # made mixture sampling the single hottest cost-model path.
+        idx = int(self._cdf.searchsorted(rng.random(), side="right"))
         return self.options[idx][1].sample(rng)
 
     def mean(self) -> float:

@@ -1,14 +1,32 @@
 """The discrete-event simulation core.
 
-:class:`Simulator` owns the clock, the event heap, the master RNG
+:class:`Simulator` owns the clock, the event queues, the master RNG
 registry and the trace buffer.  Hardware and kernel objects schedule
 zero-argument callbacks at absolute or relative times and may cancel
-them through the returned :class:`~repro.sim.events.EventHandle`.
+them through the returned :class:`~repro.sim.events.EventHandle`, or
+install recurring callbacks via :meth:`Simulator.periodic`, which are
+managed by a hierarchical timer wheel and re-armed in place with no
+per-tick allocation.
 
 The engine is intentionally minimal: all *semantics* (preemption,
 interrupts, locking) live in the hardware/kernel layers.  Keeping the
 engine dumb makes its behaviour easy to verify exhaustively, which the
 rest of the system then inherits.
+
+Hot-path design (the perf suite in ``benchmarks/perf`` tracks this):
+
+* The one-shot heap holds packed ``(when << 44) | seq`` integer keys,
+  so ``heapq`` comparisons are single C int compares -- no handle
+  objects on the heap, no tuple indirection, no Python ``__lt__``.
+  Liveness is an external dict (key -> handle); absence means
+  cancelled, so firing needs no handle write-back at all.
+* ``run``/``run_until``/``step`` merge the heap head and the wheel
+  head in a single scan -- the old code paid a separate
+  "peek-then-step" pass per event.
+* Firing order is strict ``(when, seq)`` across both queues, with
+  periodics drawing a fresh seq from the same counter at each re-arm:
+  exactly the order the naive self-rescheduling ``after()`` idiom
+  produced, which is what keeps figure outputs byte-identical.
 """
 
 from __future__ import annotations
@@ -17,17 +35,22 @@ import heapq
 from typing import Callable, List, Optional
 
 from repro.sim.errors import SchedulingInPastError, SimulationStalledError
-from repro.sim.events import EventHandle
+from repro.sim.events import EventHandle, PeriodicHandle, SEQ_BITS
 from repro.sim.rng import DEFAULT_SEED, RngStreams
 from repro.sim.trace import TraceBuffer
+from repro.sim.wheel import TimerWheel
 
 #: Compact the heap only once it is at least this large; below that the
 #: lazy-deletion overhead is noise and compaction would just churn.
 _COMPACT_FLOOR = 64
 
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+_new_handle = EventHandle.__new__
+
 
 class Simulator:
-    """Event heap plus clock.
+    """Event queues plus clock.
 
     Parameters
     ----------
@@ -43,10 +66,11 @@ class Simulator:
     def __init__(self, seed: Optional[int] = None,
                  trace_capacity: int = 65536) -> None:
         self.now: int = 0
-        self._heap: List[EventHandle] = []
+        self._heap: List[int] = []
+        self._handles: dict = {}  # packed key -> callback (presence = alive)
+        self._wheel = TimerWheel()
         self._seq = 0
         self._events_fired = 0
-        self._live = 0   # alive entries currently in the heap
         self._dead = 0   # cancelled entries not yet popped or compacted
         self.rng = RngStreams(DEFAULT_SEED if seed is None else seed)
         self.trace = TraceBuffer(trace_capacity)
@@ -60,11 +84,18 @@ class Simulator:
         if when < self.now:
             raise SchedulingInPastError(
                 f"cannot schedule {label or callback} at t={when} < now={self.now}")
-        handle = EventHandle(when, self._seq, callback, label)
+        seq = self._seq
+        self._seq = seq + 1
+        key = (when << SEQ_BITS) | seq
+        # Inlined EventHandle construction: this is the hottest
+        # allocation in the simulator, worth skipping a stack frame.
+        handle = _new_handle(EventHandle)
+        handle.key = key
+        handle.callback = callback
+        handle.label = label
         handle._owner = self
-        self._seq += 1
-        heapq.heappush(self._heap, handle)
-        self._live += 1
+        self._handles[key] = callback
+        _heappush(self._heap, key)
         return handle
 
     def after(self, delay: int, callback: Callable[[], None],
@@ -75,61 +106,164 @@ class Simulator:
                 f"negative delay {delay} for {label or callback}")
         return self.at(self.now + delay, callback, label)
 
+    def periodic(self, period: int, callback: Callable[[], None], *,
+                 first_delay: Optional[int] = None,
+                 first_at: Optional[int] = None,
+                 label: Optional[str] = None) -> PeriodicHandle:
+        """Install a recurring callback on the timer wheel.
+
+        Fires first at ``first_at`` (absolute), or ``now + first_delay``
+        if given, else ``now + period``; then every ``period`` ns until
+        :meth:`PeriodicHandle.cancel`.  Each fire advances the handle
+        in place -- no allocation, no heap churn -- while drawing a
+        fresh sequence number so ties against one-shots resolve exactly
+        as if the callback had re-scheduled itself with :meth:`after`.
+        """
+        if period <= 0:
+            raise ValueError(
+                f"periodic {label or callback}: period must be positive, "
+                f"got {period}")
+        if first_at is not None:
+            first = first_at
+        elif first_delay is not None:
+            first = self.now + first_delay
+        else:
+            first = self.now + period
+        if first < self.now:
+            raise SchedulingInPastError(
+                f"cannot schedule {label or callback} at t={first} "
+                f"< now={self.now}")
+        seq = self._seq
+        self._seq = seq + 1
+        handle = PeriodicHandle(first, seq, period, callback, label)
+        handle._owner = self
+        self._wheel.insert(handle)
+        return handle
+
     # ------------------------------------------------------------------
-    # Heap hygiene
+    # Queue hygiene
     # ------------------------------------------------------------------
-    def _note_cancelled(self, handle: EventHandle) -> None:
-        """A handle still in the heap was cancelled (EventHandle hook)."""
-        self._live -= 1
-        self._dead += 1
-        if (self._dead > len(self._heap) // 2
-                and len(self._heap) >= _COMPACT_FLOOR):
+    def _cancel_oneshot(self, handle: EventHandle) -> bool:
+        """Cancel a one-shot (EventHandle.cancel hook)."""
+        if self._handles.pop(handle.key, None) is None:
+            return False  # already fired or already cancelled
+        dead = self._dead + 1
+        self._dead = dead
+        if dead > len(self._heap) // 2 and len(self._heap) >= _COMPACT_FLOOR:
             self._compact()
+        return True
+
+    def _note_periodic_cancelled(self, handle: PeriodicHandle) -> None:
+        """A periodic was cancelled (handle hook); unlink from wheel."""
+        self._wheel.remove(handle)
 
     def _compact(self) -> None:
         """Drop cancelled entries and re-heapify.
 
-        heapify preserves the (when, seq) ordering contract, so firing
-        order is unaffected; only the dead weight goes away.
+        heapify preserves the key-ordering contract, so firing order is
+        unaffected; only the dead weight goes away.  The list is
+        filtered *in place*: the run loops hold a local reference to
+        it, so its identity must survive a compaction triggered from
+        inside a callback.
         """
-        self._heap = [h for h in self._heap if h._alive]
-        heapq.heapify(self._heap)
+        heap = self._heap
+        handles = self._handles
+        heap[:] = [k for k in heap if k in handles]
+        heapq.heapify(heap)
         self._dead = 0
 
     def _discard_dead_head(self) -> None:
         """Pop cancelled entries sitting at the top of the heap."""
         heap = self._heap
-        while heap and not heap[0]._alive:
-            heapq.heappop(heap)
+        handles = self._handles
+        while heap and heap[0] not in handles:
+            _heappop(heap)
             self._dead -= 1
+
+    def cancel_pending(self) -> int:
+        """Cancel every scheduled one-shot and periodic.
+
+        A teardown aid for harness code and tests that want to drain a
+        bench without firing whatever device timers remain; returns the
+        number of events cancelled.
+        """
+        count = len(self._handles)
+        self._handles.clear()
+        self._heap.clear()
+        self._dead = 0
+        for phandle in list(self._wheel.handles()):
+            if phandle.cancel():
+                count += 1
+        return count
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def _pop_live(self) -> Optional[EventHandle]:
-        """Pop the next live event, discarding cancelled entries."""
-        self._discard_dead_head()
-        if not self._heap:
-            return None
-        handle = heapq.heappop(self._heap)
-        handle._consume()
-        self._live -= 1
-        return handle
-
     def peek_time(self) -> Optional[int]:
-        """Timestamp of the next live event, or None if the heap is empty."""
+        """Timestamp of the next live event, or None if none remain."""
         self._discard_dead_head()
-        return self._heap[0].when if self._heap else None
+        wheel = self._wheel
+        w = wheel.peek() if wheel._count else None
+        heap = self._heap
+        if heap:
+            head = heap[0]
+            if w is None or head < w.key:
+                return head >> SEQ_BITS
+        return w.when if w is not None else None
 
     def step(self) -> bool:
         """Fire the next event.  Returns False if none remain."""
-        handle = self._pop_live()
-        if handle is None:
-            return False
-        self.now = handle.when
+        heap = self._heap
+        handles = self._handles
+        wheel = self._wheel
+        while True:
+            w = wheel._min_cache
+            if w is None and wheel._count:
+                w = wheel.peek()
+            if heap:
+                key = heap[0]
+                if w is None or key < w.key:
+                    _heappop(heap)
+                    cb = handles.pop(key, None)
+                    if cb is None:
+                        self._dead -= 1
+                        continue
+                    self.now = key >> SEQ_BITS
+                    self._events_fired += 1
+                    cb()
+                    return True
+            if w is None:
+                return False
+            self._fire_periodic(w)
+            return True
+
+    def _fire_periodic(self, handle: PeriodicHandle) -> None:
+        """Fire the wheel head; counts the event (step() path)."""
         self._events_fired += 1
+        self._fire_one_periodic(handle)
+
+    def _fire_one_periodic(self, handle: PeriodicHandle) -> None:
+        """Fire the wheel head and re-arm it in place (if still alive).
+
+        Does not touch ``_events_fired``; the batched run loops account
+        for fired events themselves.
+        """
+        wheel = self._wheel
+        wheel.remove(handle)
+        self.now = handle.when
         handle.callback()
-        return True
+        if handle._alive:
+            # Fresh seq *after* the callback returns -- the re-arm point
+            # of the self-rescheduling idiom this replaces, which is
+            # what keeps (when, seq) ties byte-identical.
+            seq = self._seq
+            self._seq = seq + 1
+            handle.fires += 1
+            when = handle.when + handle.period
+            handle.when = when
+            handle.seq = seq
+            handle.key = (when << SEQ_BITS) | seq
+            wheel.insert(handle)
 
     def run_until(self, when: int) -> None:
         """Fire events up to and including time *when*.
@@ -138,18 +272,111 @@ class Simulator:
         earlier; this gives callers a consistent "the simulated world
         has reached t" view.
         """
-        while True:
-            self._discard_dead_head()
-            if not self._heap or self._heap[0].when > when:
-                break
-            self.step()
+        heap = self._heap
+        handles = self._handles
+        wheel = self._wheel
+        pop = _heappop
+        get = handles.pop
+        limit = ((when + 1) << SEQ_BITS) - 1  # largest key firing <= when
+        fired = 0
+        try:
+            while True:
+                w = wheel._min_cache
+                if w is None and wheel._count:
+                    w = wheel.peek()
+                if heap:
+                    key = heap[0]
+                    if w is None or key < w.key:
+                        if key > limit:
+                            break
+                        pop(heap)
+                        cb = get(key, None)
+                        if cb is None:
+                            self._dead -= 1
+                            continue
+                        self.now = key >> SEQ_BITS
+                        fired += 1
+                        cb()
+                        continue
+                if w is None or w.key > limit:
+                    break
+                fired += 1
+                # Inlined _fire_one_periodic (hot: every wheel tick).
+                # w is the wheel minimum here, so take the fused pop.
+                wheel.pop_min()
+                self.now = w.when
+                w.callback()
+                if w._alive:
+                    seq = self._seq
+                    self._seq = seq + 1
+                    w.fires += 1
+                    nxt = w.when + w.period
+                    w.when = nxt
+                    w.seq = seq
+                    w.key = (nxt << SEQ_BITS) | seq
+                    wheel.insert(w)
+        finally:
+            self._events_fired += fired
         if when > self.now:
             self.now = when
 
     def run(self) -> None:
-        """Fire events until the heap drains."""
-        while self.step():
-            pass
+        """Fire events until both queues drain."""
+        heap = self._heap
+        handles = self._handles
+        wheel = self._wheel
+        pop = _heappop
+        get = handles.pop
+        fired = 0
+        try:
+            while True:
+                if wheel._count == 0:
+                    # Pure one-shot fast path: pop straight off the heap.
+                    if not heap:
+                        return
+                    key = pop(heap)
+                    cb = get(key, None)
+                    if cb is None:
+                        self._dead -= 1
+                        continue
+                    self.now = key >> SEQ_BITS
+                    fired += 1
+                    cb()
+                    continue
+                if heap:
+                    w = wheel._min_cache
+                    if w is None:
+                        w = wheel.peek()
+                    key = heap[0]
+                    if key < w.key:
+                        pop(heap)
+                        cb = get(key, None)
+                        if cb is None:
+                            self._dead -= 1
+                            continue
+                        self.now = key >> SEQ_BITS
+                        fired += 1
+                        cb()
+                        continue
+                    wheel.remove(w)
+                else:
+                    # Only wheel events remain: one fused call per tick.
+                    w = wheel.pop_min()
+                fired += 1
+                # Inlined _fire_one_periodic (hot: every wheel tick).
+                self.now = w.when
+                w.callback()
+                if w._alive:
+                    seq = self._seq
+                    self._seq = seq + 1
+                    w.fires += 1
+                    nxt = w.when + w.period
+                    w.when = nxt
+                    w.seq = seq
+                    w.key = (nxt << SEQ_BITS) | seq
+                    wheel.insert(w)
+        finally:
+            self._events_fired += fired
 
     def run_steps(self, count: int) -> int:
         """Fire at most *count* events; returns the number fired."""
@@ -174,7 +401,7 @@ class Simulator:
     @property
     def events_pending(self) -> int:
         """Number of live events still scheduled (O(1))."""
-        return self._live
+        return len(self._handles) + self._wheel._count
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Simulator t={self.now} fired={self._events_fired} "

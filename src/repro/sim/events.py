@@ -1,68 +1,156 @@
-"""Cancellable events for the simulation heap.
+"""Cancellable events for the simulation core.
 
-Events are not physically removed from the heap on cancellation;
-instead each :class:`EventHandle` carries a liveness flag that the
-engine checks when the entry is popped.  This is the standard "lazy
-deletion" scheme: O(1) cancellation, O(log n) scheduling, and the
-stale entries are discarded as they surface.  Cancellation notifies
-the owning simulator so it can keep exact live/dead counts and compact
-the heap when cancelled entries start to dominate it.
+The engine's one-shot heap holds *packed integer keys* -- ``(when <<
+44) | seq`` -- never handle objects, so ``heapq`` comparisons are
+single C ``int`` compares with no tuple indirection and no Python
+``__lt__`` dispatch.  Packing preserves the exact ``(when, seq)``
+ordering contract as long as fewer than 2**44 (~1.7e13) events are
+ever scheduled in one simulation, which is more than six orders of
+magnitude beyond the largest campaign run.
+
+Liveness lives in an external table (``Simulator._handles``: key ->
+callback); a key absent from the table is dead and is discarded when
+it surfaces.  This keeps the classic lazy-deletion contract (O(1)
+cancel, O(log n) schedule) while removing both per-event comparison
+dispatch and per-fire liveness stores from the hot loop.
+
+:class:`EventHandle` is the caller-facing receipt for a one-shot;
+:class:`PeriodicHandle` is the recurring-event handle managed by the
+hierarchical timer wheel (:mod:`repro.sim.wheel`) -- it is re-armed in
+place on every fire, allocating nothing per tick.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+#: Low bits of a packed key hold the schedule sequence number; high
+#: bits the timestamp.  Key order == (when, seq) lexicographic order.
+SEQ_BITS = 44
+SEQ_MASK = (1 << SEQ_BITS) - 1
+
 
 class EventHandle:
-    """A scheduled callback that may be cancelled before it fires.
+    """A scheduled one-shot callback that may be cancelled before firing.
 
-    Attributes
-    ----------
-    when:
-        Absolute simulation time (ns) at which the event fires.
-    callback:
-        Zero-argument callable invoked when the event fires.
-    label:
-        Optional human-readable tag used by traces and error messages.
+    The handle does not carry its own liveness: an engine-owned handle
+    is alive iff its key is still present in the owner's table, so
+    firing an event is a single dict pop with no handle write-back.  A
+    handle constructed without an owner (unit tests, ad-hoc use) tracks
+    liveness by flipping its key's sign instead.
     """
 
-    __slots__ = ("when", "seq", "callback", "label", "_alive", "_owner")
+    __slots__ = ("key", "callback", "label", "_owner")
 
     def __init__(self, when: int, seq: int, callback: Callable[[], Any],
                  label: Optional[str] = None) -> None:
-        self.when = when
-        self.seq = seq
+        self.key = (when << SEQ_BITS) | seq
         self.callback = callback
         self.label = label
-        self._alive = True
         self._owner = None  # set by the scheduling Simulator
+
+    @property
+    def when(self) -> int:
+        """Absolute simulation time (ns) at which the event fires."""
+        key = self.key
+        if key < 0:
+            key = ~key
+        return key >> SEQ_BITS
+
+    @property
+    def seq(self) -> int:
+        """Schedule sequence number (tie-break within a timestamp)."""
+        key = self.key
+        if key < 0:
+            key = ~key
+        return key & SEQ_MASK
 
     @property
     def alive(self) -> bool:
         """True until the event fires or is cancelled."""
-        return self._alive
+        owner = self._owner
+        if owner is not None:
+            return self.key in owner._handles
+        return self.key >= 0
 
     def cancel(self) -> bool:
         """Cancel the event.  Returns True if it had not yet fired."""
-        was_alive = self._alive
-        self._alive = False
-        if was_alive and self._owner is not None:
-            self._owner._note_cancelled(self)
-        return was_alive
+        owner = self._owner
+        if owner is not None:
+            return owner._cancel_oneshot(self)
+        if self.key < 0:
+            return False
+        self.key = ~self.key
+        return True
 
     def _consume(self) -> bool:
-        """Mark the event as fired (engine-internal)."""
-        was_alive = self._alive
-        self._alive = False
-        return was_alive
+        """Mark an *unowned* handle as fired (test aid)."""
+        if self.key < 0:
+            return False
+        self.key = ~self.key
+        return True
 
     def __lt__(self, other: "EventHandle") -> bool:
-        # heapq tie-break: identical timestamps fire in scheduling order.
-        if self.when != other.when:
-            return self.when < other.when
-        return self.seq < other.seq
+        # Retained for callers that sort handles; the engine's heap
+        # compares bare packed keys instead.
+        return self.key < other.key
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "dead"
+        return f"<EventHandle t={self.when} {self.label or self.callback} {state}>"
+
+
+class PeriodicHandle:
+    """A recurring callback re-armed in place by the timer wheel.
+
+    After each fire the engine assigns the handle a fresh sequence
+    number from the same counter one-shots draw from and advances
+    ``when`` by ``period`` -- so a wheel periodic interleaves with
+    one-shot events at equal timestamps exactly as the naive
+    self-rescheduling ``after()`` loop it replaces did (the byte-
+    identity contract the golden tests pin down).
+    """
+
+    __slots__ = ("when", "seq", "key", "period", "callback", "label",
+                 "fires", "_alive", "_owner", "_bucket")
+
+    def __init__(self, when: int, seq: int, period: int,
+                 callback: Callable[[], Any],
+                 label: Optional[str] = None) -> None:
+        self.when = when
+        self.seq = seq
+        self.key = (when << SEQ_BITS) | seq
+        self.period = period
+        self.callback = callback
+        self.label = label
+        self.fires = 0
+        self._alive = True
+        self._owner = None   # set by the scheduling Simulator
+        self._bucket = None  # wheel container, for O(1) removal
+
+    @property
+    def alive(self) -> bool:
+        """True until the periodic is cancelled."""
+        return self._alive
+
+    def cancel(self) -> bool:
+        """Stop the stream.  Safe to call from inside the callback."""
+        if not self._alive:
+            return False
+        self._alive = False
+        if self._owner is not None:
+            self._owner._note_periodic_cancelled(self)
+        return True
+
+    def set_period(self, period_ns: int) -> None:
+        """Change the period; takes effect at the next re-arm, like
+        reprogramming a hardware reload register mid-cycle."""
+        if period_ns <= 0:
+            raise ValueError(f"periodic {self.label or self.callback}: "
+                             f"period must be positive, got {period_ns}")
+        self.period = period_ns
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "alive" if self._alive else "dead"
-        return f"<EventHandle t={self.when} {self.label or self.callback} {state}>"
+        return (f"<PeriodicHandle t={self.when} period={self.period} "
+                f"{self.label or self.callback} {state}>")

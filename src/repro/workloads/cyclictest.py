@@ -40,7 +40,7 @@ class CyclicTest:
         self.rt_prio = rt_prio
         self.affinity = affinity
         self.name = name
-        self.recorder = LatencyRecorder(name)
+        self.recorder = LatencyRecorder(name, capacity=cycles)
         self.finished = False
 
     def spec(self) -> WorkloadSpec:

@@ -42,7 +42,8 @@ class DeterminismTest:
         self.rt_prio = rt_prio
         self.affinity = affinity
         self.name = name
-        self.recorder = JitterRecorder(name, ideal_ns=None)
+        self.recorder = JitterRecorder(name, ideal_ns=None,
+                                       capacity=iterations)
         self.finished = False
 
     def spec(self) -> WorkloadSpec:

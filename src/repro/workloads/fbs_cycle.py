@@ -53,7 +53,8 @@ class FbsCycleTest:
                                            rcim=bench.rcim)
         self.proc = self.fbs.register(name, period=1)
         #: Absolute wakeup deviation from the nominal cycle time (ns).
-        self.recorder = LatencyRecorder(name)
+        self.recorder = LatencyRecorder(name,
+                                        capacity=duration_ns // cycle_ns + 1)
         self.finished = False
 
     def spec(self) -> WorkloadSpec:

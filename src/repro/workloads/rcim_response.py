@@ -34,7 +34,7 @@ class RcimResponseTest:
         self.rt_prio = rt_prio
         self.affinity = affinity
         self.name = name
-        self.recorder = LatencyRecorder(name)
+        self.recorder = LatencyRecorder(name, capacity=samples)
         self.finished = False
 
     def spec(self) -> WorkloadSpec:

@@ -33,10 +33,11 @@ class Realfeel:
         self.rt_prio = rt_prio
         self.affinity = affinity
         self.name = name
-        self.recorder = LatencyRecorder(name, period_ns=device.period_ns)
+        self.recorder = LatencyRecorder(name, period_ns=device.period_ns,
+                                        capacity=samples)
         #: Direct fire-to-return latencies (diagnostic; not what
         #: realfeel itself can measure).
-        self.direct = LatencyRecorder(f"{name}-direct")
+        self.direct = LatencyRecorder(f"{name}-direct", capacity=samples)
         self.finished = False
 
     def spec(self) -> WorkloadSpec:
