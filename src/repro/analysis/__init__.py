@@ -7,8 +7,28 @@ instant.  The aggregated report attributes slow wakeups to their
 causes (non-preemptible kernel sections, softirq processing, lock
 holders...), which is how the per-figure calibrations in this
 repository were diagnosed in the first place.
+
+:class:`~repro.analysis.lockdep.LockdepValidator` is the invariant
+side of the same coin: a lockdep-style observer that validates lock
+ordering, atomic-context discipline, exit-state balance and
+shield-affinity routing while a scenario runs, without perturbing it.
+
+:mod:`repro.analysis.lint` is the static half -- an AST linter that
+keeps the simulation sources deterministic (no wall-clock, no global
+RNG, no order-sensitive set iteration in scheduling paths).
 """
 
+from repro.analysis.lockdep import (
+    LockdepConfig,
+    LockdepValidator,
+    LockdepViolation,
+)
 from repro.analysis.probe import WakeLatencyProbe, WakeSample
 
-__all__ = ["WakeLatencyProbe", "WakeSample"]
+__all__ = [
+    "LockdepConfig",
+    "LockdepValidator",
+    "LockdepViolation",
+    "WakeLatencyProbe",
+    "WakeSample",
+]

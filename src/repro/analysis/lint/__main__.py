@@ -1,0 +1,40 @@
+"""CLI: ``python -m repro.analysis.lint [paths...] [--json]``.
+
+Exits 0 when the tree is clean, 1 when findings remain -- the CI lint
+job runs exactly this over ``src``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.lint.engine import lint_paths
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Determinism linter for the simulation sources.")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories (default: src)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    args = parser.parse_args(argv)
+
+    findings = lint_paths(args.paths or ["src"])
+    if args.json:
+        print(json.dumps({"findings": [f.to_dict() for f in findings],
+                          "count": len(findings)},
+                         indent=2, sort_keys=True))
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(f"{len(findings)} finding{'s' if len(findings) != 1 else ''}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Lint driver: walk files, run rules, honour suppressions.
+
+Kept import-light and rule-agnostic; the rules themselves live in
+:mod:`repro.analysis.lint.rules` (imported lazily to avoid a cycle --
+rules import :class:`Finding` from here).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+#: ``# lint: ok(rule-a, rule-b)`` on the offending line suppresses
+#: those rules there.
+_ALLOW_COMMENT = re.compile(r"#\s*lint:\s*ok\(([a-z0-9_,\s-]+)\)")
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One lint hit."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "message": self.message}
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] " \
+               f"{self.message}"
+
+
+def _line_allows(source_lines: Sequence[str], line: int, rule: str) -> bool:
+    if not 1 <= line <= len(source_lines):
+        return False
+    match = _ALLOW_COMMENT.search(source_lines[line - 1])
+    if not match:
+        return False
+    allowed = {r.strip() for r in match.group(1).split(",")}
+    return rule in allowed
+
+
+def _path_allows(path: str, rule: str, allow: Dict[str, tuple]) -> bool:
+    posix = path.replace("\\", "/")
+    return any(posix.endswith(suffix) for suffix in allow.get(rule, ()))
+
+
+def lint_file(path: str, rules: Optional[Sequence[Any]] = None
+              ) -> List[Finding]:
+    """Lint one Python source file."""
+    from repro.analysis.lint.rules import ALL_RULES, ALLOW
+
+    if rules is None:
+        rules = ALL_RULES
+    source = Path(path).read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path=path, line=exc.lineno or 0,
+                        col=exc.offset or 0, rule="syntax",
+                        message=f"cannot parse: {exc.msg}")]
+    source_lines = source.splitlines()
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(path):
+            continue
+        if _path_allows(path, rule.name, ALLOW):
+            continue
+        for finding in rule.check(tree, path):
+            if _line_allows(source_lines, finding.line, finding.rule):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.extend(str(f) for f in sorted(p.rglob("*.py")))
+        else:
+            out.append(str(p))
+    return out
+
+
+def lint_paths(paths: Iterable[str],
+               rules: Optional[Sequence[Any]] = None) -> List[Finding]:
+    """Lint every Python file under *paths* (files or directories)."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules=rules))
+    return findings

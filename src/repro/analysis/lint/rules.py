@@ -1,0 +1,222 @@
+"""The determinism rules: one AST visitor per failure class.
+
+Every rule is a :class:`Rule` subclass with a stable kebab-case
+``name`` (the key used by ``# lint: ok(name)`` comments and the
+:data:`ALLOW` table), an ``applies_to`` path filter, and a ``check``
+that yields :class:`~repro.analysis.lint.engine.Finding` tuples.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.analysis.lint.engine import Finding
+
+#: Per-rule path allowlists: rule name -> path suffixes (POSIX-style)
+#: that the rule never fires in.  ``repro/sim/rng.py`` *is* the
+#: sanctioned randomness layer, so the RNG rule cannot apply to it.
+ALLOW = {
+    "global-random": ("repro/sim/rng.py",),
+}
+
+#: NumPy global-state draws (``np.random.<fn>``).  Constructors like
+#: ``np.random.Generator``/``SeedSequence``/``default_rng`` are the
+#: sanctioned seeded API and stay legal.
+GLOBAL_NP_RANDOM = frozenset({
+    "seed", "random", "rand", "randn", "randint", "random_sample",
+    "choice", "shuffle", "permutation", "uniform", "normal",
+    "exponential", "lognormal", "poisson", "binomial", "bytes",
+})
+
+#: Directories whose dataclasses sit on the event-loop hot path.
+HOT_DIRS = ("repro/sim/", "repro/kernel/")
+
+#: Layers whose trace labels must be gated on ``trace.enabled``.
+TRACED_DIRS = ("repro/sim/", "repro/kernel/", "repro/hw/")
+
+
+def _in_dirs(path: str, dirs: Sequence[str]) -> bool:
+    posix = path.replace("\\", "/")
+    return any(d in posix for d in dirs)
+
+
+class Rule:
+    """One lint rule."""
+
+    name = "?"
+
+    def applies_to(self, path: str) -> bool:
+        return True
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def finding(self, path: str, node: ast.AST, message: str) -> Finding:
+        return Finding(path=path, line=getattr(node, "lineno", 0),
+                       col=getattr(node, "col_offset", 0),
+                       rule=self.name, message=message)
+
+
+class WallClockRule(Rule):
+    """No wall-clock time sources: simulated time only."""
+
+    name = "wall-clock"
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in ("time", "datetime"):
+                        yield self.finding(
+                            path, node,
+                            f"import of wall-clock module "
+                            f"{alias.name!r}; use repro.sim.simtime "
+                            f"and the simulator clock")
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in ("time", "datetime") and node.level == 0:
+                    yield self.finding(
+                        path, node,
+                        f"import from wall-clock module "
+                        f"{node.module!r}; use repro.sim.simtime "
+                        f"and the simulator clock")
+
+
+class GlobalRandomRule(Rule):
+    """No global RNG state: named repro.sim.rng substreams only."""
+
+    name = "global-random"
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "random":
+                        yield self.finding(
+                            path, node,
+                            "import of the global 'random' module; "
+                            "draw from a named repro.sim.rng stream")
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if node.level:
+                    continue
+                if (module.split(".")[0] == "random"
+                        or module == "numpy.random"):
+                    yield self.finding(
+                        path, node,
+                        f"import from global RNG module {module!r}; "
+                        f"draw from a named repro.sim.rng stream")
+            elif isinstance(node, ast.Attribute):
+                # np.random.<fn> / numpy.random.<fn> global draws.
+                value = node.value
+                if (node.attr in GLOBAL_NP_RANDOM
+                        and isinstance(value, ast.Attribute)
+                        and value.attr == "random"
+                        and isinstance(value.value, ast.Name)
+                        and value.value.id in ("np", "numpy")):
+                    yield self.finding(
+                        path, node,
+                        f"NumPy global random state "
+                        f"({value.value.id}.random.{node.attr}); "
+                        f"draw from a named repro.sim.rng stream")
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+class UnorderedIterRule(Rule):
+    """No iteration over set expressions: hash-seed-dependent order."""
+
+    name = "unordered-iter"
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            iters: List[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_set_expr(it):
+                    yield self.finding(
+                        path, it,
+                        "iterating a set expression: order depends on "
+                        "the hash seed and can feed event scheduling; "
+                        "wrap it in sorted(...)")
+
+
+class NoSlotsDataclassRule(Rule):
+    """Hot-path dataclasses must declare ``slots=True``."""
+
+    name = "no-slots-dataclass"
+
+    def applies_to(self, path: str) -> bool:
+        return _in_dirs(path, HOT_DIRS)
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for deco in node.decorator_list:
+                if isinstance(deco, ast.Name) and deco.id == "dataclass":
+                    yield self.finding(
+                        path, node,
+                        f"dataclass {node.name} in a hot module "
+                        f"without slots=True")
+                elif (isinstance(deco, ast.Call)
+                      and isinstance(deco.func, ast.Name)
+                      and deco.func.id == "dataclass"):
+                    has_slots = any(
+                        kw.arg == "slots"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                        for kw in deco.keywords)
+                    if not has_slots:
+                        yield self.finding(
+                            path, node,
+                            f"dataclass {node.name} in a hot module "
+                            f"without slots=True")
+
+
+class UngatedLabelRule(Rule):
+    """Trace labels built with f-strings must be trace-gated.
+
+    ``label=f"..."`` evaluates on every call even with tracing off;
+    the idiom is ``label=(f"..." if trace.enabled else "static")`` --
+    an ``IfExp``, which this rule deliberately does not match.
+    """
+
+    name = "ungated-label"
+
+    def applies_to(self, path: str) -> bool:
+        return _in_dirs(path, TRACED_DIRS)
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for kw in node.keywords:
+                if kw.arg == "label" and isinstance(kw.value,
+                                                    ast.JoinedStr):
+                    yield self.finding(
+                        path, kw.value,
+                        "un-gated f-string trace label; gate it: "
+                        "label=(f'...' if trace.enabled else 'static')")
+
+
+ALL_RULES: Tuple[Rule, ...] = (
+    WallClockRule(),
+    GlobalRandomRule(),
+    UnorderedIterRule(),
+    NoSlotsDataclassRule(),
+    UngatedLabelRule(),
+)

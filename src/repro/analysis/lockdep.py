@@ -1,0 +1,450 @@
+"""Runtime lock-dependency and kernel-invariant validation.
+
+A simulated-kernel analogue of Linux's lockdep: an **observational**
+validator (the same contract as :mod:`repro.analysis.probe` -- zero
+simulated-time perturbation, no RNG draws, installable/removable at
+any point) that watches every lock transition, context switch, and
+interrupt delivery, and reports violations of the invariants the
+paper's whole analysis rests on:
+
+* **Lock-order inversions (ABBA)** -- an incrementally maintained
+  lock-class ordering graph; observing ``A -> B`` after ``B ->.. A``
+  was ever established reports a potential deadlock even if the two
+  acquisitions never actually overlap in time (the classic lockdep
+  strength).
+* **Sleep-in-atomic** -- blocking, sleeping, or a semaphore ``down()``
+  attempted while ``preempt_count > 0``.
+* **Irq-unsafe locks in interrupt context** -- taking a
+  non-irq-disabling spinlock from inside a hardirq or softirq handler
+  body.
+* **Unbalanced preempt/irq-off state at task exit** -- a task exiting
+  while still holding locks, a raised ``preempt_count``, or a
+  non-zero irq-disable depth.
+* **Over-budget hold windows** -- irq-disabling-lock and BKL hold
+  times beyond configurable thresholds (the bounded-critical-section
+  claim of the paper's Section 6).
+* **Shield-affinity violations** -- a task installed on, or a device
+  interrupt routed to, a CPU its effective (shield-rewritten) mask
+  excludes.
+
+Violations are structured :class:`LockdepViolation` records rendered
+through :func:`repro.metrics.report.lockdep_summary`; strict mode
+raises :class:`~repro.sim.errors.KernelPanic` at the first violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.sim.errors import KernelPanic
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.sync.semaphore import Semaphore
+    from repro.kernel.sync.spinlock import SpinLock
+    from repro.kernel.task import Task
+
+
+@dataclass(slots=True)
+class LockdepConfig:
+    """Thresholds and behaviour of one validator instance.
+
+    Budgets default to ``None`` (disabled): hold-time ceilings are
+    scenario-specific -- a vanilla-2.4 run legitimately holds the BKL
+    for milliseconds, which is the very pathology the paper measures --
+    so they are opt-in rather than one-size-fits-all.
+    """
+
+    #: Raise :class:`KernelPanic` at the first violation.
+    strict: bool = False
+    #: Budget for irq-disabling spinlock hold windows (ns), or None.
+    irq_off_budget_ns: Optional[int] = None
+    #: Budget for BKL hold windows (ns), or None.
+    bkl_budget_ns: Optional[int] = None
+    #: Budget for any other spinlock hold window (ns), or None.
+    hold_budget_ns: Optional[int] = None
+    #: Stop recording after this many violations (reports stay bounded).
+    max_violations: int = 10_000
+
+
+@dataclass(frozen=True, slots=True)
+class LockdepViolation:
+    """One observed invariant violation."""
+
+    kind: str                   # "abba", "sleep-in-atomic", ...
+    time_ns: int
+    task: Optional[str]
+    cpu: Optional[int]
+    detail: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "time_ns": self.time_ns,
+                "task": self.task, "cpu": self.cpu, "detail": self.detail}
+
+
+@dataclass(slots=True)
+class LockClassStats:
+    """Per-lock-class observation counters (for the report)."""
+
+    acquisitions: int = 0
+    max_hold_ns: int = 0
+    total_hold_ns: int = 0
+
+
+class LockdepValidator:
+    """Observes one kernel's locking/irq/affinity behaviour.
+
+    Like :class:`~repro.analysis.probe.WakeLatencyProbe`, the validator
+    wraps kernel internals through instance attributes and hooks the
+    lock objects themselves (``SpinLock.lockdep``/``Semaphore.lockdep``);
+    ``uninstall()`` restores everything.  Nothing here consumes
+    simulated time or random numbers, so an instrumented run is
+    byte-identical to a bare one.
+    """
+
+    def __init__(self, kernel: "Kernel",
+                 config: Optional[LockdepConfig] = None) -> None:
+        self.kernel = kernel
+        self.config = config or LockdepConfig()
+        self.violations: List[LockdepViolation] = []
+        self.class_stats: Dict[str, LockClassStats] = {}
+        self._installed = False
+        # Lock-order graph: class name -> classes taken while holding it.
+        self._edges: Dict[str, Set[str]] = {}
+        # Per-task stacks of held lock classes (pid -> [class, ...]).
+        self._held: Dict[int, List[str]] = {}
+        self._seen: Set[Tuple[str, str]] = set()
+        self._attached: List[Any] = []
+        self._orig_actions: Dict[int, tuple] = {}
+        # Python-call-stack context flags: set only while a handler
+        # body is actually executing (frame-kind state on the CPU is
+        # not usable -- a softirq can run *above* a task that is
+        # legitimately spinning for a lock handoff).
+        self._active_irq_cpu: Optional[int] = None
+        self._softirq_action_depth = 0
+
+    # ==================================================================
+    # Installation
+    # ==================================================================
+    def install(self) -> "LockdepValidator":
+        if self._installed:
+            return self
+        self._installed = True
+        kernel = self.kernel
+
+        for lock in vars(kernel.locks).values():
+            self.attach_lock(lock)
+
+        # --- wrapped kernel internals ---------------------------------
+        orig_acquire = kernel._acquire
+        orig_block = kernel._block
+        orig_sleep = kernel._sleep
+        orig_sem_down = kernel._sem_down
+        orig_sem_up = kernel._sem_up
+        orig_task_exit = kernel._task_exit
+        orig_install_task = kernel._install_task
+        orig_deliver_irq = kernel._deliver_irq
+        orig_register = kernel.register_irq_handler
+        orig_raise_softirq = kernel.raise_softirq
+
+        def acquire(task, cpu_idx, lock):
+            if lock.lockdep is not self:
+                self.attach_lock(lock)
+            orig_acquire(task, cpu_idx, lock)
+
+        def block(task, cpu_idx, wq):
+            if task.preempt_count > 0:
+                self._violation(
+                    "sleep-in-atomic", task.on_cpu, task,
+                    f"blocking on {wq.name} with preempt_count="
+                    f"{task.preempt_count}{self._held_suffix(task)}")
+            orig_block(task, cpu_idx, wq)
+
+        def sleep(task, cpu_idx, duration):
+            if task.preempt_count > 0:
+                self._violation(
+                    "sleep-in-atomic", task.on_cpu, task,
+                    f"sleeping {duration} ns with preempt_count="
+                    f"{task.preempt_count}{self._held_suffix(task)}")
+            orig_sleep(task, cpu_idx, duration)
+
+        def sem_down(task, cpu_idx, sem):
+            if sem.lockdep is not self:
+                self.attach_lock(sem)
+            if task.preempt_count > 0:
+                self._violation(
+                    "sleep-in-atomic", task.on_cpu, task,
+                    f"down({sem.name}) -- a sleeping lock -- with "
+                    f"preempt_count={task.preempt_count}"
+                    f"{self._held_suffix(task)}")
+            orig_sem_down(task, cpu_idx, sem)
+
+        def sem_up(task, cpu_idx, sem):
+            if sem.lockdep is not self:
+                self.attach_lock(sem)
+            self._pop_held(task, self._sem_class(sem))
+            orig_sem_up(task, cpu_idx, sem)
+
+        def task_exit(task, cpu_idx, value):
+            held = self._held.pop(task.pid, None)
+            if task.preempt_count != 0 or task.irq_disable_count != 0 or held:
+                self._violation(
+                    "unbalanced-exit", cpu_idx, task,
+                    f"exit with preempt_count={task.preempt_count} "
+                    f"irq_disable_count={task.irq_disable_count}"
+                    + (f" holding {', '.join(held)}" if held else ""))
+            orig_task_exit(task, cpu_idx, value)
+
+        def install_task(cpu_idx, task):
+            mask = task.effective_affinity
+            if mask and cpu_idx not in mask:
+                self._violation(
+                    "shield-affinity", cpu_idx, task,
+                    f"installed on cpu{cpu_idx} but effective affinity "
+                    f"is {mask.to_proc()}")
+            orig_install_task(cpu_idx, task)
+
+        def deliver_irq(cpu, desc):
+            eff = desc.effective_affinity
+            if eff and cpu.index not in eff and any(
+                    i < len(kernel.machine.cpus)
+                    and kernel.machine.cpus[i].online for i in eff):
+                self._violation(
+                    "shield-affinity", cpu.index, None,
+                    f"irq{desc.irq} ({desc.name}) delivered to "
+                    f"cpu{cpu.index} but effective affinity is "
+                    f"{eff.to_proc()}")
+            orig_deliver_irq(cpu, desc)
+
+        def register_irq_handler(irq, cost_key, action):
+            orig_register(irq, cost_key, self._wrap_irq_action(action))
+
+        def raise_softirq(cpu_idx, vec, work_ns, action=None,
+                          from_irq=False):
+            if action is not None:
+                action = self._wrap_softirq_action(action)
+            orig_raise_softirq(cpu_idx, vec, work_ns, action,
+                               from_irq=from_irq)
+
+        kernel._acquire = acquire
+        kernel._block = block
+        kernel._sleep = sleep
+        kernel._sem_down = sem_down
+        kernel._sem_up = sem_up
+        kernel._task_exit = task_exit
+        kernel._install_task = install_task
+        kernel._deliver_irq = deliver_irq
+        kernel.register_irq_handler = register_irq_handler
+        kernel.raise_softirq = raise_softirq
+        # The APIC captured the bound method at boot; repoint it.
+        kernel.machine.apic.deliver = deliver_irq
+
+        # Wrap the already-registered hardirq actions so handler bodies
+        # execute under the in-hardirq context flag.
+        for irq, (cost_key, action) in list(kernel._irq_table.items()):
+            self._orig_actions[irq] = (cost_key, action)
+            kernel._irq_table[irq] = (cost_key,
+                                      self._wrap_irq_action(action))
+        return self
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        self._installed = False
+        kernel = self.kernel
+        for obj in self._attached:
+            obj.lockdep = None
+        self._attached.clear()
+        for irq, entry in self._orig_actions.items():
+            kernel._irq_table[irq] = entry
+        self._orig_actions.clear()
+        # Drop the instance-level overrides; attribute lookup falls
+        # back to the class methods (clean even if probes stacked).
+        for name in ("_acquire", "_block", "_sleep", "_sem_down",
+                     "_sem_up", "_task_exit", "_install_task",
+                     "_deliver_irq", "register_irq_handler",
+                     "raise_softirq"):
+            if name in kernel.__dict__:
+                del kernel.__dict__[name]
+        kernel.machine.apic.deliver = kernel._deliver_irq
+
+    def attach_lock(self, lock: Any) -> None:
+        """Hook one lock/semaphore object (idempotent)."""
+        if lock.lockdep is self:
+            return
+        lock.lockdep = self
+        self._attached.append(lock)
+
+    # ==================================================================
+    # Hooks called by the sync primitives
+    # ==================================================================
+    def on_take(self, lock: "SpinLock", task: "Task", now: int) -> None:
+        cls = lock.name
+        stats = self.class_stats.get(cls)
+        if stats is None:
+            stats = self.class_stats[cls] = LockClassStats()
+        stats.acquisitions += 1
+        if not lock.irq_disabling:
+            if self._active_irq_cpu is not None:
+                self._violation(
+                    "irq-unsafe-in-irq", self._active_irq_cpu, task,
+                    f"non-irq-disabling lock {cls} taken inside a "
+                    f"hardirq handler")
+            elif self._softirq_action_depth > 0:
+                self._violation(
+                    "irq-unsafe-in-irq", task.on_cpu, task,
+                    f"non-irq-disabling lock {cls} taken inside a "
+                    f"softirq handler")
+        self._note_ordering(cls, task, now)
+        self._held.setdefault(task.pid, []).append(cls)
+
+    def on_drop(self, lock: "SpinLock", task: "Task", now: int,
+                hold_ns: int) -> None:
+        cls = lock.name
+        stats = self.class_stats.get(cls)
+        if stats is None:
+            stats = self.class_stats[cls] = LockClassStats()
+        stats.total_hold_ns += hold_ns
+        if hold_ns > stats.max_hold_ns:
+            stats.max_hold_ns = hold_ns
+        self._pop_held(task, cls)
+        cfg = self.config
+        if lock.is_bkl:
+            budget = cfg.bkl_budget_ns
+            label = "BKL hold"
+        elif lock.irq_disabling:
+            budget = cfg.irq_off_budget_ns
+            label = "irq-off window"
+        else:
+            budget = cfg.hold_budget_ns
+            label = "lock hold"
+        if budget is not None and hold_ns > budget:
+            self._violation(
+                "hold-budget", task.on_cpu, task,
+                f"{label} of {cls} ran {hold_ns} ns "
+                f"(budget {budget} ns)")
+
+    def on_contend(self, lock: "SpinLock", task: "Task") -> None:
+        """Contention is legal; nothing to validate (hook for probes)."""
+
+    def on_sem_down(self, sem: "Semaphore", task: "Task") -> None:
+        """Entry of try_down(); the atomic-context check happens in the
+        wrapped kernel ``_sem_down`` (which panics before try_down runs
+        on the op path) -- this hook covers direct driver-level calls."""
+        if task.preempt_count > 0:
+            self._violation(
+                "sleep-in-atomic", task.on_cpu, task,
+                f"down({sem.name}) -- a sleeping lock -- with "
+                f"preempt_count={task.preempt_count}"
+                f"{self._held_suffix(task)}")
+
+    def on_sem_take(self, sem: "Semaphore", task: "Task") -> None:
+        cls = self._sem_class(sem)
+        stats = self.class_stats.get(cls)
+        if stats is None:
+            stats = self.class_stats[cls] = LockClassStats()
+        stats.acquisitions += 1
+        self._note_ordering(cls, task, self.kernel.sim.now)
+        self._held.setdefault(task.pid, []).append(cls)
+
+    # ==================================================================
+    # Internals
+    # ==================================================================
+    @staticmethod
+    def _sem_class(sem: "Semaphore") -> str:
+        return f"sem:{sem.name}"
+
+    def _held_suffix(self, task: "Task") -> str:
+        held = self._held.get(task.pid)
+        return f" while holding {', '.join(held)}" if held else ""
+
+    def _pop_held(self, task: "Task", cls: str) -> None:
+        held = self._held.get(task.pid)
+        if not held:
+            return
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] == cls:
+                del held[i]
+                return
+
+    def _note_ordering(self, cls: str, task: "Task", now: int) -> None:
+        held = self._held.get(task.pid)
+        if not held:
+            return
+        edges = self._edges
+        for prior in held:
+            if prior == cls:
+                continue
+            key = (prior, cls)
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            # Adding prior -> cls closes a cycle iff cls already
+            # reaches prior through established ordering edges.
+            if self._reaches(cls, prior):
+                self._violation(
+                    "abba", task.on_cpu, task,
+                    f"lock order inversion: {prior} -> {cls} taken, "
+                    f"but the ordering {cls} ->.. {prior} was "
+                    f"established earlier")
+            edges.setdefault(prior, set()).add(cls)
+
+    def _reaches(self, src: str, dst: str) -> bool:
+        stack = [src]
+        seen = {src}
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            for nxt in self._edges.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    def _wrap_irq_action(self, action):
+        def wrapped(cpu_idx, _action=action):
+            prev = self._active_irq_cpu
+            self._active_irq_cpu = cpu_idx
+            try:
+                _action(cpu_idx)
+            finally:
+                self._active_irq_cpu = prev
+        return wrapped
+
+    def _wrap_softirq_action(self, action):
+        def wrapped(_action=action):
+            self._softirq_action_depth += 1
+            try:
+                _action()
+            finally:
+                self._softirq_action_depth -= 1
+        return wrapped
+
+    def _violation(self, kind: str, cpu: Optional[int],
+                   task: Optional["Task"], detail: str) -> None:
+        if len(self.violations) >= self.config.max_violations:
+            return
+        violation = LockdepViolation(
+            kind=kind, time_ns=self.kernel.sim.now,
+            task=task.name if task is not None else None,
+            cpu=cpu, detail=detail)
+        self.violations.append(violation)
+        if self.config.strict:
+            raise KernelPanic(f"lockdep[{kind}]: {detail}")
+
+    # ==================================================================
+    # Reporting
+    # ==================================================================
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [v.to_dict() for v in self.violations]
+
+    def report(self, top: int = 20) -> str:
+        from repro.metrics.report import lockdep_summary
+
+        return lockdep_summary(self, top=top)

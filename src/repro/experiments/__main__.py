@@ -59,8 +59,13 @@ SUBCOMMANDS = ("campaign", "list-scenarios", "run")
 
 
 def run_one(name: str, iterations: int, samples: int, seed: int,
-            json_dir: str = "", profile: bool = False) -> None:
-    """Run one registered scenario and print its paper-format report."""
+            json_dir: str = "", profile: bool = False,
+            lockdep: bool = False, lockdep_strict: bool = False) -> int:
+    """Run one registered scenario and print its paper-format report.
+
+    Returns the number of lockdep violations observed (0 when lockdep
+    is off), so callers can turn observations into exit codes.
+    """
     from repro.experiments.export import scenario_to_dict, to_json
 
     try:
@@ -70,16 +75,30 @@ def run_one(name: str, iterations: int, samples: int, seed: int,
                          f"{sorted(DETERMINISM) + sorted(LATENCY)} or 'all' "
                          f"(or use 'list-scenarios')")
     spec = spec.configured(iterations=iterations, samples=samples, seed=seed)
+    ld_config = None
+    if lockdep or lockdep_strict:
+        from repro.analysis.lockdep import LockdepConfig
+
+        ld_config = LockdepConfig(strict=lockdep_strict)
     profiler = None
     if profile:
         import cProfile
 
         profiler = cProfile.Profile()
         profiler.enable()
-    result = run_scenario(spec)
+    result = run_scenario(spec, lockdep=ld_config)
     if profiler is not None:
         profiler.disable()
     print(result.report())
+    violations = 0
+    if result.lockdep is not None:
+        from repro.metrics.report import lockdep_violations_table
+
+        violations = len(result.lockdep)
+        print(f"lockdep: {violations} violation"
+              f"{'s' if violations != 1 else ''}")
+        if violations:
+            print(lockdep_violations_table(result.lockdep))
     if json_dir:
         import os
 
@@ -96,6 +115,19 @@ def run_one(name: str, iterations: int, samples: int, seed: int,
         profiler.dump_stats(stats_path)
         print(f"(wrote {stats_path})")
     print()
+    return violations
+
+
+def _run_lint(paths=("src",)) -> int:
+    """Run the determinism linter; returns the finding count."""
+    from repro.analysis.lint import lint_paths
+
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding.render())
+    print(f"lint: {len(findings)} finding"
+          f"{'s' if len(findings) != 1 else ''}")
+    return len(findings)
 
 
 # ----------------------------------------------------------------------
@@ -176,10 +208,25 @@ def _cmd_run(argv) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="profile the run under cProfile and write "
                              "<scenario>.pstats next to the exported JSON")
+    parser.add_argument("--lockdep", action="store_true",
+                        help="observe the run with the lockdep invariant "
+                             "checker; violations fail the command")
+    parser.add_argument("--lockdep-strict", action="store_true",
+                        help="as --lockdep, but panic at the first "
+                             "violation")
+    parser.add_argument("--lint", action="store_true",
+                        help="run the static determinism linter over src "
+                             "before the scenario; findings fail the "
+                             "command")
     args = parser.parse_args(argv)
-    run_one(args.scenario, args.iterations, args.samples, args.seed,
-            json_dir=args.json_dir, profile=args.profile)
-    return 0
+    failures = 0
+    if args.lint:
+        failures += _run_lint()
+    failures += run_one(args.scenario, args.iterations, args.samples,
+                        args.seed, json_dir=args.json_dir,
+                        profile=args.profile, lockdep=args.lockdep,
+                        lockdep_strict=args.lockdep_strict)
+    return 1 if failures else 0
 
 
 def main(argv=None) -> int:
@@ -209,14 +256,28 @@ def main(argv=None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="profile each run under cProfile and write "
                              "<figure>.pstats next to the exported JSON")
+    parser.add_argument("--lockdep", action="store_true",
+                        help="observe each run with the lockdep invariant "
+                             "checker; violations fail the command")
+    parser.add_argument("--lockdep-strict", action="store_true",
+                        help="as --lockdep, but panic at the first "
+                             "violation")
+    parser.add_argument("--lint", action="store_true",
+                        help="run the static determinism linter over src "
+                             "first; findings fail the command")
     args = parser.parse_args(argv)
 
+    failures = 0
+    if args.lint:
+        failures += _run_lint()
     names = (sorted(DETERMINISM) + sorted(LATENCY)
              if args.figure == "all" else [args.figure])
     for name in names:
-        run_one(name, args.iterations, args.samples, args.seed,
-                json_dir=args.json_dir, profile=args.profile)
-    return 0
+        failures += run_one(name, args.iterations, args.samples, args.seed,
+                            json_dir=args.json_dir, profile=args.profile,
+                            lockdep=args.lockdep,
+                            lockdep_strict=args.lockdep_strict)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

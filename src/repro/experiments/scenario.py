@@ -247,6 +247,11 @@ class ScenarioResult:
     report_style: str = "summary"
     ideal_ns: int = 0
     details: Dict[str, Any] = field(default_factory=dict)
+    #: Lockdep observations when the run was instrumented: a list of
+    #: violation dictionaries (empty = observed and clean), or None
+    #: when lockdep was off.  Deliberately NOT part of ``details`` --
+    #: exports must stay byte-identical with and without observation.
+    lockdep: Optional[List[Dict[str, Any]]] = None
 
     # -- common statistics ---------------------------------------------
     def max_ns(self) -> int:
@@ -340,11 +345,19 @@ def _measure_ideal(spec: ScenarioSpec,
 
 
 def run_scenario(spec: ScenarioSpec,
-                 kernel_factory: Optional[Any] = None) -> ScenarioResult:
+                 kernel_factory: Optional[Any] = None,
+                 lockdep: Optional[Any] = None) -> ScenarioResult:
     """Run one scenario end to end.
 
     *kernel_factory* overrides the registry lookup for ad-hoc local
     configs (legacy wrappers); campaign workers always resolve by name.
+
+    *lockdep* enables invariant checking for the main run: ``True``
+    for default observation, or a
+    :class:`~repro.analysis.lockdep.LockdepConfig` (strict mode /
+    hold budgets).  Observation never perturbs the simulation, so the
+    result -- and its export -- is byte-identical either way; the
+    violations land on ``ScenarioResult.lockdep``.
     """
     if kernel_factory is not None:
         config = kernel_factory()
@@ -361,6 +374,13 @@ def run_scenario(spec: ScenarioSpec,
         ideal = _measure_ideal(spec, kernel_factory)
 
     bench = build_scenario_bench(spec, config)
+
+    validator = None
+    if lockdep:
+        from repro.analysis.lockdep import (LockdepConfig,
+                                            LockdepValidator)
+        ld_config = lockdep if isinstance(lockdep, LockdepConfig) else None
+        validator = LockdepValidator(bench.kernel, ld_config).install()
 
     loads = [load_entry(name) for name in spec.workloads]
     for entry in loads:
@@ -389,10 +409,15 @@ def run_scenario(spec: ScenarioSpec,
                          irqs=shield.irqs, ltmr=shield.ltmr)
 
     drive = getattr(program, "drive", None)
-    if drive is not None:
-        drive(bench)
-    else:
-        bench.run_until_done(program, limit_ns=program.estimated_sim_ns())
+    try:
+        if drive is not None:
+            drive(bench)
+        else:
+            bench.run_until_done(program,
+                                 limit_ns=program.estimated_sim_ns())
+    finally:
+        if validator is not None:
+            validator.uninstall()
 
     recorder = program.recorder
     if ideal is not None:
@@ -415,6 +440,7 @@ def run_scenario(spec: ScenarioSpec,
         report_style=spec.report_style,
         ideal_ns=ideal if ideal is not None else 0,
         details=details,
+        lockdep=validator.to_dicts() if validator is not None else None,
     )
 
 

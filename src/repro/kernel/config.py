@@ -22,7 +22,7 @@ from dataclasses import dataclass, field, replace
 from repro.kernel.timing import TimingModel
 
 
-@dataclass
+@dataclass(slots=True)
 class KernelConfig:
     """Feature flags and timing table for one kernel build."""
 

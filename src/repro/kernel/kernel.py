@@ -492,6 +492,10 @@ class Kernel:
             self._release(task, cpu_idx, o.lock)
         elif isinstance(o, op.Block):
             self._block(task, cpu_idx, o.wq)
+        elif isinstance(o, op.SemDown):
+            self._sem_down(task, cpu_idx, o.sem)
+        elif isinstance(o, op.SemUp):
+            self._sem_up(task, cpu_idx, o.sem)
         elif isinstance(o, op.Sleep):
             self._sleep(task, cpu_idx, o.duration)
         elif isinstance(o, op.EnterSyscall):
@@ -632,6 +636,27 @@ class Kernel:
         task.waiting_on = wq
         wq.add(task)
         self.schedule(cpu_idx)
+
+    def _sem_down(self, task: Task, cpu_idx: int, sem) -> None:
+        """P(): take a unit or block FIFO until one is handed over."""
+        if task.preempt_count > 0:
+            raise KernelPanic(
+                f"{task.name} sleeping on semaphore {sem.name} under a "
+                f"spinlock (preempt_count={task.preempt_count})")
+        if sem.try_down(task):
+            self._step(task, cpu_idx)
+            return
+        # try_down queued the task on the semaphore's wait list; it is
+        # woken by the owner's up() via _sem_up below.
+        task.state = TaskState.BLOCKED
+        self.schedule(cpu_idx)
+
+    def _sem_up(self, task: Task, cpu_idx: int, sem) -> None:
+        """V(): hand the unit to the oldest waiter, if any."""
+        waiter = sem.up()
+        if waiter is not None:
+            self._make_runnable(waiter, from_cpu=cpu_idx)
+        self._step(task, cpu_idx)
 
     def _sleep(self, task: Task, cpu_idx: int, duration: int) -> None:
         if task.preempt_count > 0:
@@ -807,7 +832,10 @@ class Kernel:
                 continue
             vec, work, action = item
             self.stats.softirq_items += 1
-            yield op.Compute(work, kernel=True, label=f"ksoftirqd:{vec.name}")
+            yield op.Compute(work, kernel=True,
+                             label=(f"ksoftirqd:{vec.name}"
+                                    if self.sim.trace.enabled
+                                    else "ksoftirqd"))
             if action is not None:
                 action()
 

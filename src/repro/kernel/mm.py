@@ -23,7 +23,7 @@ import numpy as np
 from repro.sim.simtime import MSEC, USEC
 
 
-@dataclass
+@dataclass(slots=True)
 class FaultModel:
     """Parameters of the page-fault process."""
 

@@ -15,6 +15,7 @@ from typing import Any, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.affinity import CpuMask
+    from repro.kernel.sync.semaphore import Semaphore
     from repro.kernel.sync.spinlock import SpinLock
     from repro.kernel.sync.waitqueue import WaitQueue
 
@@ -66,6 +67,25 @@ class Sleep(Op):
     """Deschedule for a fixed interval (timer wakeup)."""
 
     duration: int
+
+
+@dataclass(slots=True)
+class SemDown(Op):
+    """P() on a counting semaphore: block (do not spin) if unavailable.
+
+    A sleeping lock: attempting it with preemption disabled (under a
+    spinlock) is a kernel bug and panics, exactly like blocking on a
+    wait queue.
+    """
+
+    sem: "Semaphore"
+
+
+@dataclass(slots=True)
+class SemUp(Op):
+    """V() on a counting semaphore; hands the unit to the oldest waiter."""
+
+    sem: "Semaphore"
 
 
 @dataclass(slots=True)

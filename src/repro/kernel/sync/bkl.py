@@ -21,5 +21,11 @@ from repro.kernel.sync.spinlock import SpinLock
 class BigKernelLock(SpinLock):
     """The global ``kernel_flag`` lock."""
 
+    #: Lockdep classifies BKL hold windows under their own (typically
+    #: much larger) budget -- the paper measures multi-millisecond
+    #: lock_kernel() jitter, so a generic spinlock budget would be
+    #: meaninglessly noisy here.
+    is_bkl = True
+
     def __init__(self) -> None:
         super().__init__("BKL", irq_disabling=False)

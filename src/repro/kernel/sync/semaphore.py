@@ -7,8 +7,12 @@ serialises the stress tasks without inflating interrupt latency --
 matching 2.4's ``struct semaphore`` usage.
 
 The blocking choreography is driven by the kernel through the
-generator helpers in :mod:`repro.kernel.syscalls`; this class only
-tracks the count and wait list.
+``SemDown``/``SemUp`` ops (see :mod:`repro.kernel.ops` and the
+``UserApi.sem_down``/``sem_up`` helpers); this class only tracks the
+count and wait list.  Like :class:`~repro.kernel.sync.spinlock.SpinLock`,
+every ownership transition reports to the optional ``lockdep``
+observer -- a semaphore is a *sleeping* lock, so lockdep flags any
+``down()`` attempted with preemption disabled.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from typing import Deque, Optional, TYPE_CHECKING
 from repro.sim.errors import KernelPanic
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.lockdep import LockdepValidator
     from repro.kernel.task import Task
 
 
@@ -31,14 +36,20 @@ class Semaphore:
         self.name = name
         self.count = count
         self.waiters: Deque["Task"] = deque()
+        #: Observational validator hook (never perturbs the simulation).
+        self.lockdep: Optional["LockdepValidator"] = None
         self.acquisitions = 0
         self.contentions = 0
 
     def try_down(self, task: "Task") -> bool:
         """Attempt P(); returns False if the task must block."""
+        if self.lockdep is not None:
+            self.lockdep.on_sem_down(self, task)
         if self.count > 0:
             self.count -= 1
             self.acquisitions += 1
+            if self.lockdep is not None:
+                self.lockdep.on_sem_take(self, task)
             return True
         self.contentions += 1
         self.waiters.append(task)
@@ -49,7 +60,10 @@ class Semaphore:
         if self.waiters:
             # Hand the unit directly to the oldest waiter.
             self.acquisitions += 1
-            return self.waiters.popleft()
+            waiter = self.waiters.popleft()
+            if self.lockdep is not None:
+                self.lockdep.on_sem_take(self, waiter)
+            return waiter
         self.count += 1
         return None
 

@@ -142,6 +142,23 @@ class UserApi:
                 yield op.PreemptPoint()
 
     # ------------------------------------------------------------------
+    # Sleeping locks
+    # ------------------------------------------------------------------
+    def sem_down(self, sem) -> Generator:
+        """``down()`` on a kernel semaphore (sleeping lock).
+
+        Blocks -- never spins -- when the semaphore is unavailable, so
+        it must not be attempted with preemption disabled; the kernel
+        panics (and lockdep reports sleep-in-atomic) if a task tries
+        to ``down()`` while holding a spinlock.
+        """
+        yield op.SemDown(sem)
+
+    def sem_up(self, sem) -> Generator:
+        """``up()`` on a kernel semaphore; wakes the oldest waiter."""
+        yield op.SemUp(sem)
+
+    # ------------------------------------------------------------------
     # Scheduling control
     # ------------------------------------------------------------------
     def sched_setscheduler(self, policy: SchedPolicy,

@@ -33,7 +33,7 @@ class Dist:
         raise NotImplementedError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Const(Dist):
     """A fixed duration."""
 
@@ -46,7 +46,7 @@ class Const(Dist):
         return float(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Uniform(Dist):
     """Uniform over [lo, hi]."""
 
@@ -64,7 +64,7 @@ class Uniform(Dist):
         return (self.lo + self.hi) / 2.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Exponential(Dist):
     """Exponential with the given mean, optionally truncated at *cap*."""
 
@@ -81,7 +81,7 @@ class Exponential(Dist):
         return float(self.mean_ns)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LogNormal(Dist):
     """Lognormal parameterised by its median, truncated at *cap*.
 
@@ -107,8 +107,9 @@ class LogNormal(Dist):
         return raw
 
 
+# cached_property needs __dict__, so Choice cannot be slotted.
 @dataclass(frozen=True)
-class Choice(Dist):
+class Choice(Dist):  # lint: ok(no-slots-dataclass)
     """A weighted mixture of other distributions."""
 
     options: Tuple[Tuple[float, Dist], ...]
@@ -148,7 +149,7 @@ class Choice(Dist):
         return sum(w * d.mean() for w, d in self.options) / total
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Scaled(Dist):
     """Another distribution scaled by a constant factor."""
 
@@ -162,7 +163,7 @@ class Scaled(Dist):
         return self.base.mean() * self.factor
 
 
-@dataclass
+@dataclass(slots=True)
 class TimingModel:
     """Named table of :class:`Dist` objects.
 

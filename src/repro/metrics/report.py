@@ -6,12 +6,13 @@ These renderers print the same rows the paper's figure legends show:
   Figures 1-4;
 * the cumulative latency bucket tables under Figures 5-6
   (``NNN samples < T ms (P%)``);
-* the min/max/avg line under Figure 7.
+* the min/max/avg line under Figure 7;
+* the lockdep validation summaries (invariant checking).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.metrics.recorder import JitterRecorder, LatencyRecorder
 from repro.sim.simtime import MSEC
@@ -74,6 +75,49 @@ def latency_summary(rec: LatencyRecorder, title: str,
         f"  maximum latency: {rec.max() / scale:.1f} {unit}",
         f"  average latency: {rec.mean() / scale:.1f} {unit}",
     ]
+    return "\n".join(lines)
+
+
+def lockdep_violations_table(violations: Sequence[Dict[str, Any]],
+                             top: int = 20) -> str:
+    """Render violation dictionaries (``LockdepViolation.to_dict``)."""
+    if not violations:
+        return "  no violations observed"
+    lines = []
+    for v in list(violations)[:top]:
+        where = []
+        if v.get("cpu") is not None:
+            where.append(f"cpu{v['cpu']}")
+        if v.get("task"):
+            where.append(str(v["task"]))
+        loc = " ".join(where) or "-"
+        lines.append(f"  [{v['kind']}] t={v['time_ns']}ns {loc}: "
+                     f"{v['detail']}")
+    hidden = len(violations) - top
+    if hidden > 0:
+        lines.append(f"  ... and {hidden} more")
+    return "\n".join(lines)
+
+
+def lockdep_summary(validator: Any, top: int = 20) -> str:
+    """The invariant-checking report for one instrumented run.
+
+    *validator* is a :class:`~repro.analysis.lockdep.LockdepValidator`
+    (typed ``Any`` to keep the metrics layer import-light).
+    """
+    n = len(validator.violations)
+    lines = [f"lockdep: {n} violation{'s' if n != 1 else ''} "
+             f"across {len(validator.class_stats)} lock classes"]
+    for cls in sorted(validator.class_stats):
+        stats = validator.class_stats[cls]
+        lines.append(
+            f"  {cls}: {stats.acquisitions} acquisitions, "
+            f"max hold {stats.max_hold_ns / 1e6:.3f} ms, "
+            f"total {stats.total_hold_ns / 1e6:.3f} ms")
+    if validator.violations:
+        lines.append("violations:")
+        lines.append(lockdep_violations_table(
+            [v.to_dict() for v in validator.violations], top=top))
     return "\n".join(lines)
 
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Deque, Iterable, List, Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One trace entry."""
 

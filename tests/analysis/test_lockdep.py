@@ -1,0 +1,382 @@
+"""Lockdep validator tests: each seeded violation class is detected,
+clean runs stay clean, and observation never perturbs the simulation."""
+
+import pytest
+
+from repro.analysis.lockdep import LockdepConfig, LockdepValidator
+from repro.core.affinity import CpuMask
+from repro.kernel import ops as op
+from repro.kernel.sync.semaphore import Semaphore
+from repro.kernel.sync.spinlock import SpinLock
+from repro.sim.errors import KernelPanic
+from tests.conftest import boot_kernel
+
+
+def _kinds(validator):
+    return [v.kind for v in validator.violations]
+
+
+class TestCleanRuns:
+    def test_ordered_nesting_is_clean(self, sim, machine):
+        """Consistent A -> B nesting never fires ABBA."""
+        kernel = boot_kernel(sim, machine)
+        validator = LockdepValidator(kernel).install()
+        a, b = SpinLock("A"), SpinLock("B")
+
+        def body():
+            for _ in range(3):
+                yield op.Acquire(a)
+                yield op.Acquire(b)
+                yield op.Compute(1_000, kernel=True)
+                yield op.Release(b)
+                yield op.Release(a)
+
+        kernel.create_task("t", body())
+        sim.run_until(5_000_000)
+        assert validator.clean
+        assert validator.class_stats["A"].acquisitions == 3
+        assert validator.class_stats["B"].max_hold_ns >= 1_000
+
+    def test_uninstall_restores_kernel(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        validator = LockdepValidator(kernel).install()
+        validator.uninstall()
+        assert "_acquire" not in kernel.__dict__
+        assert kernel.machine.apic.deliver == kernel._deliver_irq
+        lock = SpinLock("test")
+
+        def body():
+            yield op.Acquire(lock)
+            yield op.Release(lock)
+
+        kernel.create_task("t", body())
+        sim.run_until(1_000_000)
+        assert validator.clean
+        assert lock.lockdep is None
+
+
+class TestAbba:
+    def test_opposite_order_detected(self, sim, machine):
+        """A->B then (later, disjoint in time) B->A is an inversion
+        even though the critical sections never overlap."""
+        kernel = boot_kernel(sim, machine)
+        validator = LockdepValidator(kernel).install()
+        a, b = SpinLock("A"), SpinLock("B")
+
+        def first():
+            yield op.Acquire(a)
+            yield op.Acquire(b)
+            yield op.Release(b)
+            yield op.Release(a)
+
+        def second():
+            yield op.Compute(500_000)   # long after `first` finished
+            yield op.Acquire(b)
+            yield op.Acquire(a)
+            yield op.Release(a)
+            yield op.Release(b)
+
+        kernel.create_task("t1", first())
+        kernel.create_task("t2", second())
+        sim.run_until(5_000_000)
+        assert "abba" in _kinds(validator)
+        [v] = [v for v in validator.violations if v.kind == "abba"]
+        assert "A" in v.detail and "B" in v.detail
+
+    def test_transitive_cycle_detected(self, sim, machine):
+        """A->B, B->C, then C->A closes the cycle transitively."""
+        kernel = boot_kernel(sim, machine)
+        validator = LockdepValidator(kernel).install()
+        a, b, c = SpinLock("A"), SpinLock("B"), SpinLock("C")
+
+        def nest(outer, inner, delay):
+            yield op.Compute(delay)
+            yield op.Acquire(outer)
+            yield op.Acquire(inner)
+            yield op.Release(inner)
+            yield op.Release(outer)
+
+        kernel.create_task("t1", nest(a, b, 0))
+        kernel.create_task("t2", nest(b, c, 400_000))
+        kernel.create_task("t3", nest(c, a, 800_000))
+        sim.run_until(5_000_000)
+        assert "abba" in _kinds(validator)
+
+    def test_strict_mode_panics(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        LockdepValidator(kernel, LockdepConfig(strict=True)).install()
+        a, b = SpinLock("A"), SpinLock("B")
+
+        def first():
+            yield op.Acquire(a)
+            yield op.Acquire(b)
+            yield op.Release(b)
+            yield op.Release(a)
+
+        def second():
+            yield op.Compute(500_000)
+            yield op.Acquire(b)
+            yield op.Acquire(a)
+            yield op.Release(a)
+            yield op.Release(b)
+
+        kernel.create_task("t1", first())
+        kernel.create_task("t2", second())
+        with pytest.raises(KernelPanic, match="lockdep"):
+            sim.run_until(5_000_000)
+
+
+class TestSleepInAtomic:
+    def test_semaphore_down_under_spinlock(self, sim, machine):
+        """down() on a sleeping lock inside a spinlock section is the
+        classic sleep-in-atomic bug; the kernel panics and lockdep
+        pins the blame."""
+        kernel = boot_kernel(sim, machine)
+        validator = LockdepValidator(kernel).install()
+        lock = SpinLock("inode_lock")
+        sem = Semaphore("inode_sem")
+
+        from repro.kernel.syscalls import UserApi
+
+        api = UserApi(kernel)
+
+        def body():
+            yield op.Acquire(lock)
+            yield from api.sem_down(sem)
+
+        kernel.create_task("t", body())
+        with pytest.raises(KernelPanic):
+            sim.run_until(1_000_000)
+        [v] = [v for v in validator.violations
+               if v.kind == "sleep-in-atomic"]
+        assert "inode_sem" in v.detail
+        assert "inode_lock" in v.detail
+
+    def test_block_under_spinlock_reported(self, sim, machine):
+        from repro.kernel.sync.waitqueue import WaitQueue
+
+        kernel = boot_kernel(sim, machine)
+        validator = LockdepValidator(kernel).install()
+        lock = SpinLock("L")
+        wq = WaitQueue("wq")
+
+        def body():
+            yield op.Acquire(lock)
+            yield op.Block(wq)
+
+        kernel.create_task("t", body())
+        with pytest.raises(KernelPanic):
+            sim.run_until(1_000_000)
+        assert "sleep-in-atomic" in _kinds(validator)
+
+    def test_uncontended_down_is_still_a_violation(self, sim, machine):
+        """The bug does not depend on the semaphore being contended."""
+        kernel = boot_kernel(sim, machine)
+        validator = LockdepValidator(kernel).install()
+        lock = SpinLock("L")
+        sem = Semaphore("S", count=5)   # plenty available
+
+        def body():
+            yield op.Acquire(lock)
+            yield op.SemDown(sem)
+
+        kernel.create_task("t", body())
+        with pytest.raises(KernelPanic):
+            sim.run_until(1_000_000)
+        assert "sleep-in-atomic" in _kinds(validator)
+
+    def test_semaphore_without_spinlock_is_clean(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        validator = LockdepValidator(kernel).install()
+        sem = Semaphore("S")
+        order = []
+
+        def body(tag, delay):
+            yield op.Compute(delay)
+            yield op.SemDown(sem)
+            order.append(tag)
+            yield op.Compute(50_000, kernel=True)
+            yield op.SemUp(sem)
+
+        kernel.create_task("a", body("a", 100), affinity=CpuMask([0]))
+        kernel.create_task("b", body("b", 10_000), affinity=CpuMask([1]))
+        sim.run_until(10_000_000)
+        assert order == ["a", "b"]      # FIFO handoff worked
+        assert validator.clean
+        assert validator.class_stats["sem:S"].acquisitions == 2
+
+
+class TestIrqContext:
+    def _register_taking_handler(self, sim, machine, kernel, lock,
+                                 validator):
+        """A device irq handler whose completion grabs *lock*.
+
+        The handler calls ``take()`` directly (as driver code does),
+        bypassing the kernel ``_acquire`` path that auto-attaches
+        locks -- so attach explicitly, like a driver declaring its
+        lock class.
+        """
+        validator.attach_lock(lock)
+
+        def action(cpu_idx):
+            holder = kernel.tasks[1]
+            lock.take(holder, sim.now)
+            lock.drop(holder, sim.now)
+
+        kernel.register_irq_handler(50, "irq.handler.default", action)
+        machine.apic.register_irq(50, "dev")
+        machine.apic.set_requested_affinity(50, CpuMask([0]))
+
+    def test_irq_unsafe_lock_in_hardirq(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        validator = LockdepValidator(kernel).install()
+        lock = SpinLock("file_ish")     # NOT irq_disabling
+        self._register_taking_handler(sim, machine, kernel, lock,
+                                      validator)
+
+        def body():
+            yield op.Compute(1_000_000)
+
+        kernel.create_task("t", body(), affinity=CpuMask([0]))
+        sim.run_until(20_000)
+        machine.apic.raise_irq(50)
+        sim.run_until(5_000_000)
+        [v] = [v for v in validator.violations
+               if v.kind == "irq-unsafe-in-irq"]
+        assert "file_ish" in v.detail and "hardirq" in v.detail
+
+    def test_irq_safe_lock_in_hardirq_is_clean(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        validator = LockdepValidator(kernel).install()
+        lock = SpinLock("blk", irq_disabling=True)
+        self._register_taking_handler(sim, machine, kernel, lock,
+                                      validator)
+
+        def body():
+            yield op.Compute(1_000_000)
+
+        kernel.create_task("t", body(), affinity=CpuMask([0]))
+        sim.run_until(20_000)
+        machine.apic.raise_irq(50)
+        sim.run_until(5_000_000)
+        assert validator.clean
+
+    def test_spinning_task_under_softirq_not_blamed(self, sim, machine):
+        """A handoff to a task that was spinning while softirqs ran
+        above it must NOT be misread as an in-softirq acquire: context
+        comes from the Python call stack, not CPU frame state."""
+        kernel = boot_kernel(sim, machine)
+        validator = LockdepValidator(kernel).install()
+        lock = SpinLock("contended")
+
+        def holder():
+            yield op.Acquire(lock)
+            yield op.Compute(300_000, kernel=True)
+            yield op.Release(lock)
+
+        def spinner():
+            yield op.Compute(10_000)
+            yield op.Acquire(lock)      # spins under the holder
+            yield op.Release(lock)
+
+        kernel.create_task("h", holder(), affinity=CpuMask([0]))
+        kernel.create_task("s", spinner(), affinity=CpuMask([1]))
+        # Softirq load on the spinner's CPU while it busy-waits.
+        sim.run_until(50_000)
+        from repro.kernel.irqflow.softirq import SoftirqVector
+        kernel.raise_softirq(1, SoftirqVector.TASKLET, 100_000,
+                             from_irq=True)
+        sim.run_until(10_000_000)
+        assert validator.clean
+
+
+class TestExitBalance:
+    def test_exit_holding_lock_reported(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        validator = LockdepValidator(kernel).install()
+        lock = SpinLock("leaked")
+
+        def body():
+            yield op.Acquire(lock)      # never released
+
+        kernel.create_task("t", body())
+        with pytest.raises(KernelPanic):
+            sim.run_until(1_000_000)
+        [v] = [v for v in validator.violations
+               if v.kind == "unbalanced-exit"]
+        assert "leaked" in v.detail
+        assert "preempt_count=1" in v.detail
+
+
+class TestBudgetsAndShield:
+    def test_hold_budget_flagged(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        config = LockdepConfig(hold_budget_ns=10_000)
+        validator = LockdepValidator(kernel, config).install()
+        lock = SpinLock("slow")
+
+        def body():
+            yield op.Acquire(lock)
+            yield op.Compute(200_000, kernel=True)
+            yield op.Release(lock)
+
+        kernel.create_task("t", body())
+        sim.run_until(5_000_000)
+        [v] = [v for v in validator.violations if v.kind == "hold-budget"]
+        assert "slow" in v.detail
+
+    def test_bkl_budget_uses_bkl_threshold(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        config = LockdepConfig(bkl_budget_ns=10_000,
+                               hold_budget_ns=None)
+        validator = LockdepValidator(kernel, config).install()
+
+        def body():
+            yield op.Acquire(kernel.locks.bkl)
+            yield op.Compute(200_000, kernel=True)
+            yield op.Release(kernel.locks.bkl)
+
+        kernel.create_task("t", body())
+        sim.run_until(5_000_000)
+        [v] = [v for v in validator.violations if v.kind == "hold-budget"]
+        assert "BKL" in v.detail
+
+    def test_shield_respected_run_is_clean(self):
+        """A full fig6-style shielded run produces no affinity (or any
+        other) violations."""
+        from repro.experiments.scenario import run_scenario, scenario
+
+        spec = scenario("fig6").configured(samples=100)
+        result = run_scenario(spec, lockdep=LockdepConfig(strict=True))
+        assert result.lockdep == []
+
+
+class TestScenarioIntegration:
+    def test_observation_is_byte_identical(self):
+        """The headline contract: instrumenting a scenario changes
+        nothing about its exported result."""
+        from repro.experiments.export import scenario_to_dict, to_json
+        from repro.experiments.scenario import run_scenario, scenario
+
+        spec = scenario("fig6").configured(samples=100)
+        bare = to_json(scenario_to_dict(run_scenario(spec)))
+        observed_result = run_scenario(spec, lockdep=True)
+        observed = to_json(scenario_to_dict(observed_result))
+        assert bare == observed
+        assert observed_result.lockdep == []
+
+    def test_report_renders(self, sim, machine):
+        kernel = boot_kernel(sim, machine)
+        validator = LockdepValidator(kernel).install()
+        lock = SpinLock("r")
+
+        def body():
+            yield op.Acquire(lock)
+            yield op.Compute(1_000, kernel=True)
+            yield op.Release(lock)
+
+        kernel.create_task("t", body())
+        sim.run_until(1_000_000)
+        text = validator.report()
+        assert "0 violations" in text
+        assert "r: 1 acquisitions" in text

@@ -1,0 +1,52 @@
+"""Lockdep across the whole catalog: observation is invisible and
+every registered scenario is violation-free.
+
+Two guarantees in one sweep:
+
+* **Byte identity** -- running a scenario under the validator exports
+  exactly the golden JSON captured from uninstrumented runs, proving
+  the observational contract (no simulated-time or RNG perturbation)
+  over every code path the catalog exercises.
+* **Invariant cleanliness** -- the simulated kernels themselves break
+  none of the lockdep invariants in any scenario: no inversions, no
+  sleep-in-atomic, no unbalanced exits, no shield-affinity leaks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lockdep import LockdepConfig
+from repro.experiments.export import scenario_to_dict, to_json
+from repro.experiments.scenario import run_scenario, scenario
+
+from tests.experiments.test_golden_outputs import (
+    GOLDEN_KNOBS,
+    GOLDEN_PATH,
+)
+
+
+def _load_goldens() -> dict:
+    with GOLDEN_PATH.open("r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+_GOLDEN = _load_goldens() if GOLDEN_PATH.exists() else {}
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(_GOLDEN) or ["<missing goldens>"])
+def test_lockdep_observed_run_matches_golden_and_is_clean(name: str
+                                                          ) -> None:
+    if not _GOLDEN:
+        pytest.fail(f"golden file missing: {GOLDEN_PATH}")
+    spec = scenario(name).configured(**GOLDEN_KNOBS)
+    result = run_scenario(spec, lockdep=LockdepConfig())
+    assert result.lockdep == [], (
+        f"scenario {name!r} violated kernel invariants: {result.lockdep}")
+    assert to_json(scenario_to_dict(result)) == to_json(_GOLDEN[name]), (
+        f"scenario {name!r} diverged under lockdep observation; the "
+        "validator must not perturb the simulation")

@@ -151,6 +151,75 @@ class TestContention:
             sim.run_until(1_000_000)
 
 
+class TestDirectRelease:
+    """The public release()/force_release() surface for driver/test
+    code that manipulates locks outside the kernel's op path."""
+
+    def _booted_task(self, sim, machine, name="t"):
+        kernel = boot_kernel(sim, machine)
+
+        def body():
+            yield op.Compute(1_000)
+
+        task = kernel.create_task(name, body())
+        return kernel, task
+
+    def test_release_by_owner_returns_waiter(self, sim, machine):
+        kernel, task = self._booted_task(sim, machine)
+        other = kernel.create_task("w", iter(()))
+        lock = SpinLock("test")
+        lock.take(task, 100)
+        lock.enqueue_waiter(other)
+        assert lock.release(task, 600) is other
+        assert not lock.held
+        assert lock.max_hold_ns == 500
+
+    def test_release_by_non_owner_panics(self, sim, machine):
+        kernel, task = self._booted_task(sim, machine)
+        imposter = kernel.create_task("x", iter(()))
+        lock = SpinLock("test")
+        lock.take(task, 100)
+        with pytest.raises(KernelPanic, match="release"):
+            lock.release(imposter, 200)
+        assert lock.owner is task     # unchanged after the panic
+
+    def test_release_unheld_panics(self, sim, machine):
+        kernel, task = self._booted_task(sim, machine)
+        lock = SpinLock("test")
+        with pytest.raises(KernelPanic, match="nobody"):
+            lock.release(task, 200)
+
+    def test_force_release_clears_stale_state(self, sim, machine):
+        """After a panic unwound mid-section, force_release() resets
+        the lock so reuse does not inherit a bogus hold window."""
+        kernel, task = self._booted_task(sim, machine)
+        other = kernel.create_task("w", iter(()))
+        lock = SpinLock("test")
+        lock.take(task, 100)
+        lock.enqueue_waiter(other)
+        lock.force_release()
+        assert not lock.held
+        assert lock.held_since is None
+        assert not lock.waiters
+        # Reuse starts a fresh hold window: stats see 50ns, not the
+        # stale span since t=100.
+        lock.take(other, 10_000)
+        lock.drop(other, 10_050)
+        assert lock.max_hold_ns == 50
+
+    def test_drop_after_forced_clear_repairs_owner(self, sim, machine):
+        """A drop() that races a force_release() (panic recovery)
+        must not poison the hold statistics or die on the missing
+        timestamp."""
+        kernel, task = self._booted_task(sim, machine)
+        lock = SpinLock("test")
+        lock.take(task, 100)
+        lock.held_since = None        # what an unwound panic leaves
+        assert lock.drop(task, 99_999) is None
+        assert not lock.held
+        assert lock.max_hold_ns == 0  # no invented hold time
+
+
 class TestIrqDisablingLocks:
     def test_interrupts_pended_while_held(self, sim, machine):
         """An IRQ raised during an irq-disabling critical section is
