@@ -18,6 +18,10 @@ from repro.analysis.lint.engine import Finding
 #: sanctioned randomness layer, so the RNG rule cannot apply to it.
 ALLOW = {
     "global-random": ("repro/sim/rng.py",),
+    # The buffer's own module and the engine that owns it may call
+    # emit; everything else on the hot path goes through the typed
+    # tracepoint registry (repro.observe.tracepoints).
+    "direct-trace-emit": ("repro/sim/trace.py", "repro/sim/engine.py"),
 }
 
 #: NumPy global-state draws (``np.random.<fn>``).  Constructors like
@@ -213,10 +217,45 @@ class UngatedLabelRule(Rule):
                         "label=(f'...' if trace.enabled else 'static')")
 
 
+class DirectTraceEmitRule(Rule):
+    """Kernel/sim/hw hot paths must emit typed tracepoints.
+
+    ``sim.trace.emit("irq", ...)`` builds strings and dodges the
+    per-CPU accounting; those layers go through the typed registry
+    (``sim.tp.irq_raise(...)`` etc.), which the attribution engine
+    and the Chrome exporter understand.  The free-form buffer stays
+    available to tests and experiment code.
+    """
+
+    name = "direct-trace-emit"
+
+    def applies_to(self, path: str) -> bool:
+        return _in_dirs(path, TRACED_DIRS)
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "emit"):
+                continue
+            target = node.func.value
+            is_buffer = (
+                (isinstance(target, ast.Attribute)
+                 and target.attr == "trace")
+                or (isinstance(target, ast.Name) and target.id == "trace"))
+            if is_buffer:
+                yield self.finding(
+                    path, node,
+                    "direct TraceBuffer.emit on a hot path; emit a "
+                    "typed tracepoint via sim.tp (repro.observe."
+                    "tracepoints) instead")
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     WallClockRule(),
     GlobalRandomRule(),
     UnorderedIterRule(),
     NoSlotsDataclassRule(),
     UngatedLabelRule(),
+    DirectTraceEmitRule(),
 )

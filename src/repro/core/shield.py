@@ -98,6 +98,11 @@ class ShieldController:
             self._irqs = irqs
         if ltmr is not None:
             self._ltmr = ltmr
+        sim = self.machine.sim
+        tp = sim.tp
+        if tp.enabled:
+            tp.shield_update(sim.now, 0, self._procs.bits,
+                             self._irqs.bits, self._ltmr.bits)
         self.reapply()
 
     def shield_cpu(self, cpu: int, procs: bool = True, irqs: bool = True,

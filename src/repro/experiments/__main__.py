@@ -16,8 +16,14 @@ Campaigns (scenario x seed matrix, parallel workers)::
     python -m repro.experiments campaign --scenarios fig5,fig6 \\
         --seeds 1..8 --workers 4 --json campaign.json
 
-Prints the paper-format report for the requested figure(s), or the
-campaign summary.
+Tracing (ftrace/perf-style observability)::
+
+    python -m repro.experiments trace fig6 --trace-out fig6.trace.json
+    python -m repro.experiments run fig5 --trace
+
+Prints the paper-format report for the requested figure(s), the
+campaign summary, or the trace report (per-CPU accounting + latency
+attribution; ``--trace-out`` writes a Perfetto-loadable JSON trace).
 """
 
 from __future__ import annotations
@@ -55,12 +61,13 @@ LATENCY = {
     "fig7": (run_fig7_rcim, "summary"),
 }
 
-SUBCOMMANDS = ("campaign", "list-scenarios", "run")
+SUBCOMMANDS = ("campaign", "list-scenarios", "run", "trace")
 
 
 def run_one(name: str, iterations: int, samples: int, seed: int,
             json_dir: str = "", profile: bool = False,
-            lockdep: bool = False, lockdep_strict: bool = False) -> int:
+            lockdep: bool = False, lockdep_strict: bool = False,
+            trace: bool = False, trace_out: str = "") -> int:
     """Run one registered scenario and print its paper-format report.
 
     Returns the number of lockdep violations observed (0 when lockdep
@@ -80,13 +87,18 @@ def run_one(name: str, iterations: int, samples: int, seed: int,
         from repro.analysis.lockdep import LockdepConfig
 
         ld_config = LockdepConfig(strict=lockdep_strict)
+    t_config = None
+    if trace or trace_out:
+        from repro.observe.tracer import TraceConfig
+
+        t_config = TraceConfig(out=trace_out)
     profiler = None
     if profile:
         import cProfile
 
         profiler = cProfile.Profile()
         profiler.enable()
-    result = run_scenario(spec, lockdep=ld_config)
+    result = run_scenario(spec, lockdep=ld_config, trace=t_config)
     if profiler is not None:
         profiler.disable()
     print(result.report())
@@ -99,6 +111,12 @@ def run_one(name: str, iterations: int, samples: int, seed: int,
               f"{'s' if violations != 1 else ''}")
         if violations:
             print(lockdep_violations_table(result.lockdep))
+    if result.trace is not None:
+        from repro.metrics.report import trace_summary
+
+        print(trace_summary(result.trace))
+        if trace_out:
+            print(f"(wrote {trace_out})")
     if json_dir:
         import os
 
@@ -114,6 +132,11 @@ def run_one(name: str, iterations: int, samples: int, seed: int,
         stats_path = os.path.join(json_dir or ".", f"{name}.pstats")
         profiler.dump_stats(stats_path)
         print(f"(wrote {stats_path})")
+        if result.trace is not None:
+            from repro.metrics.report import tracepoint_hits_table
+
+            print("top tracepoints:")
+            print(tracepoint_hits_table(result.trace["hits"]))
     print()
     return violations
 
@@ -175,6 +198,9 @@ def _cmd_campaign(argv) -> int:
                         help="override determinism iteration counts")
     parser.add_argument("--json", default="",
                         help="write the full campaign data here")
+    parser.add_argument("--trace", action="store_true",
+                        help="trace every run; the summary gains a "
+                             "per-run latency blame line")
     args = parser.parse_args(argv)
 
     names = tuple(n.strip() for n in args.scenarios.split(",") if n.strip())
@@ -186,13 +212,69 @@ def _cmd_campaign(argv) -> int:
     try:
         result = run_campaign(names, seeds=seeds,
                               workers=args.workers, samples=args.samples,
-                              iterations=args.iterations)
+                              iterations=args.iterations,
+                              trace=args.trace)
     except (UnknownScenarioError, ValueError) as exc:
         raise SystemExit(f"error: {exc}")
     print(result.summary())
     if args.json:
         to_json(campaign_to_dict(result), path=args.json)
         print(f"(wrote {args.json})")
+    return 0
+
+
+def _cmd_trace(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments trace",
+        description="Run one scenario with typed tracing enabled and "
+                    "print the observability report (per-CPU "
+                    "accounting, tracepoint hits, latency "
+                    "attribution).")
+    parser.add_argument("scenario")
+    parser.add_argument("--iterations", type=int, default=15)
+    parser.add_argument("--samples", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--capacity", type=int, default=65536,
+                        help="per-CPU trace ring capacity (events)")
+    parser.add_argument("--threshold-pct", type=float, default=99.0,
+                        help="attribute samples at/above this latency "
+                             "percentile (default 99)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="worst samples to itemise (default 10)")
+    parser.add_argument("--trace-out", default="",
+                        help="write a Chrome trace-event JSON here "
+                             "(loadable in ui.perfetto.dev)")
+    parser.add_argument("--check-sums", action="store_true",
+                        help="fail unless every sample's attribution "
+                             "components sum to its latency within 1%%")
+    args = parser.parse_args(argv)
+
+    from repro.metrics.report import trace_summary
+    from repro.observe.tracer import TraceConfig
+
+    try:
+        spec = scenario(args.scenario)
+    except UnknownScenarioError:
+        raise SystemExit(f"unknown scenario {args.scenario!r} "
+                         f"(use 'list-scenarios')")
+    spec = spec.configured(iterations=args.iterations,
+                           samples=args.samples, seed=args.seed)
+    t_config = TraceConfig(capacity=args.capacity,
+                           threshold_pct=args.threshold_pct,
+                           top=args.top, out=args.trace_out)
+    result = run_scenario(spec, trace=t_config)
+    print(result.report())
+    print()
+    print(trace_summary(result.trace, top=args.top))
+    if args.trace_out:
+        print(f"(wrote {args.trace_out})")
+    if args.check_sums:
+        check = result.trace["attribution"]["sum_check"]
+        if not check["ok"]:
+            print(f"sum check FAILED: max relative error "
+                  f"{check['max_rel_err']:.4f} > 0.01")
+            return 1
+        print(f"sum check ok over {check['samples']} samples")
     return 0
 
 
@@ -218,6 +300,12 @@ def _cmd_run(argv) -> int:
                         help="run the static determinism linter over src "
                              "before the scenario; findings fail the "
                              "command")
+    parser.add_argument("--trace", action="store_true",
+                        help="enable typed tracing and print the "
+                             "observability report")
+    parser.add_argument("--trace-out", default="",
+                        help="write a Chrome trace-event JSON here "
+                             "(implies --trace)")
     args = parser.parse_args(argv)
     failures = 0
     if args.lint:
@@ -225,7 +313,8 @@ def _cmd_run(argv) -> int:
     failures += run_one(args.scenario, args.iterations, args.samples,
                         args.seed, json_dir=args.json_dir,
                         profile=args.profile, lockdep=args.lockdep,
-                        lockdep_strict=args.lockdep_strict)
+                        lockdep_strict=args.lockdep_strict,
+                        trace=args.trace, trace_out=args.trace_out)
     return 1 if failures else 0
 
 
@@ -237,6 +326,8 @@ def main(argv=None) -> int:
             return _cmd_campaign(rest)
         if command == "list-scenarios":
             return _cmd_list_scenarios(rest)
+        if command == "trace":
+            return _cmd_trace(rest)
         return _cmd_run(rest)
 
     parser = argparse.ArgumentParser(
@@ -265,6 +356,13 @@ def main(argv=None) -> int:
     parser.add_argument("--lint", action="store_true",
                         help="run the static determinism linter over src "
                              "first; findings fail the command")
+    parser.add_argument("--trace", action="store_true",
+                        help="enable typed tracing and print the "
+                             "observability report per figure")
+    parser.add_argument("--trace-out", default="",
+                        help="write a Chrome trace-event JSON here "
+                             "(implies --trace; with multiple figures "
+                             "the scenario name is prefixed)")
     args = parser.parse_args(argv)
 
     failures = 0
@@ -273,10 +371,17 @@ def main(argv=None) -> int:
     names = (sorted(DETERMINISM) + sorted(LATENCY)
              if args.figure == "all" else [args.figure])
     for name in names:
+        trace_out = args.trace_out
+        if trace_out and len(names) > 1:
+            import os
+
+            head, tail = os.path.split(trace_out)
+            trace_out = os.path.join(head, f"{name}.{tail}")
         failures += run_one(name, args.iterations, args.samples, args.seed,
                             json_dir=args.json_dir, profile=args.profile,
                             lockdep=args.lockdep,
-                            lockdep_strict=args.lockdep_strict)
+                            lockdep_strict=args.lockdep_strict,
+                            trace=args.trace, trace_out=trace_out)
     return 1 if failures else 0
 
 

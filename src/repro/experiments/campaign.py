@@ -51,6 +51,7 @@ class CampaignJob:
     index: int
     spec: ScenarioSpec
     override_tag: str = ""
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -68,6 +69,10 @@ class CampaignSpec:
     samples: Optional[int] = None
     iterations: Optional[int] = None
     duration_ns: Optional[int] = None
+    #: Enable typed tracing in every worker.  Observational: the
+    #: recorders -- and therefore the campaign export -- stay
+    #: byte-identical; trace reports ride on each run's ``trace``.
+    trace: bool = False
 
     def expand(self) -> List[CampaignJob]:
         """The deterministic job list: scenario-major, then override,
@@ -89,13 +94,14 @@ class CampaignSpec:
                         config_overrides=overrides or None,
                     )
                     jobs.append(CampaignJob(index=len(jobs), spec=spec,
-                                            override_tag=tag))
+                                            override_tag=tag,
+                                            trace=self.trace))
         return jobs
 
 
 def _run_job(job: CampaignJob) -> Tuple[int, ScenarioResult]:
     """Worker entry point: rebuild the bench from the spec and run."""
-    return job.index, run_scenario(job.spec)
+    return job.index, run_scenario(job.spec, trace=job.trace or None)
 
 
 @dataclass
@@ -140,8 +146,18 @@ class CampaignResult:
         lines = []
         for job, result in zip(self.jobs, self.runs):
             tag = f" [{job.override_tag}]" if job.override_tag else ""
-            lines.append(f"{result.scenario}{tag} seed={result.seed}: "
-                         f"{headline(result.recorder)}")
+            line = (f"{result.scenario}{tag} seed={result.seed}: "
+                    f"{headline(result.recorder)}")
+            if result.trace is not None:
+                att = result.trace["attribution"]
+                agg = att.get("aggregate", {})
+                if agg:
+                    blame = ", ".join(
+                        f"{k}={v / 1e3:.1f}us"
+                        for k, v in sorted(agg.items(),
+                                           key=lambda kv: -kv[1])[:3])
+                    line += f"  blame[P{att['threshold_pct']:g}]: {blame}"
+            lines.append(line)
         for name in sorted(self.merged):
             lines.append(f"{name} merged: {headline(self.merged[name])}")
         return "\n".join(lines)
@@ -159,7 +175,8 @@ class CampaignRunner:
     def run(self) -> CampaignResult:
         jobs = self.campaign.expand()
         if self.workers == 1 or len(jobs) == 1:
-            results = [run_scenario(job.spec) for job in jobs]
+            results = [run_scenario(job.spec, trace=job.trace or None)
+                       for job in jobs]
         else:
             results = self._run_parallel(jobs)
         return CampaignResult(campaign=self.campaign, jobs=jobs,
@@ -190,11 +207,13 @@ def run_campaign(scenarios: Tuple[str, ...],
                  duration_ns: Optional[int] = None,
                  config_overrides: Optional[
                      Tuple[Tuple[str, Dict[str, Any]], ...]] = None,
+                 trace: bool = False,
                  ) -> CampaignResult:
     """One-call campaign: expand the matrix and run it."""
     campaign = CampaignSpec(
         scenarios=tuple(scenarios), seeds=tuple(seeds),
-        samples=samples, iterations=iterations, duration_ns=duration_ns)
+        samples=samples, iterations=iterations, duration_ns=duration_ns,
+        trace=trace)
     if config_overrides is not None:
         campaign = replace(campaign, config_overrides=config_overrides)
     return CampaignRunner(campaign, workers=workers).run()

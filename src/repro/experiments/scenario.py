@@ -252,6 +252,10 @@ class ScenarioResult:
     #: when lockdep was off.  Deliberately NOT part of ``details`` --
     #: exports must stay byte-identical with and without observation.
     lockdep: Optional[List[Dict[str, Any]]] = None
+    #: Trace report when the run was traced (tracepoint hit counts,
+    #: per-CPU accounting, latency attribution), or None.  Like
+    #: ``lockdep``, deliberately NOT part of ``details``/exports.
+    trace: Optional[Dict[str, Any]] = None
 
     # -- common statistics ---------------------------------------------
     def max_ns(self) -> int:
@@ -346,7 +350,8 @@ def _measure_ideal(spec: ScenarioSpec,
 
 def run_scenario(spec: ScenarioSpec,
                  kernel_factory: Optional[Any] = None,
-                 lockdep: Optional[Any] = None) -> ScenarioResult:
+                 lockdep: Optional[Any] = None,
+                 trace: Optional[Any] = None) -> ScenarioResult:
     """Run one scenario end to end.
 
     *kernel_factory* overrides the registry lookup for ad-hoc local
@@ -358,6 +363,12 @@ def run_scenario(spec: ScenarioSpec,
     hold budgets).  Observation never perturbs the simulation, so the
     result -- and its export -- is byte-identical either way; the
     violations land on ``ScenarioResult.lockdep``.
+
+    *trace* enables typed tracing for the main run: ``True`` for the
+    defaults, or a :class:`~repro.observe.tracer.TraceConfig`
+    (ring capacity, attribution threshold, Chrome trace output path).
+    Same observational contract as lockdep; the report lands on
+    ``ScenarioResult.trace``.
     """
     if kernel_factory is not None:
         config = kernel_factory()
@@ -382,6 +393,12 @@ def run_scenario(spec: ScenarioSpec,
         ld_config = lockdep if isinstance(lockdep, LockdepConfig) else None
         validator = LockdepValidator(bench.kernel, ld_config).install()
 
+    tracer = None
+    if trace:
+        from repro.observe.tracer import SimTracer, TraceConfig
+        t_config = trace if isinstance(trace, TraceConfig) else None
+        tracer = SimTracer(bench, t_config).install()
+
     loads = [load_entry(name) for name in spec.workloads]
     for entry in loads:
         if entry.phase == PRE_START:
@@ -398,6 +415,8 @@ def run_scenario(spec: ScenarioSpec,
     m = spec.measurement
     affinity = CpuMask.single(m.pin_cpu) if m.pin_cpu is not None else None
     program = measurement_entry(m.program).build(bench, m, affinity)
+    if tracer is not None:
+        tracer.watch_program(program)
     spawn(bench.kernel, program.spec())
 
     shield = spec.shield
@@ -416,8 +435,18 @@ def run_scenario(spec: ScenarioSpec,
             bench.run_until_done(program,
                                  limit_ns=program.estimated_sim_ns())
     finally:
+        if tracer is not None:
+            tracer.uninstall()
         if validator is not None:
             validator.uninstall()
+
+    trace_report = None
+    if tracer is not None:
+        trace_report = tracer.report()
+        if tracer.config.out:
+            tracer.export_chrome(tracer.config.out,
+                                 metadata={"scenario": spec.name,
+                                           "seed": spec.seed})
 
     recorder = program.recorder
     if ideal is not None:
@@ -441,6 +470,7 @@ def run_scenario(spec: ScenarioSpec,
         ideal_ns=ideal if ideal is not None else 0,
         details=details,
         lockdep=validator.to_dicts() if validator is not None else None,
+        trace=trace_report,
     )
 
 

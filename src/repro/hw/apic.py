@@ -120,10 +120,10 @@ class Apic:
         desc.raised += 1
         cpu = self.route(desc)
         desc.account_delivery(cpu.index)
-        if self.machine.sim.trace.enabled:
-            self.machine.sim.trace.emit(
-                self.machine.sim.now, "irq",
-                f"irq{irq} ({desc.name}) -> cpu{cpu.index}")
+        sim = self.machine.sim
+        tp = sim.tp
+        if tp.enabled:
+            tp.irq_raise(sim.now, cpu.index, irq, desc.name)
         self.deliver(cpu, desc)
 
 

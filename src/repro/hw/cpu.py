@@ -105,6 +105,7 @@ class LogicalCpu:
         self.machine = machine
         self.index = index
         self.core = core
+        self.tp = sim.tp
         self.frames: List[ExecFrame] = []
         #: Per-kind frame counts, maintained on push/pop so the
         #: kernel's per-op context checks are O(1) lookups instead of
@@ -140,14 +141,22 @@ class LogicalCpu:
     def irq_disable(self) -> None:
         """Disable interrupt delivery (nests)."""
         self._irq_disable_depth += 1
+        if self._irq_disable_depth == 1:
+            tp = self.tp
+            if tp.enabled:
+                tp.irqs_off(self.sim.now, self.index)
 
     def irq_enable(self) -> None:
         """Re-enable interrupt delivery; drains pended IRQs at depth 0."""
         if self._irq_disable_depth <= 0:
             raise KernelPanic(f"cpu{self.index}: irq_enable underflow")
         self._irq_disable_depth -= 1
-        if self._irq_disable_depth == 0 and self.pending_irqs:
-            self.on_irq_enabled(self)
+        if self._irq_disable_depth == 0:
+            tp = self.tp
+            if tp.enabled:
+                tp.irqs_on(self.sim.now, self.index)
+            if self.pending_irqs:
+                self.on_irq_enabled(self)
 
     # ------------------------------------------------------------------
     # Busy state (for hyperthread / memory contention)
@@ -182,6 +191,10 @@ class LogicalCpu:
                 self.spin_count += 1
             else:
                 self.hss_count += 1
+        tp = self.tp
+        if tp.enabled:
+            tp.frame_push(self.sim.now, self.index, kind.value, frame.label,
+                          getattr(frame.owner, "name", ""))
         self._start_top()
         if not was_busy:
             # A frame can be pushed from inside another frame's
@@ -248,10 +261,10 @@ class LogicalCpu:
         frame.started_at = None
         frame._event = None
         frame.remaining = 0.0
-        sim = self.sim
-        if sim.trace.enabled:
-            sim.trace.emit(sim.now, "frame",
-                           f"cpu{self.index} done {kind.value} {frame.label}")
+        tp = self.tp
+        if tp.enabled:
+            tp.frame_pop(self.sim.now, self.index, kind.value, frame.label,
+                         getattr(frame.owner, "name", ""))
         # The completion callback may push new frames (e.g. chained
         # interrupts); resume the underlying frame only if it is still
         # exposed afterwards.
@@ -272,9 +285,10 @@ class LogicalCpu:
         if frame._event is not None:
             frame._event.cancel()
             frame._event = None
-        if self.sim.trace.enabled:
-            self.sim.trace.emit(self.sim.now, "frame",
-                                f"cpu{self.index} done {frame.kind.value} {frame.label}")
+        tp = self.tp
+        if tp.enabled:
+            tp.frame_pop(self.sim.now, self.index, kind.value, frame.label,
+                         getattr(frame.owner, "name", ""))
         # The completion callback may push new frames (e.g. chained
         # interrupts); resume the underlying frame only if it is still
         # exposed afterwards.
@@ -296,6 +310,10 @@ class LogicalCpu:
                 self.spin_count -= 1
             else:
                 self.hss_count -= 1
+        tp = self.tp
+        if tp.enabled:
+            tp.frame_pop(self.sim.now, self.index, kind.value, frame.label,
+                         getattr(frame.owner, "name", ""))
         self._after_pop()
 
     def _after_pop(self) -> None:
@@ -334,6 +352,10 @@ class LogicalCpu:
     def pend_irq(self, irq: object) -> None:
         """Queue an interrupt for delivery once interrupts re-enable."""
         self.pending_irqs.append(irq)
+        tp = self.tp
+        if tp.enabled:
+            tp.irq_pend(self.sim.now, self.index,
+                        getattr(irq, "irq", -1), getattr(irq, "name", "?"))
 
     def take_pending_irq(self) -> Optional[object]:
         """Dequeue the next pended interrupt, if any."""

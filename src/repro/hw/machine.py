@@ -92,6 +92,7 @@ class Machine:
         self.tsc = Tsc(sim)
         self.devices: Dict[str, "Device"] = {}
         self._ht_rng = sim.rng.stream("ht-contention")
+        sim.tp.configure(self.ncpus)
 
     # ------------------------------------------------------------------
     # Topology helpers

@@ -187,6 +187,9 @@ class Kernel:
         task.counter = self.config.timeslice_ticks
         task.time_slice = self.config.timeslice_ticks
         task.last_cpu = task.effective_affinity.first()
+        tp = self.sim.tp
+        if tp.enabled:
+            tp.task_create(self.sim.now, task.last_cpu, name)
         self._make_runnable(task, from_cpu=None)
         return task
 
@@ -203,6 +206,9 @@ class Kernel:
             raise KernelPanic(f"{task.name} exited holding locks "
                               f"(preempt_count={task.preempt_count})")
         self.current[cpu_idx] = None
+        tp = self.sim.tp
+        if tp.enabled:
+            tp.task_exit(self.sim.now, cpu_idx, task.name)
         self.schedule(cpu_idx)
 
     # ==================================================================
@@ -274,6 +280,10 @@ class Kernel:
             return
         task.state = TaskState.READY
         target = self.scheduler.enqueue(task)
+        tp = self.sim.tp
+        if tp.enabled:
+            tp.sched_wake(self.sim.now, target, task.name,
+                          -1 if from_cpu is None else from_cpu)
         self._check_preempt(target, task, from_cpu)
 
     def _check_preempt(self, target: int, task: Task,
@@ -372,16 +382,24 @@ class Kernel:
         prev.on_cpu = None
         prev.last_cpu = cpu.index
         self.current[cpu.index] = None
+        tp = self.sim.tp
         if prev.state is TaskState.RUNNING:
             # Involuntary preemption: back on the queue, at the front.
             prev.state = TaskState.READY
             self.stats.preemptions += 1
             target = self.scheduler.enqueue(prev, preempted=True)
+            if tp.enabled:
+                tp.sched_desched(self.sim.now, cpu.index, prev.name,
+                                 True, target)
             if target != cpu.index:
                 # The task migrated (affinity change / shield enable):
                 # the destination CPU must notice it, especially a
                 # shielded CPU whose local timer is off.
                 self._check_preempt(target, prev, from_cpu=cpu.index)
+        elif tp.enabled:
+            # Voluntary: the task blocked/exited before schedule() ran.
+            tp.sched_desched(self.sim.now, cpu.index, prev.name,
+                             prev.state is TaskState.READY, cpu.index)
 
     def _finish_switch(self, cpu_idx: int, nxt: Task) -> None:
         self._install_task(cpu_idx, nxt)
@@ -393,6 +411,9 @@ class Kernel:
         task.last_cpu = cpu_idx
         task.switches += 1
         self.current[cpu_idx] = task
+        tp = self.sim.tp
+        if tp.enabled:
+            tp.sched_switch(self.sim.now, cpu_idx, task.name)
 
     # ==================================================================
     # Task stepping
@@ -453,6 +474,10 @@ class Kernel:
                 task.in_syscall += 1
                 task.syscall_name = next_op.name
                 self.stats.syscalls += 1
+                tp = self.sim.tp
+                if tp.enabled:
+                    tp.syscall_entry(self.sim.now, cpu_idx, task.name,
+                                     next_op.name)
                 continue
             if t is op.Call:
                 task.send_value = next_op.fn(*next_op.args)
@@ -502,6 +527,9 @@ class Kernel:
             task.in_syscall += 1
             task.syscall_name = o.name
             self.stats.syscalls += 1
+            tp = self.sim.tp
+            if tp.enabled:
+                tp.syscall_entry(self.sim.now, cpu_idx, task.name, o.name)
             self._step(task, cpu_idx)
         elif isinstance(o, op.ExitSyscall):
             self._exit_syscall(task, cpu_idx)
@@ -570,6 +598,10 @@ class Kernel:
     def _acquire(self, task: Task, cpu_idx: int, lock: SpinLock) -> None:
         cpu = self.machine.cpus[cpu_idx]
         task.preempt_count += 1
+        if task.preempt_count == 1:
+            tp = self.sim.tp
+            if tp.enabled:
+                tp.preempt_off(self.sim.now, cpu_idx, task.name)
         if lock.irq_disabling:
             cpu.irq_disable()
             task.irq_disable_count += 1
@@ -605,6 +637,10 @@ class Kernel:
         task.preempt_count -= 1
         if task.preempt_count < 0:
             raise KernelPanic(f"{task.name}: preempt_count underflow")
+        if task.preempt_count == 0:
+            tp = self.sim.tp
+            if tp.enabled:
+                tp.preempt_on(self.sim.now, cpu_idx, task.name)
         if lock.irq_disabling:
             task.irq_disable_count -= 1
             cpu.irq_enable()
@@ -678,7 +714,10 @@ class Kernel:
         self.current[cpu_idx] = None
         task.on_cpu = None
         task.last_cpu = cpu_idx
-        self.scheduler.enqueue(task)
+        target = self.scheduler.enqueue(task)
+        tp = self.sim.tp
+        if tp.enabled:
+            tp.sched_desched(self.sim.now, cpu_idx, task.name, True, target)
         self.schedule(cpu_idx)
 
     def _exit_syscall(self, task: Task, cpu_idx: int) -> None:
@@ -686,6 +725,9 @@ class Kernel:
             raise KernelPanic(f"{task.name}: syscall exit underflow")
         task.in_syscall -= 1
         task.syscall_name = None
+        tp = self.sim.tp
+        if tp.enabled:
+            tp.syscall_exit(self.sim.now, cpu_idx, task.name)
         # 2.4's ret_from_sys_call drains pending softirqs (the
         # handle_softirq path in entry.S), so loopback work raised by
         # this syscall usually runs here.  Kernels with the RedHawk
@@ -729,6 +771,9 @@ class Kernel:
         cost_key, _action = self._irq_table.get(
             desc.irq, ("irq.handler.default", _noop_action))
         cpu.irq_disable()
+        tp = self.sim.tp
+        if tp.enabled:
+            tp.irq_entry(self.sim.now, cpu.index, desc.irq, desc.name)
         entry = self.config.timing.sample("irq.entry", self.rng)
         handler = self.config.timing.sample(cost_key, self.rng)
         frame = ExecFrame(FrameKind.HARDIRQ, entry + handler,
@@ -743,6 +788,9 @@ class Kernel:
             desc.irq, ("irq.handler.default", _noop_action))
         action(cpu.index)
         # --- irq_exit ---------------------------------------------------
+        tp = self.sim.tp
+        if tp.enabled:
+            tp.irq_exit(self.sim.now, cpu.index, desc.irq, desc.name)
         cpu.irq_enable()
         if cpu.irqs_enabled and cpu.pending_irqs:
             pended = cpu.take_pending_irq()
@@ -777,6 +825,9 @@ class Kernel:
         """
         queue = self.softirqq[cpu_idx]
         queue.raise_softirq(vec, work_ns, action)
+        tp = self.sim.tp
+        if tp.enabled:
+            tp.softirq_raise(self.sim.now, cpu_idx, int(vec))
         if not from_irq and self.config.ksoftirqd:
             self._wake_ksoftirqd(cpu_idx)
 
@@ -802,16 +853,23 @@ class Kernel:
             return
         vec, work, action = item
         self.stats.softirq_items += 1
+        tp = self.sim.tp
+        if tp.enabled:
+            tp.softirq_entry(self.sim.now, cpu_idx, int(vec))
         cpu = self.machine.cpus[cpu_idx]
         frame = ExecFrame(
             FrameKind.SOFTIRQ, work,
-            lambda f: self._softirq_item_done(cpu_idx, budget - work, action),
+            lambda f: self._softirq_item_done(cpu_idx, budget - work, vec,
+                                              action),
             label=(f"softirq:{vec.name}"
                    if self.sim.trace.enabled else "softirq"))
         cpu.push_frame(frame)
 
-    def _softirq_item_done(self, cpu_idx: int, budget_left: int,
+    def _softirq_item_done(self, cpu_idx: int, budget_left: int, vec,
                            action: Optional[Callable[[], None]]) -> None:
+        tp = self.sim.tp
+        if tp.enabled:
+            tp.softirq_exit(self.sim.now, cpu_idx, int(vec))
         if action is not None:
             action()
         self._softirq_step(cpu_idx, budget_left)
@@ -832,10 +890,16 @@ class Kernel:
                 continue
             vec, work, action = item
             self.stats.softirq_items += 1
+            tp = self.sim.tp
+            if tp.enabled:
+                tp.softirq_entry(self.sim.now, cpu_idx, int(vec))
             yield op.Compute(work, kernel=True,
                              label=(f"ksoftirqd:{vec.name}"
                                     if self.sim.trace.enabled
                                     else "ksoftirqd"))
+            tp = self.sim.tp
+            if tp.enabled:
+                tp.softirq_exit(self.sim.now, cpu_idx, int(vec))
             if action is not None:
                 action()
 
@@ -853,6 +917,9 @@ class Kernel:
 
     def _tick_action(self, cpu_idx: int) -> None:
         """Local timer handler body: accounting + scheduler tick."""
+        tp = self.sim.tp
+        if tp.enabled:
+            tp.timer_tick(self.sim.now, cpu_idx)
         if cpu_idx == 0:
             self.jiffies += 1
             # Timer-wheel processing runs in the TIMER softirq.

@@ -7,7 +7,9 @@ These renderers print the same rows the paper's figure legends show:
 * the cumulative latency bucket tables under Figures 5-6
   (``NNN samples < T ms (P%)``);
 * the min/max/avg line under Figure 7;
-* the lockdep validation summaries (invariant checking).
+* the lockdep validation summaries (invariant checking);
+* the observability tables (per-CPU accounting, tracepoint hit
+  counts, latency attribution) for traced runs.
 """
 
 from __future__ import annotations
@@ -118,6 +120,97 @@ def lockdep_summary(validator: Any, top: int = 20) -> str:
         lines.append("violations:")
         lines.append(lockdep_violations_table(
             [v.to_dict() for v in validator.violations], top=top))
+    return "\n".join(lines)
+
+
+def cpu_accounting_table(accounting: Dict[str, Any]) -> str:
+    """``/proc/stat`` / ``/proc/interrupts``-style per-CPU counters.
+
+    *accounting* is ``CpuAccounting.to_dict()`` output (the
+    ``accounting`` entry of a ``ScenarioResult.trace`` report).
+    """
+    irq_names = accounting.get("irq_names", {})
+    rows: List[tuple] = []
+    for c in accounting["cpus"]:
+        irqs = sum(c["irqs"].values())
+        softirqs = sum(c["softirqs"].values())
+        rows.append((f"cpu{c['cpu']}", c["ticks"], c["switches"],
+                     c["syscalls"], c["wakes"], irqs, softirqs,
+                     f"{c['max_irq_off_ns'] / 1e3:.1f}",
+                     f"{c['max_preempt_off_ns'] / 1e3:.1f}",
+                     f"{c['max_bkl_hold_ns'] / 1e3:.1f}"))
+    table = comparison_table(rows, (
+        "cpu", "ticks", "ctxsw", "syscalls", "wakes", "irqs", "softirqs",
+        "irqoff-max(us)", "preemptoff-max(us)", "bkl-max(us)"))
+    lines = [table, "", "interrupts:"]
+    for irq, name in irq_names.items():
+        per_cpu = "  ".join(
+            f"cpu{c['cpu']}:{c['irqs'].get(irq, 0)}"
+            for c in accounting["cpus"])
+        lines.append(f"  irq{irq} ({name}): {per_cpu}")
+    return "\n".join(lines)
+
+
+def tracepoint_hits_table(hits: Dict[str, int], top: int = 10) -> str:
+    """The ``--profile`` top-N tracepoint hit counts."""
+    if not hits:
+        return "  no tracepoints hit"
+    pairs = sorted(hits.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+    width = max(len(name) for name, _ in pairs)
+    return "\n".join(f"  {name:<{width}}  {count}"
+                     for name, count in pairs)
+
+
+def attribution_table(attribution: Dict[str, Any]) -> str:
+    """The per-mechanism latency blame table for Figures 5-7.
+
+    *attribution* is the ``attribution`` entry of a
+    ``ScenarioResult.trace`` report (see
+    :meth:`~repro.observe.attribution.AttributionEngine.report`).
+    """
+    agg = attribution.get("aggregate", {})
+    n = attribution.get("attributed", 0)
+    lines = [f"latency attribution: {n} samples at/above "
+             f"P{attribution.get('threshold_pct', 0):g} "
+             f"({attribution.get('threshold_ns', 0) / 1e3:.1f} us)"]
+    total = sum(agg.values())
+    if total:
+        for bucket, ns in sorted(agg.items(), key=lambda kv: -kv[1]):
+            pct = 100.0 * ns / total
+            lines.append(f"  {bucket:<12} {ns / 1e3:10.1f} us "
+                         f"({pct:5.1f}%)")
+    else:
+        lines.append("  nothing to attribute")
+    check = attribution.get("sum_check", {})
+    if check:
+        status = "ok" if check.get("ok") else "FAILED"
+        lines.append(f"  sum check: {status} "
+                     f"(max error {check.get('max_abs_err_ns', 0)} ns "
+                     f"over {check.get('samples', 0)} samples)")
+    worst = attribution.get("top_samples", [])
+    if worst:
+        lines.append("  worst samples:")
+        for s in worst:
+            parts = ", ".join(
+                f"{k}={v / 1e3:.1f}us"
+                for k, v in sorted(s["breakdown"].items(),
+                                   key=lambda kv: -kv[1]))
+            lines.append(f"    t={s['end_ns']}ns "
+                         f"latency={s['latency_ns'] / 1e3:.1f}us: {parts}")
+    return "\n".join(lines)
+
+
+def trace_summary(trace: Dict[str, Any], top: int = 10) -> str:
+    """The full observability block for one traced run."""
+    lines = ["tracepoint hits:",
+             tracepoint_hits_table(trace.get("hits", {}), top=top)]
+    dropped = trace.get("dropped", 0)
+    if dropped:
+        lines.append(f"  ({dropped} events dropped by ring wrap)")
+    lines.append("")
+    lines.append(cpu_accounting_table(trace["accounting"]))
+    lines.append("")
+    lines.append(attribution_table(trace["attribution"]))
     return "\n".join(lines)
 
 

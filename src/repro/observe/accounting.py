@@ -1,0 +1,79 @@
+"""Per-CPU accounting counters (``/proc/stat`` / ``/proc/interrupts``).
+
+The counters are owned by :class:`~repro.observe.tracepoints.Tracepoints`
+and updated O(1) inside each tracepoint emit -- no scans, no event
+walks.  They answer the questions a `cat /proc/stat` or
+`cat /proc/interrupts` would on the real machine: how many local-timer
+ticks, context switch-ins, syscalls and wakeups each CPU saw, how many
+interrupts per vector, how many softirq items per vector, and the
+worst-case irq-off / preempt-off / BKL-hold windows observed.
+
+``max_*`` windows track *effective* transitions (disable depth or
+preempt count crossing zero), matching what delays interrupt delivery
+or preemption on real hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class CpuCounters:
+    """One CPU's counter block."""
+
+    __slots__ = ("cpu", "ticks", "switches", "syscalls", "wakes",
+                 "irqs", "softirqs",
+                 "max_irq_off_ns", "irq_off_since",
+                 "max_preempt_off_ns", "preempt_off_since",
+                 "max_bkl_hold_ns")
+
+    def __init__(self, cpu: int) -> None:
+        self.cpu = cpu
+        self.ticks = 0
+        self.switches = 0
+        self.syscalls = 0
+        self.wakes = 0
+        self.irqs: Dict[int, int] = {}
+        self.softirqs: Dict[int, int] = {}
+        self.max_irq_off_ns = 0
+        self.irq_off_since: Optional[int] = None
+        self.max_preempt_off_ns = 0
+        self.preempt_off_since: Optional[int] = None
+        self.max_bkl_hold_ns = 0
+
+
+class CpuAccounting:
+    """All CPUs' counters plus the shared irq-number -> name map."""
+
+    __slots__ = ("cpus", "irq_names")
+
+    def __init__(self, ncpus: int) -> None:
+        self.cpus: List[CpuCounters] = [CpuCounters(i) for i in range(ncpus)]
+        self.irq_names: Dict[int, str] = {}
+
+    def clear(self) -> None:
+        self.cpus = [CpuCounters(i) for i in range(len(self.cpus))]
+        self.irq_names = {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data snapshot (picklable, JSON-safe)."""
+        return {
+            "irq_names": {str(k): v
+                          for k, v in sorted(self.irq_names.items())},
+            "cpus": [
+                {
+                    "cpu": c.cpu,
+                    "ticks": c.ticks,
+                    "switches": c.switches,
+                    "syscalls": c.syscalls,
+                    "wakes": c.wakes,
+                    "irqs": {str(k): v for k, v in sorted(c.irqs.items())},
+                    "softirqs": {str(k): v
+                                 for k, v in sorted(c.softirqs.items())},
+                    "max_irq_off_ns": c.max_irq_off_ns,
+                    "max_preempt_off_ns": c.max_preempt_off_ns,
+                    "max_bkl_hold_ns": c.max_bkl_hold_ns,
+                }
+                for c in self.cpus
+            ],
+        }

@@ -1,0 +1,122 @@
+"""Chrome trace-event (Perfetto-loadable) JSON export.
+
+Converts the typed tracepoint rings into the Trace Event Format that
+``chrome://tracing`` and https://ui.perfetto.dev consume: one process
+("linsim"), one thread track per CPU, duration events (``ph: B``/``E``)
+from execution-frame push/pop, and instant events (``ph: i``) for
+wakes, irq raises, softirq raises, shield updates and latency samples.
+
+Timestamps are microseconds (float), converted from simulated
+nanoseconds.  The builder is ring-wrap tolerant: a ``frame_pop`` whose
+``B`` was evicted gets a synthesized ``B`` at the window start, and
+frames still open at the end are closed at the last event time, so the
+export never produces unbalanced B/E pairs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.observe.tracepoints import TP, Tracepoints
+
+_PID = 1
+
+#: Instant-event rendering: tp -> (name prefix, args formatter).
+_INSTANTS = {
+    TP.SCHED_WAKE: lambda a: ("wake " + a[0], {"from_cpu": a[1]}),
+    TP.IRQ_RAISE: lambda a: (f"irq{a[0]} raise", {"name": a[1]}),
+    TP.IRQ_PEND: lambda a: (f"irq{a[0]} pend", {"name": a[1]}),
+    TP.SOFTIRQ_RAISE: lambda a: (f"softirq{a[0]} raise", {}),
+    TP.TIMER_TICK: lambda a: ("tick", {}),
+    TP.SHIELD_UPDATE: lambda a: ("shield update", {
+        "procs": a[0], "irqs": a[1], "ltmr": a[2]}),
+    TP.LATENCY_SAMPLE: lambda a: ("sample " + a[0], {"latency_ns": a[1]}),
+    TP.TASK_EXIT: lambda a: ("exit " + a[0], {}),
+}
+
+
+def _frame_name(kind: str, label: str, owner: str) -> str:
+    if kind == "task":
+        return owner or label or "task"
+    if label:
+        return f"{kind}:{label}"
+    return kind
+
+
+def build_trace_events(tp: Tracepoints) -> List[Dict[str, Any]]:
+    """Build the ``traceEvents`` list from the registry's rings."""
+    events: List[Dict[str, Any]] = [
+        {"ph": "M", "pid": _PID, "tid": 0, "name": "process_name",
+         "args": {"name": "linsim"}},
+    ]
+    for cpu in range(tp.ncpus):
+        events.append({"ph": "M", "pid": _PID, "tid": cpu,
+                       "name": "thread_name",
+                       "args": {"name": f"cpu{cpu}"}})
+        events.append({"ph": "M", "pid": _PID, "tid": cpu,
+                       "name": "thread_sort_index",
+                       "args": {"sort_index": cpu}})
+
+    for cpu, ring in enumerate(tp.rings):
+        snapshot = ring.snapshot()
+        if not snapshot:
+            continue
+        window_start_us = snapshot[0].time / 1000.0
+        last_us = snapshot[-1].time / 1000.0
+        open_depth = 0
+        for ev in snapshot:
+            ts = ev.time / 1000.0
+            code = ev.tp
+            if code is TP.FRAME_PUSH:
+                kind, label, owner = ev.args
+                events.append({"ph": "B", "pid": _PID, "tid": cpu,
+                               "ts": ts,
+                               "name": _frame_name(kind, label, owner),
+                               "cat": kind})
+                open_depth += 1
+            elif code is TP.FRAME_POP:
+                kind, label, owner = ev.args
+                if open_depth == 0:
+                    # The matching B was evicted by ring wrap --
+                    # synthesize one at the window start.
+                    events.append({"ph": "B", "pid": _PID, "tid": cpu,
+                                   "ts": window_start_us,
+                                   "name": _frame_name(kind, label, owner),
+                                   "cat": kind})
+                else:
+                    open_depth -= 1
+                events.append({"ph": "E", "pid": _PID, "tid": cpu,
+                               "ts": ts})
+            else:
+                fmt = _INSTANTS.get(code)
+                if fmt is not None:
+                    name, args = fmt(ev.args)
+                    events.append({"ph": "i", "pid": _PID, "tid": cpu,
+                                   "ts": ts, "s": "t", "name": name,
+                                   "cat": TP(code).name.lower(),
+                                   "args": args})
+        # Close frames still open at the end of the window.
+        for _ in range(open_depth):
+            events.append({"ph": "E", "pid": _PID, "tid": cpu,
+                           "ts": last_us})
+    return events
+
+
+def to_chrome_trace(tp: Tracepoints,
+                    metadata: Dict[str, Any] = None) -> Dict[str, Any]:
+    """The full Trace Event Format document."""
+    doc: Dict[str, Any] = {
+        "traceEvents": build_trace_events(tp),
+        "displayTimeUnit": "ns",
+    }
+    if metadata:
+        doc["otherData"] = dict(metadata)
+    return doc
+
+
+def export_chrome_trace(tp: Tracepoints, path: str,
+                        metadata: Dict[str, Any] = None) -> None:
+    """Write the Perfetto-loadable JSON trace to *path*."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(tp, metadata), fh)

@@ -1,0 +1,181 @@
+"""SimTracer: one-run orchestration of the observability stack.
+
+Installs typed tracing on an assembled bench for the duration of one
+scenario run, mirroring the
+:class:`~repro.analysis.lockdep.LockdepValidator` install/uninstall
+discipline: lock objects get a ``tracer`` hook, the kernel's
+``_acquire`` is wrapped through an instance attribute only to
+lazily attach hooks to locks created after install, and the watched
+program's recorder methods are wrapped so every recorded sample feeds
+the attribution engine.  ``uninstall()`` restores everything.
+
+Nothing here consumes simulated time or randomness: a traced run is
+byte-identical to an untraced one (the golden sweep enforces this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.observe.attribution import AttributionEngine
+from repro.observe.chrometrace import export_chrome_trace
+from repro.observe.tracepoints import LockTracer, Tracepoints
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Knobs for one traced run."""
+
+    #: Per-CPU ring capacity (events).
+    capacity: int = 65536
+    #: Attribution report covers samples at/above this percentile.
+    threshold_pct: float = 99.0
+    #: How many worst samples to itemise in the report.
+    top: int = 10
+    #: Chrome trace-event JSON output path ("" = no export).
+    out: str = ""
+
+
+class SimTracer:
+    """Per-run tracing session over one :class:`Bench`."""
+
+    def __init__(self, bench: Any,
+                 config: Optional[TraceConfig] = None) -> None:
+        self.bench = bench
+        self.config = config or TraceConfig()
+        self.tp: Tracepoints = bench.sim.tp
+        preemptible = getattr(bench.kernel.config, "preemptible", False)
+        self.engine = AttributionEngine(bench.machine.ncpus, preemptible)
+        self._lock_tracer = LockTracer(self.tp, bench.sim)
+        self._attached: list = []
+        self._watched: list = []
+        self._had_acquire = False
+        self._orig_acquire: Any = None
+        self._installed = False
+
+    # ==================================================================
+    # Installation
+    # ==================================================================
+    def install(self) -> "SimTracer":
+        if self._installed:
+            return self
+        self._installed = True
+        tp = self.tp
+        if tp.capacity != self.config.capacity:
+            tp.capacity = self.config.capacity
+            tp.configure(self.bench.machine.ncpus)
+        tp.clear()
+        tp.listener = self.engine
+        tp.enable()
+
+        kernel = self.bench.kernel
+        for lock in vars(kernel.locks).values():
+            self.attach_lock(lock)
+
+        # Locks built after install (driver-private ones) get hooked
+        # lazily the first time a task takes them.
+        self._had_acquire = "_acquire" in kernel.__dict__
+        orig_acquire = kernel._acquire
+        self._orig_acquire = orig_acquire
+
+        def acquire(task, cpu_idx, lock):
+            if lock.tracer is not self._lock_tracer:
+                self.attach_lock(lock)
+            orig_acquire(task, cpu_idx, lock)
+
+        kernel._acquire = acquire
+        return self
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        self._installed = False
+        kernel = self.bench.kernel
+        for lock in self._attached:
+            lock.tracer = None
+        self._attached.clear()
+        if self._had_acquire:
+            kernel._acquire = self._orig_acquire
+        elif "_acquire" in kernel.__dict__:
+            del kernel.__dict__["_acquire"]
+        self._orig_acquire = None
+        for recorder, orig_return, orig_latency in self._watched:
+            if orig_return is None:
+                recorder.__dict__.pop("record_return", None)
+            else:
+                recorder.record_return = orig_return
+            if orig_latency is None:
+                recorder.__dict__.pop("record_latency", None)
+            else:
+                recorder.record_latency = orig_latency
+        self._watched.clear()
+        tp = self.tp
+        tp.listener = None
+        tp.disable()
+
+    def attach_lock(self, lock: Any) -> None:
+        """Hook one spinlock's tracer callback (idempotent)."""
+        if getattr(lock, "tracer", None) is self._lock_tracer:
+            return
+        lock.tracer = self._lock_tracer
+        self._attached.append(lock)
+
+    # ==================================================================
+    # The watched measurement program
+    # ==================================================================
+    def watch_program(self, program: Any) -> None:
+        """Attribute every sample *program*'s recorder records.
+
+        Determinism programs carry a ``JitterRecorder`` (durations,
+        not latencies); those runs still get tracepoints and
+        accounting, just no attribution samples.
+        """
+        self.engine.watch = program.spec().name
+        recorder = program.recorder
+        if not hasattr(recorder, "record_return"):
+            return
+        orig_return = recorder.__dict__.get("record_return")
+        orig_latency = recorder.__dict__.get("record_latency")
+        bound_return = recorder.record_return
+        bound_latency = recorder.record_latency
+
+        def record_return(tsc_now):
+            latency = bound_return(tsc_now)
+            if latency is not None:
+                self._on_sample(latency)
+            return latency
+
+        def record_latency(latency_ns):
+            bound_latency(latency_ns)
+            self._on_sample(latency_ns if latency_ns > 0 else 0)
+
+        recorder.record_return = record_return
+        recorder.record_latency = record_latency
+        self._watched.append((recorder, orig_return, orig_latency))
+
+    def _on_sample(self, latency: int) -> None:
+        now = self.bench.sim.now
+        self.engine.on_sample(now, latency)
+        tp = self.tp
+        if tp.enabled:
+            tp.latency_sample(now, self.engine.current_cpu(),
+                              self.engine.watch or "?", latency)
+
+    # ==================================================================
+    # Results
+    # ==================================================================
+    def report(self) -> Dict[str, Any]:
+        """Plain-data trace report (rides on ``ScenarioResult.trace``)."""
+        tp = self.tp
+        return {
+            "hits": tp.hit_counts(),
+            "dropped": tp.dropped(),
+            "accounting": tp.accounting.to_dict(),
+            "attribution": self.engine.report(self.config.threshold_pct,
+                                              self.config.top),
+        }
+
+    def export_chrome(self, path: str,
+                      metadata: Optional[Dict[str, Any]] = None) -> None:
+        export_chrome_trace(self.tp, path, metadata)

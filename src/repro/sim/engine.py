@@ -34,6 +34,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional
 
+from repro.observe.tracepoints import Tracepoints
 from repro.sim.errors import SchedulingInPastError, SimulationStalledError
 from repro.sim.events import EventHandle, PeriodicHandle, SEQ_BITS
 from repro.sim.rng import DEFAULT_SEED, RngStreams
@@ -74,6 +75,9 @@ class Simulator:
         self._dead = 0   # cancelled entries not yet popped or compacted
         self.rng = RngStreams(DEFAULT_SEED if seed is None else seed)
         self.trace = TraceBuffer(trace_capacity)
+        # Typed tracepoint registry (disabled; the machine sizes its
+        # per-CPU rings via tp.configure() once the CPU count is known).
+        self.tp = Tracepoints()
 
     # ------------------------------------------------------------------
     # Scheduling

@@ -5,13 +5,23 @@ enabled it records ``(time, category, message)`` tuples into a ring
 buffer, which tests and debugging sessions can inspect to understand
 why a latency sample came out the way it did -- the simulated analogue
 of a kernel ftrace ring buffer.
+
+The ring is a plain list plus a rotating start index rather than a
+``deque``: simulated time is monotone, so keeping the storage
+indexable lets :meth:`TraceBuffer.since` binary-search for its cutoff
+and :meth:`TraceBuffer.tail` slice the newest *n* records directly
+instead of walking the whole buffer.
+
+This buffer carries free-form strings for ad-hoc debugging; the typed,
+per-CPU tracepoint rings used by the observability stack live in
+:mod:`repro.observe.tracepoints`.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Deque, Iterable, List, Optional
+from typing import Iterable, List, Optional
 
 
 @dataclass(frozen=True, slots=True)
@@ -34,19 +44,27 @@ class TraceBuffer:
             raise ValueError("trace capacity must be positive")
         self.capacity = capacity
         self.enabled = False
-        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self._buf: List[TraceRecord] = []
+        self._start = 0  # index of the oldest record once wrapped
         self._dropped = 0
 
     def emit(self, time: int, category: str, message: str) -> None:
         """Record one entry (no-op unless enabled)."""
         if not self.enabled:
             return
-        if len(self._records) == self.capacity:
+        record = TraceRecord(time, category, message)
+        if len(self._buf) < self.capacity:
+            self._buf.append(record)
+        else:
+            self._buf[self._start] = record
+            self._start += 1
+            if self._start == self.capacity:
+                self._start = 0
             self._dropped += 1
-        self._records.append(TraceRecord(time, category, message))
 
     def clear(self) -> None:
-        self._records.clear()
+        self._buf.clear()
+        self._start = 0
         self._dropped = 0
 
     @property
@@ -54,20 +72,44 @@ class TraceBuffer:
         """Entries evicted because the buffer wrapped."""
         return self._dropped
 
+    def _ordered(self) -> List[TraceRecord]:
+        """The buffer contents oldest-first."""
+        if self._start == 0:
+            return list(self._buf)
+        return self._buf[self._start:] + self._buf[:self._start]
+
     def records(self, category: Optional[str] = None) -> List[TraceRecord]:
         """Snapshot of buffered records, optionally filtered by category."""
+        ordered = self._ordered()
         if category is None:
-            return list(self._records)
-        return [r for r in self._records if r.category == category]
+            return ordered
+        return [r for r in ordered if r.category == category]
+
+    def categories(self) -> List[str]:
+        """The distinct categories currently buffered, sorted."""
+        return sorted({r.category for r in self._buf})
+
+    def tail(self, n: int) -> List[TraceRecord]:
+        """The newest *n* records, oldest-first (all if *n* exceeds
+        the buffer)."""
+        if n <= 0:
+            return []
+        return self._ordered()[-n:]
 
     def since(self, time: int) -> List[TraceRecord]:
-        """Records with timestamp >= *time*."""
-        return [r for r in self._records if r.time >= time]
+        """Records with timestamp >= *time*.
+
+        Timestamps are monotone non-decreasing (simulated time never
+        runs backwards), so the cutoff is found by binary search.
+        """
+        ordered = self._ordered()
+        lo = bisect_left(ordered, time, key=lambda r: r.time)
+        return ordered[lo:]
 
     def format(self, records: Optional[Iterable[TraceRecord]] = None) -> str:
         """Render records one per line (for assertion messages)."""
-        recs = self._records if records is None else records
+        recs = self._ordered() if records is None else list(records)
         return "\n".join(str(r) for r in recs)
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._buf)

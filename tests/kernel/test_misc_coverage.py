@@ -28,24 +28,31 @@ class TestBootGuards:
 
 
 class TestTracing:
-    def test_trace_records_irqs_and_frames(self, sim, machine):
+    def test_tracepoints_record_irqs_and_frames(self, sim, machine):
         kernel = boot_kernel(sim, machine)
-        sim.trace.enabled = True
+        sim.tp.enable()
         kernel.register_irq_handler(60, "irq.handler.default",
                                     lambda cpu: None)
         machine.apic.register_irq(60, "dev")
         machine.apic.raise_irq(60)
         sim.run_until(1_000_000)
-        assert sim.trace.records("irq")
-        assert sim.trace.records("frame")
+        hits = sim.tp.hit_counts()
+        assert hits.get("irq_raise")
+        assert hits.get("irq_entry")
+        assert hits.get("frame_push")
+        names = {e.tp.name for e in sim.tp.events()}
+        assert {"IRQ_RAISE", "IRQ_ENTRY", "IRQ_EXIT"} <= names
 
-    def test_trace_off_by_default_and_free(self, sim, machine):
+    def test_tracepoints_off_by_default_and_free(self, sim, machine):
         kernel = boot_kernel(sim, machine)
         kernel.register_irq_handler(60, "irq.handler.default",
                                     lambda cpu: None)
         machine.apic.register_irq(60, "dev")
         machine.apic.raise_irq(60)
         sim.run_until(1_000_000)
+        assert not sim.tp.enabled
+        assert sim.tp.hit_counts() == {}
+        assert list(sim.tp.events()) == []
         assert len(sim.trace) == 0
 
 

@@ -1,0 +1,87 @@
+"""Per-CPU accounting under real scenario runs.
+
+The counters are updated O(1) inside tracepoint emits, so the hit
+counters and the accounting must agree exactly: total timer ticks
+equals the timer_tick hit count, per-CPU interrupt counts sum to the
+irq_entry hits, and so on.  fig6 exercises the latency pipeline and
+fig1 the determinism (JitterRecorder) pipeline.
+"""
+
+import pytest
+
+from repro.experiments.scenario import run_scenario, scenario
+from repro.observe.tracer import TraceConfig
+
+
+@pytest.fixture(scope="module")
+def fig6_trace():
+    spec = scenario("fig6").configured(samples=500)
+    return run_scenario(spec, trace=TraceConfig()).trace
+
+
+class TestFig6Accounting:
+    def test_report_shape(self, fig6_trace):
+        assert set(fig6_trace) == {"hits", "dropped", "accounting",
+                                   "attribution"}
+        assert fig6_trace["hits"]
+
+    def test_hit_counters_match_accounting(self, fig6_trace):
+        hits = fig6_trace["hits"]
+        cpus = fig6_trace["accounting"]["cpus"]
+        assert sum(c["ticks"] for c in cpus) == hits.get("timer_tick", 0)
+        assert sum(c["switches"] for c in cpus) == hits.get(
+            "sched_switch", 0)
+        assert sum(c["syscalls"] for c in cpus) == hits.get(
+            "syscall_entry", 0)
+        assert sum(c["wakes"] for c in cpus) == hits.get("sched_wake", 0)
+        assert (sum(sum(c["irqs"].values()) for c in cpus)
+                == hits.get("irq_entry", 0))
+        assert (sum(sum(c["softirqs"].values()) for c in cpus)
+                == hits.get("softirq_entry", 0))
+
+    def test_activity_was_observed(self, fig6_trace):
+        cpus = fig6_trace["accounting"]["cpus"]
+        assert sum(c["ticks"] for c in cpus) > 0
+        assert sum(c["switches"] for c in cpus) > 0
+        assert sum(sum(c["irqs"].values()) for c in cpus) > 0
+        assert fig6_trace["accounting"]["irq_names"]
+
+    def test_irq_pairing_balance(self, fig6_trace):
+        # Entries and exits pair up except for work still in flight
+        # when the run's duration expires: at most one per CPU.
+        hits = fig6_trace["hits"]
+        ncpus = len(fig6_trace["accounting"]["cpus"])
+        entry, exit_ = hits.get("irq_entry", 0), hits.get("irq_exit", 0)
+        assert 0 <= entry - exit_ <= ncpus
+        push, pop = hits.get("frame_push", 0), hits.get("frame_pop", 0)
+        assert abs(push - pop) <= ncpus
+
+    def test_attribution_sums_within_tolerance(self, fig6_trace):
+        att = fig6_trace["attribution"]
+        assert att["samples"] == 500
+        assert att["sum_check"]["ok"]
+        assert att["sum_check"]["max_rel_err"] <= 0.01
+
+    def test_top_samples_cover_their_latency(self, fig6_trace):
+        for sample in fig6_trace["attribution"]["top_samples"]:
+            total = sum(sample["breakdown"].values())
+            assert abs(total - sample["latency_ns"]) <= (
+                0.01 * sample["latency_ns"])
+
+
+class TestFig1Accounting:
+    def test_jitter_scenario_traces_without_attribution(self):
+        spec = scenario("fig1").configured(iterations=2)
+        result = run_scenario(spec, trace=TraceConfig())
+        assert result.trace is not None
+        hits = result.trace["hits"]
+        assert hits.get("timer_tick", 0) > 0
+        cpus = result.trace["accounting"]["cpus"]
+        assert sum(c["ticks"] for c in cpus) == hits["timer_tick"]
+        # JitterRecorder scenarios record durations, not latencies:
+        # no attribution samples, and that is not an error.
+        assert result.trace["attribution"]["samples"] == 0
+
+    def test_untraced_run_has_no_trace_report(self):
+        spec = scenario("fig1").configured(iterations=2)
+        assert run_scenario(spec).trace is None

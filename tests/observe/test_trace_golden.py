@@ -1,0 +1,52 @@
+"""Tracing across the whole catalog: observation is invisible.
+
+The simtrace analogue of the lockdep golden sweep: running every
+registered scenario with full typed tracing (tracepoints, per-CPU
+accounting, lock hooks, attribution) installed must export exactly the
+golden JSON captured from uninstrumented runs.  Any divergence means a
+tracepoint perturbed simulated time, randomness or kernel state.
+
+The sweep also enforces the CI criterion on every latency scenario:
+per-sample attribution buckets sum to the recorded latency within 1%.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.export import scenario_to_dict, to_json
+from repro.experiments.scenario import run_scenario, scenario
+from repro.observe.tracer import TraceConfig
+
+from tests.experiments.test_golden_outputs import (
+    GOLDEN_KNOBS,
+    GOLDEN_PATH,
+)
+
+
+def _load_goldens() -> dict:
+    with GOLDEN_PATH.open("r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+_GOLDEN = _load_goldens() if GOLDEN_PATH.exists() else {}
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(_GOLDEN) or ["<missing goldens>"])
+def test_traced_run_matches_golden_and_sums_close(name: str) -> None:
+    if not _GOLDEN:
+        pytest.fail(f"golden file missing: {GOLDEN_PATH}")
+    spec = scenario(name).configured(**GOLDEN_KNOBS)
+    result = run_scenario(spec, trace=TraceConfig())
+    assert result.trace is not None
+    assert to_json(scenario_to_dict(result)) == to_json(_GOLDEN[name]), (
+        f"scenario {name!r} diverged under tracing; tracepoints must "
+        "not perturb the simulation")
+    check = result.trace["attribution"]["sum_check"]
+    assert check["ok"], (
+        f"scenario {name!r}: attribution buckets missed the recorded "
+        f"latency by {check['max_rel_err']:.3%} "
+        f"(max {check['max_abs_err_ns']} ns)")

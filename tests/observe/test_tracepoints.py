@@ -1,0 +1,150 @@
+"""Unit tests for the typed tracepoint registry and its rings."""
+
+import pytest
+
+from repro.observe.tracepoints import (
+    TP,
+    TraceEvent,
+    TraceListener,
+    TraceRing,
+    Tracepoints,
+)
+
+
+class TestTraceRing:
+    def test_wraps_oldest_first(self):
+        ring = TraceRing(capacity=3)
+        for t in range(5):
+            ring.append(TraceEvent(t, 0, TP.TIMER_TICK, ()))
+        assert len(ring) == 3
+        assert ring.dropped == 2
+        assert [e.time for e in ring.snapshot()] == [2, 3, 4]
+
+    def test_clear_resets(self):
+        ring = TraceRing(capacity=2)
+        for t in range(4):
+            ring.append(TraceEvent(t, 0, TP.TIMER_TICK, ()))
+        ring.clear()
+        assert len(ring) == 0
+        assert ring.dropped == 0
+        assert ring.snapshot() == []
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRing(0)
+
+
+class TestTracepoints:
+    def _tp(self, ncpus=2, capacity=16):
+        tp = Tracepoints(capacity=capacity)
+        tp.configure(ncpus)
+        return tp
+
+    def test_enable_requires_configure(self):
+        tp = Tracepoints()
+        with pytest.raises(ValueError):
+            tp.enable()
+
+    def test_disabled_registry_records_nothing(self):
+        tp = self._tp()
+        assert not tp.enabled
+        assert tp.hit_counts() == {}
+        assert tp.events() == []
+
+    def test_hit_counts_and_top_hits(self):
+        tp = self._tp()
+        tp.enable()
+        for _ in range(3):
+            tp.timer_tick(10, 0)
+        tp.irq_entry(20, 1, 60, "rtc")
+        hits = tp.hit_counts()
+        assert hits == {"timer_tick": 3, "irq_entry": 1}
+        assert tp.top_hits(1) == [("timer_tick", 3)]
+
+    def test_events_merge_is_time_then_cpu_ordered(self):
+        tp = self._tp()
+        tp.enable()
+        tp.timer_tick(30, 1)
+        tp.timer_tick(10, 0)
+        tp.timer_tick(30, 0)
+        ordered = [(e.time, e.cpu) for e in tp.events()]
+        assert ordered == [(10, 0), (30, 0), (30, 1)]
+
+    def test_accounting_updates_are_o1_per_emit(self):
+        tp = self._tp()
+        tp.enable()
+        tp.timer_tick(10, 0)
+        tp.sched_switch(11, 0, "t")
+        tp.sched_wake(12, 1, "t", 0)
+        tp.syscall_entry(13, 0, "t", "ioctl")
+        tp.irq_entry(14, 1, 60, "rtc")
+        tp.softirq_entry(15, 0, 2)
+        acct = tp.accounting
+        assert acct.cpus[0].ticks == 1
+        assert acct.cpus[0].switches == 1
+        assert acct.cpus[1].wakes == 1
+        assert acct.cpus[0].syscalls == 1
+        assert acct.cpus[1].irqs == {60: 1}
+        assert acct.irq_names == {60: "rtc"}
+        assert acct.cpus[0].softirqs == {2: 1}
+
+    def test_max_window_tracking(self):
+        tp = self._tp()
+        tp.enable()
+        tp.irqs_off(100, 0)
+        tp.irqs_on(350, 0)
+        tp.irqs_off(400, 0)
+        tp.irqs_on(450, 0)
+        tp.preempt_off(100, 1, "t")
+        tp.preempt_on(1100, 1, "t")
+        tp.lock_release(2000, 0, "kernel_flag", "t", 777, True)
+        tp.lock_release(2100, 0, "other", "t", 9999, False)
+        acct = tp.accounting
+        assert acct.cpus[0].max_irq_off_ns == 250
+        assert acct.cpus[1].max_preempt_off_ns == 1000
+        assert acct.cpus[0].max_bkl_hold_ns == 777
+        d = acct.to_dict()
+        assert d["cpus"][0]["max_irq_off_ns"] == 250
+        assert d["irq_names"] == {}
+
+    def test_listener_dispatch(self):
+        seen = []
+
+        class Probe(TraceListener):
+            def irq_entry(self, now, cpu, irq, name):
+                seen.append(("irq_entry", now, cpu, irq, name))
+
+            def frame_push(self, now, cpu, kind, label, owner):
+                seen.append(("frame_push", kind))
+
+        tp = self._tp()
+        tp.listener = Probe()
+        tp.enable()
+        tp.irq_entry(5, 1, 60, "rtc")
+        tp.frame_push(6, 0, "task", "t", "t")
+        tp.timer_tick(7, 0)  # Probe does not override: default no-op
+        assert seen == [("irq_entry", 5, 1, 60, "rtc"),
+                        ("frame_push", "task")]
+
+    def test_clear_resets_everything(self):
+        tp = self._tp(capacity=2)
+        tp.enable()
+        for t in range(5):
+            tp.timer_tick(t, 0)
+        assert tp.dropped() == 3
+        tp.clear()
+        assert tp.dropped() == 0
+        assert tp.hit_counts() == {}
+        assert tp.events() == []
+        assert tp.accounting.cpus[0].ticks == 0
+
+
+class TestSimulatorIntegration:
+    def test_machine_configures_rings(self, sim, machine):
+        assert sim.tp.ncpus == machine.ncpus
+        assert not sim.tp.enabled
+
+    def test_enable_then_emit(self, sim, machine):
+        sim.tp.enable()
+        sim.tp.timer_tick(0, 0)
+        assert sim.tp.hit_counts() == {"timer_tick": 1}

@@ -65,3 +65,48 @@ class TestTraceBuffer:
     def test_zero_capacity_rejected(self):
         with pytest.raises(ValueError):
             TraceBuffer(capacity=0)
+
+    def test_since_after_wrap(self):
+        buf = TraceBuffer(capacity=4)
+        buf.enabled = True
+        for t in range(10):
+            buf.emit(t * 10, "c", str(t))
+        # Buffer holds t=60..90; the cutoff binary-search must respect
+        # the rotated start index.
+        assert [r.time for r in buf.since(75)] == [80, 90]
+        assert [r.time for r in buf.since(0)] == [60, 70, 80, 90]
+        assert buf.since(1000) == []
+
+    def test_since_with_duplicate_times(self):
+        buf = TraceBuffer()
+        buf.enabled = True
+        for t in (10, 20, 20, 30):
+            buf.emit(t, "c", "m")
+        assert [r.time for r in buf.since(20)] == [20, 20, 30]
+
+    def test_categories_sorted_distinct(self):
+        buf = TraceBuffer()
+        buf.enabled = True
+        buf.emit(1, "irq", "a")
+        buf.emit(2, "frame", "b")
+        buf.emit(3, "irq", "c")
+        assert buf.categories() == ["frame", "irq"]
+        assert TraceBuffer().categories() == []
+
+    def test_tail_bounds(self):
+        buf = TraceBuffer(capacity=4)
+        buf.enabled = True
+        for t in range(6):
+            buf.emit(t, "c", str(t))
+        assert [r.message for r in buf.tail(2)] == ["4", "5"]
+        assert [r.message for r in buf.tail(100)] == ["2", "3", "4", "5"]
+        assert buf.tail(0) == []
+        assert buf.tail(-1) == []
+
+    def test_records_ordered_after_wrap(self):
+        buf = TraceBuffer(capacity=3)
+        buf.enabled = True
+        for t in range(5):
+            buf.emit(t, "c", str(t))
+        assert [r.message for r in buf.records()] == ["2", "3", "4"]
+        assert len(buf.format().splitlines()) == 3
