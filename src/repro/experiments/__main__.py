@@ -21,9 +21,16 @@ Tracing (ftrace/perf-style observability)::
     python -m repro.experiments trace fig6 --trace-out fig6.trace.json
     python -m repro.experiments run fig5 --trace
 
+Fault injection (simfault: storms, rogue tasks, shield margin)::
+
+    python -m repro.experiments faults list-faults
+    python -m repro.experiments faults storm fig6 --unshielded --lockdep
+    python -m repro.experiments faults margin fig6 --workers 4
+
 Prints the paper-format report for the requested figure(s), the
-campaign summary, or the trace report (per-CPU accounting + latency
-attribution; ``--trace-out`` writes a Perfetto-loadable JSON trace).
+campaign summary, the trace report (per-CPU accounting + latency
+attribution; ``--trace-out`` writes a Perfetto-loadable JSON trace),
+or the fault/margin report.
 """
 
 from __future__ import annotations
@@ -61,7 +68,7 @@ LATENCY = {
     "fig7": (run_fig7_rcim, "summary"),
 }
 
-SUBCOMMANDS = ("campaign", "list-scenarios", "run", "trace")
+SUBCOMMANDS = ("campaign", "faults", "list-scenarios", "run", "trace")
 
 
 def run_one(name: str, iterations: int, samples: int, seed: int,
@@ -201,6 +208,11 @@ def _cmd_campaign(argv) -> int:
     parser.add_argument("--trace", action="store_true",
                         help="trace every run; the summary gains a "
                              "per-run latency blame line")
+    parser.add_argument("--fault-plan", default="",
+                        help="run every scenario under this fault plan "
+                             "(see 'faults list-faults')")
+    parser.add_argument("--fault-intensity", type=float, default=None,
+                        help="scale the fault plan's baseline intensity")
     args = parser.parse_args(argv)
 
     names = tuple(n.strip() for n in args.scenarios.split(",") if n.strip())
@@ -213,7 +225,9 @@ def _cmd_campaign(argv) -> int:
         result = run_campaign(names, seeds=seeds,
                               workers=args.workers, samples=args.samples,
                               iterations=args.iterations,
-                              trace=args.trace)
+                              trace=args.trace,
+                              fault_plan=args.fault_plan,
+                              fault_intensity=args.fault_intensity)
     except (UnknownScenarioError, ValueError) as exc:
         raise SystemExit(f"error: {exc}")
     print(result.summary())
@@ -278,6 +292,209 @@ def _cmd_trace(argv) -> int:
     return 0
 
 
+def _cmd_faults(argv) -> int:
+    """The simfault subcommand: list-faults | storm | margin."""
+    actions = ("list-faults", "storm", "margin")
+    if not argv or argv[0] not in actions:
+        print(f"usage: python -m repro.experiments faults "
+              f"{{{'|'.join(actions)}}} ...", file=sys.stderr)
+        return 2
+    action, rest = argv[0], argv[1:]
+    if action == "list-faults":
+        return _cmd_list_faults(rest)
+    if action == "storm":
+        return _cmd_storm(rest)
+    return _cmd_margin(rest)
+
+
+def _cmd_list_faults(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments faults list-faults",
+        description="List the registered fault plans and their "
+                    "injector compositions.")
+    parser.parse_args(argv)
+
+    from repro.faults import all_fault_plans
+
+    plans = all_fault_plans()
+    width = max(len(p.name) for p in plans)
+    for plan in plans:
+        kinds = ", ".join(plan.kinds())
+        print(f"{plan.name:<{width}}  x{plan.intensity:g}  [{kinds}]")
+        print(f"{'':<{width}}  {plan.description or plan.title}")
+    return 0
+
+
+def _resolve_storm(parser, scenario_name: str, plan_name: str):
+    """(spec, plan): default the plan from the scenario name."""
+    from repro.faults import UnknownFaultPlanError, fault_plan
+
+    try:
+        spec = scenario(scenario_name)
+    except UnknownScenarioError:
+        parser.error(f"unknown scenario {scenario_name!r} "
+                     f"(use 'list-scenarios')")
+    if not plan_name:
+        base = scenario_name[len("storm-"):] \
+            if scenario_name.startswith("storm-") else scenario_name
+        plan_name = spec.fault_plan or f"storm-{base}"
+    try:
+        return spec, fault_plan(plan_name)
+    except UnknownFaultPlanError as exc:
+        parser.error(str(exc))
+
+
+def _cmd_storm(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments faults storm",
+        description="Run one scenario under a fault plan and report "
+                    "what the interference did to it.")
+    parser.add_argument("scenario",
+                        help="scenario name (fig6, storm-fig6, ...)")
+    parser.add_argument("--plan", default="",
+                        help="fault plan (default: the scenario's own "
+                             "plan, else storm-<scenario>)")
+    parser.add_argument("--intensity", type=float, default=1.0,
+                        help="intensity multiplier on the plan baseline")
+    parser.add_argument("--samples", type=int, default=20_000)
+    parser.add_argument("--iterations", type=int, default=15)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--unshielded", action="store_true",
+                        help="strip the scenario's shield so the storm "
+                             "lands on the measurement CPU")
+    parser.add_argument("--lockdep", action="store_true",
+                        help="observe with the lockdep checker "
+                             "(composition check: injected rogue ops "
+                             "must surface as violations, not crashes)")
+    parser.add_argument("--lockdep-strict", action="store_true",
+                        help="as --lockdep, but panic at the first "
+                             "violation")
+    parser.add_argument("--trace", action="store_true",
+                        help="trace the run; attribution gains a "
+                             "'fault' blame bucket")
+    parser.add_argument("--threshold-pct", type=float, default=99.0,
+                        help="attribution percentile (default 99)")
+    parser.add_argument("--check-sums", action="store_true",
+                        help="implies --trace; fail unless per-sample "
+                             "attribution still sums exactly AND the "
+                             "fault bucket attributed nonzero time")
+    parser.add_argument("--json", default="",
+                        help="write the scenario export here")
+    args = parser.parse_args(argv)
+
+    from repro.experiments.scenario import ShieldSpec
+
+    spec, plan = _resolve_storm(parser, args.scenario, args.plan)
+    spec = spec.configured(samples=args.samples,
+                           iterations=args.iterations, seed=args.seed,
+                           fault_plan=plan.name,
+                           fault_intensity=args.intensity)
+    if args.unshielded:
+        spec = spec.with_overrides(
+            shield=ShieldSpec(cpu=spec.shield.cpu))
+    ld_config = None
+    if args.lockdep or args.lockdep_strict:
+        from repro.analysis.lockdep import LockdepConfig
+
+        ld_config = LockdepConfig(strict=args.lockdep_strict)
+    t_config = None
+    if args.trace or args.check_sums:
+        from repro.observe.tracer import TraceConfig
+
+        t_config = TraceConfig(threshold_pct=args.threshold_pct)
+
+    result = run_scenario(spec, lockdep=ld_config, trace=t_config)
+    print(result.report())
+    faults = result.faults or {}
+    print(f"faults: plan={plan.name} x{args.intensity:g} "
+          f"injections={faults.get('injections', 0)} "
+          f"digest={faults.get('digest', 0):#010x} "
+          f"lockdep_composed={faults.get('lockdep_composed', False)}")
+    for key, count in sorted(faults.get("by_injector", {}).items()):
+        print(f"  {key}: {count}")
+    if result.lockdep is not None:
+        print(f"lockdep: {len(result.lockdep)} violation"
+              f"{'s' if len(result.lockdep) != 1 else ''}")
+    failures = 0
+    if result.trace is not None:
+        from repro.metrics.report import trace_summary
+
+        print()
+        print(trace_summary(result.trace))
+        if args.check_sums:
+            att = result.trace["attribution"]
+            check = att["sum_check"]
+            if not check["ok"]:
+                print(f"sum check FAILED: max relative error "
+                      f"{check['max_rel_err']:.4f} > 0.01")
+                failures += 1
+            else:
+                print(f"sum check ok over {check['samples']} samples")
+            fault_ns = att.get("aggregate", {}).get("fault", 0)
+            if fault_ns <= 0:
+                print("fault attribution FAILED: no latency blamed on "
+                      "the fault bucket (is the storm reaching the "
+                      "measurement CPU? try --unshielded)")
+                failures += 1
+            else:
+                print(f"fault bucket: {fault_ns / 1e3:.1f}us attributed")
+    if args.json:
+        from repro.experiments.export import scenario_to_dict, to_json
+
+        to_json(scenario_to_dict(result), path=args.json)
+        print(f"(wrote {args.json})")
+    return 1 if failures else 0
+
+
+def _cmd_margin(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments faults margin",
+        description="Sweep a fault plan's intensity over shielded and "
+                    "unshielded twins of a scenario and report the "
+                    "shield margin (max intensity within the bound).")
+    parser.add_argument("scenario",
+                        help="scenario name (fig6, storm-fig6, ...)")
+    parser.add_argument("--plan", default="",
+                        help="fault plan (default: the scenario's own "
+                             "plan, else storm-<scenario>)")
+    parser.add_argument("--intensities", default="0.25,0.5,1,2,4",
+                        help="comma-separated intensity ladder")
+    parser.add_argument("--bound-us", type=float, default=1000.0,
+                        help="latency bound the shielded config must "
+                             "hold, in us (default 1000 = the paper's "
+                             "sub-millisecond claim)")
+    parser.add_argument("--samples", type=int, default=6_000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--json", default="",
+                        help="write the margin report here "
+                             "(byte-identical across --workers)")
+    args = parser.parse_args(argv)
+
+    from repro.faults import MarginSpec, run_margin
+
+    spec, plan = _resolve_storm(parser, args.scenario, args.plan)
+    try:
+        intensities = tuple(float(part)
+                            for part in args.intensities.split(",")
+                            if part.strip())
+    except ValueError:
+        parser.error(f"--intensities must be comma-separated numbers, "
+                     f"got {args.intensities!r}")
+    margin_spec = MarginSpec(
+        scenario=spec.name, plan=plan.name, intensities=intensities,
+        bound_ns=int(args.bound_us * 1_000), samples=args.samples,
+        seed=args.seed)
+    result = run_margin(margin_spec, workers=args.workers)
+    print(result.summary())
+    if args.json:
+        from repro.experiments.export import to_json
+
+        to_json(result.to_dict(), path=args.json)
+        print(f"(wrote {args.json})")
+    return 0
+
+
 def _cmd_run(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments run",
@@ -324,6 +541,8 @@ def main(argv=None) -> int:
         command, rest = argv[0], argv[1:]
         if command == "campaign":
             return _cmd_campaign(rest)
+        if command == "faults":
+            return _cmd_faults(rest)
         if command == "list-scenarios":
             return _cmd_list_scenarios(rest)
         if command == "trace":

@@ -73,6 +73,10 @@ class CampaignSpec:
     #: recorders -- and therefore the campaign export -- stay
     #: byte-identical; trace reports ride on each run's ``trace``.
     trace: bool = False
+    #: Fault plan applied to every scenario ("" keeps each scenario's
+    #: registered plan -- usually none), plus an intensity override.
+    fault_plan: str = ""
+    fault_intensity: Optional[float] = None
 
     def expand(self) -> List[CampaignJob]:
         """The deterministic job list: scenario-major, then override,
@@ -92,6 +96,8 @@ class CampaignSpec:
                         duration_ns=self.duration_ns,
                         seed=seed,
                         config_overrides=overrides or None,
+                        fault_plan=self.fault_plan or None,
+                        fault_intensity=self.fault_intensity,
                     )
                     jobs.append(CampaignJob(index=len(jobs), spec=spec,
                                             override_tag=tag,
@@ -208,12 +214,15 @@ def run_campaign(scenarios: Tuple[str, ...],
                  config_overrides: Optional[
                      Tuple[Tuple[str, Dict[str, Any]], ...]] = None,
                  trace: bool = False,
+                 fault_plan: str = "",
+                 fault_intensity: Optional[float] = None,
                  ) -> CampaignResult:
     """One-call campaign: expand the matrix and run it."""
     campaign = CampaignSpec(
         scenarios=tuple(scenarios), seeds=tuple(seeds),
         samples=samples, iterations=iterations, duration_ns=duration_ns,
-        trace=trace)
+        trace=trace, fault_plan=fault_plan,
+        fault_intensity=fault_intensity)
     if config_overrides is not None:
         campaign = replace(campaign, config_overrides=config_overrides)
     return CampaignRunner(campaign, workers=workers).run()

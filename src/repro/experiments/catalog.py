@@ -250,3 +250,21 @@ for _variant, _shielded in (("shielded", True), ("unshielded", False)):
         group="fbs",
         description=f"400 Hz FBS frame integrity, {_variant}",
     ))
+
+
+# ----------------------------------------------------------------------
+# Storm scenarios: fig5-fig7 rerun under escalating fault-plan
+# interference (simfault).  The plan names match the scenario names;
+# intensity is swept by the margin ladder (repro.faults.margin).
+# ----------------------------------------------------------------------
+from repro.experiments.scenario import scenario as _scenario  # noqa: E402
+
+for _fig in ("fig5", "fig6", "fig7"):
+    _base = _scenario(_fig)
+    register_scenario(_base.with_overrides(
+        name=f"storm-{_fig}",
+        title=f"{_base.title} + storm interference",
+        fault_plan=f"storm-{_fig}",
+        group="storm",
+        description=f"{_fig} rerun under the storm-{_fig} fault plan",
+    ))

@@ -80,12 +80,20 @@ class Bench:
         self.sim.run_until(self.sim.now + duration_ns)
 
     def run_until_done(self, test, limit_ns: int,
-                       chunk_ns: int = 250 * MSEC) -> None:
+                       chunk_ns: int = 250 * MSEC,
+                       strict_limit: bool = False) -> None:
         """Advance in chunks until *test.finished* or the time limit.
 
         If the event heap drains while the test is still unfinished the
         simulation can never progress again; rather than silently
-        burning the remaining limit we raise a diagnostic immediately.
+        burning the remaining limit we raise a diagnostic immediately,
+        naming what is still scheduled (periodic callbacks -- timer
+        ticks, device pacers, fault-injector pacers -- by label, plus
+        the one-shot count) so the missing event source is obvious.
+
+        *strict_limit* additionally raises when the limit expires with
+        the test unfinished (the default keeps the historical contract
+        of returning silently: callers inspect ``test.finished``).
         """
         deadline = self.sim.now + limit_ns
         while not test.finished and self.sim.now < deadline:
@@ -95,8 +103,15 @@ class Bench:
                     f"event heap drained at t={self.sim.now} ns with "
                     f"measurement program {name!r} unfinished "
                     f"({deadline - self.sim.now} ns short of its limit); "
-                    f"a workload or device stopped scheduling events")
+                    f"a workload or device stopped scheduling events; "
+                    f"pending: {self.sim.pending_summary()}")
             self.sim.run_until(min(deadline, self.sim.now + chunk_ns))
+        if strict_limit and not test.finished:
+            name = getattr(test, "name", type(test).__name__)
+            raise SimulationStalledError(
+                f"time limit of {limit_ns} ns expired at t={self.sim.now} "
+                f"ns with measurement program {name!r} unfinished; "
+                f"pending: {self.sim.pending_summary()}")
 
 
 def build_bench(config: KernelConfig, spec: Optional[MachineSpec] = None,

@@ -129,6 +129,11 @@ class ScenarioSpec:
     group: str = ""                  # e.g. "figures", "a1", "fbs"
     report_style: str = "summary"    # latency report flavour
     description: str = ""
+    #: Fault plan (registry name in :mod:`repro.faults.plan`) to run
+    #: under, "" for none; ``fault_intensity`` scales the plan's
+    #: baseline intensity multiplicatively (the margin ladder knob).
+    fault_plan: str = ""
+    fault_intensity: float = 1.0
 
     @property
     def kind(self) -> str:
@@ -145,6 +150,8 @@ class ScenarioSpec:
                    seed: Optional[int] = None,
                    duration_ns: Optional[int] = None,
                    config_overrides: Optional[Dict[str, Any]] = None,
+                   fault_plan: Optional[str] = None,
+                   fault_intensity: Optional[float] = None,
                    ) -> "ScenarioSpec":
         """Apply the common run-time knobs (CLI / campaign overrides)."""
         m = self.measurement
@@ -165,6 +172,10 @@ class ScenarioSpec:
             merged.update(config_overrides)
             spec = replace(spec,
                            config_overrides=tuple(sorted(merged.items())))
+        if fault_plan is not None:
+            spec = replace(spec, fault_plan=fault_plan)
+        if fault_intensity is not None:
+            spec = replace(spec, fault_intensity=float(fault_intensity))
         return spec
 
     def build_config(self) -> KernelConfig:
@@ -256,6 +267,10 @@ class ScenarioResult:
     #: per-CPU accounting, latency attribution), or None.  Like
     #: ``lockdep``, deliberately NOT part of ``details``/exports.
     trace: Optional[Dict[str, Any]] = None
+    #: Fault-injection report when the run had an enabled fault plan
+    #: (injection counts, timeline digest), or None.  Like ``lockdep``
+    #: and ``trace``, deliberately NOT part of ``details``/exports.
+    faults: Optional[Dict[str, Any]] = None
 
     # -- common statistics ---------------------------------------------
     def max_ns(self) -> int:
@@ -341,6 +356,7 @@ def _measure_ideal(spec: ScenarioSpec,
         rtc_periodic=False,
         rcim_timer=False,
         seed=spec.seed + IDEAL_SEED_OFFSET,
+        fault_plan="",
         measurement=replace(spec.measurement, iterations=3,
                             measure_ideal=False),
     )
@@ -351,7 +367,8 @@ def _measure_ideal(spec: ScenarioSpec,
 def run_scenario(spec: ScenarioSpec,
                  kernel_factory: Optional[Any] = None,
                  lockdep: Optional[Any] = None,
-                 trace: Optional[Any] = None) -> ScenarioResult:
+                 trace: Optional[Any] = None,
+                 faults: Optional[Any] = None) -> ScenarioResult:
     """Run one scenario end to end.
 
     *kernel_factory* overrides the registry lookup for ad-hoc local
@@ -369,6 +386,16 @@ def run_scenario(spec: ScenarioSpec,
     (ring capacity, attribution threshold, Chrome trace output path).
     Same observational contract as lockdep; the report lands on
     ``ScenarioResult.trace``.
+
+    *faults* injects deterministic interference for the main run: a
+    :class:`~repro.faults.plan.FaultPlan`, a registered plan name, or
+    None to fall back to ``spec.fault_plan`` ("" = no faults).  The
+    effective intensity is ``plan.intensity * spec.fault_intensity``;
+    zero disables injection entirely (byte-identical to no faults).
+    The injection report lands on ``ScenarioResult.faults``.  The
+    install order is lockdep -> tracer -> faults, so injected IRQ
+    handlers and rogue tasks run under lockdep's wrappers and every
+    injection is traceable.
     """
     if kernel_factory is not None:
         config = kernel_factory()
@@ -398,6 +425,18 @@ def run_scenario(spec: ScenarioSpec,
         from repro.observe.tracer import SimTracer, TraceConfig
         t_config = trace if isinstance(trace, TraceConfig) else None
         tracer = SimTracer(bench, t_config).install()
+
+    fault_ctl = None
+    plan = faults if faults is not None else (spec.fault_plan or None)
+    if plan is not None:
+        from repro.faults.controller import FaultController
+        from repro.faults.plan import FaultPlan, fault_plan
+        if not isinstance(plan, FaultPlan):
+            plan = fault_plan(str(plan))
+        fault_ctl = FaultController(
+            bench, plan,
+            intensity=plan.intensity * spec.fault_intensity)
+        fault_ctl.install()
 
     loads = [load_entry(name) for name in spec.workloads]
     for entry in loads:
@@ -435,6 +474,8 @@ def run_scenario(spec: ScenarioSpec,
             bench.run_until_done(program,
                                  limit_ns=program.estimated_sim_ns())
     finally:
+        if fault_ctl is not None:
+            fault_ctl.uninstall()
         if tracer is not None:
             tracer.uninstall()
         if validator is not None:
@@ -471,6 +512,7 @@ def run_scenario(spec: ScenarioSpec,
         details=details,
         lockdep=validator.to_dicts() if validator is not None else None,
         trace=trace_report,
+        faults=fault_ctl.report() if fault_ctl is not None else None,
     )
 
 

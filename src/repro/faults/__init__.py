@@ -1,0 +1,56 @@
+"""simfault: deterministic fault & interference injection.
+
+Declarative :class:`FaultPlan` data composes typed injectors (IRQ
+storms, misrouted/lost/spurious/stuck interrupts, rogue kernel lock
+holders, tick jitter, shield flips) against a running bench, each
+drawing from its own named RNG stream so injection timelines are
+byte-identical across campaign worker counts.  Importing this package
+never perturbs a simulation -- only an installed, enabled
+:class:`FaultController` does.
+"""
+
+from repro.faults.controller import FaultController
+from repro.faults.injectors import (
+    INJECTOR_KINDS,
+    Injector,
+    UnknownInjectorError,
+    build_injector,
+)
+from repro.faults.margin import (
+    DEFAULT_INTENSITIES,
+    MarginJob,
+    MarginResult,
+    MarginSpec,
+    run_margin,
+)
+from repro.faults.plan import (
+    FaultPlan,
+    InjectorSpec,
+    UnknownFaultPlanError,
+    all_fault_plans,
+    fault_plan,
+    fault_plan_names,
+    injector,
+    register_fault_plan,
+)
+
+__all__ = [
+    "DEFAULT_INTENSITIES",
+    "FaultController",
+    "FaultPlan",
+    "INJECTOR_KINDS",
+    "Injector",
+    "InjectorSpec",
+    "MarginJob",
+    "MarginResult",
+    "MarginSpec",
+    "UnknownFaultPlanError",
+    "UnknownInjectorError",
+    "all_fault_plans",
+    "build_injector",
+    "fault_plan",
+    "fault_plan_names",
+    "injector",
+    "register_fault_plan",
+    "run_margin",
+]

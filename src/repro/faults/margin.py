@@ -1,0 +1,211 @@
+"""Shield-margin measurement: how much interference can the shield eat?
+
+The *shield margin* of a scenario is the maximum fault-plan intensity
+at which the shielded configuration's worst-case latency still meets
+its bound, measured against an unshielded twin of the same scenario
+run under the identical storm.  The ladder sweeps an intensity axis
+(default 0.25x .. 4x the plan baseline); each rung runs two cells:
+
+* **shielded** -- the scenario as registered (full shield);
+* **unshielded** -- the same spec with the shield stripped
+  (``ShieldSpec()``), everything else identical.
+
+Both cells of a rung share the scenario seed; fault injection draws
+from named child streams, so a rung's injection timeline is a pure
+function of (seed, plan, intensity) -- the per-cell digests in the
+report prove byte-for-byte identical injection across worker counts.
+
+Execution mirrors :class:`~repro.experiments.campaign.CampaignRunner`:
+deterministic job expansion, a fork pool with ``chunksize=1``, and
+reassembly in expansion order, so ``--workers 1`` and ``--workers 4``
+produce identical JSON.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments.scenario import (
+    ScenarioSpec,
+    ShieldSpec,
+    run_scenario,
+    scenario,
+)
+from repro.sim.errors import SimulationStalledError
+from repro.sim.simtime import MSEC
+
+#: Default intensity ladder (multiples of the plan's baseline).
+DEFAULT_INTENSITIES = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+@dataclass(frozen=True)
+class MarginSpec:
+    """One margin sweep, as plain picklable data."""
+
+    scenario: str
+    plan: str
+    intensities: Tuple[float, ...] = DEFAULT_INTENSITIES
+    #: The latency bound the shielded config must hold (paper claim:
+    #: sub-millisecond worst case on the shielded CPU).
+    bound_ns: int = 1 * MSEC
+    samples: Optional[int] = None
+    seed: Optional[int] = None
+
+    def expand(self) -> List["MarginJob"]:
+        """Two cells (shielded, unshielded) per intensity rung."""
+        if not self.intensities:
+            raise ValueError("a margin sweep needs at least one intensity")
+        base = scenario(self.scenario).configured(
+            samples=self.samples, seed=self.seed,
+            fault_plan=self.plan)
+        jobs: List[MarginJob] = []
+        for intensity in self.intensities:
+            rung = base.configured(fault_intensity=intensity)
+            jobs.append(MarginJob(index=len(jobs), intensity=intensity,
+                                  shielded=True, spec=rung))
+            jobs.append(MarginJob(
+                index=len(jobs), intensity=intensity, shielded=False,
+                spec=rung.with_overrides(
+                    shield=ShieldSpec(cpu=rung.shield.cpu))))
+        return jobs
+
+
+@dataclass(frozen=True)
+class MarginJob:
+    """One (intensity, shielded?) cell of the sweep."""
+
+    index: int
+    intensity: float
+    shielded: bool
+    spec: ScenarioSpec
+
+
+def _run_margin_job(job: MarginJob) -> Tuple[int, Dict[str, Any]]:
+    """Worker entry point (module-level: must pickle under spawn).
+
+    A stalled simulation -- interference so heavy the measurement
+    never finishes inside its budget -- counts as an unbounded cell,
+    not an error: that is exactly the degradation the margin measures.
+    """
+    try:
+        result = run_scenario(job.spec)
+    except SimulationStalledError as exc:
+        return job.index, {"stalled": True, "max_ns": None,
+                           "error": str(exc), "faults": None}
+    faults = result.faults
+    cell: Dict[str, Any] = {
+        "stalled": False,
+        "max_ns": int(result.recorder.max()),
+        "faults": None,
+    }
+    if faults is not None:
+        cell["faults"] = {"injections": faults["injections"],
+                          "digest": faults["digest"],
+                          "by_injector": faults["by_injector"]}
+    return job.index, cell
+
+
+@dataclass
+class MarginResult:
+    """The sweep outcome plus the derived margin."""
+
+    spec: MarginSpec
+    jobs: List[MarginJob]
+    cells: List[Dict[str, Any]]
+    workers: int = 1
+    rungs: List[Dict[str, Any]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.rungs:
+            self.rungs = self._fold()
+
+    def _fold(self) -> List[Dict[str, Any]]:
+        rungs: List[Dict[str, Any]] = []
+        bound = self.spec.bound_ns
+        for i in range(0, len(self.jobs), 2):
+            shielded, unshielded = self.cells[i], self.cells[i + 1]
+            rungs.append({
+                "intensity": self.jobs[i].intensity,
+                "shielded": shielded,
+                "unshielded": unshielded,
+                "shielded_within_bound": _within(shielded, bound),
+                "unshielded_within_bound": _within(unshielded, bound),
+            })
+        return rungs
+
+    # ------------------------------------------------------------------
+    @property
+    def margin(self) -> Optional[float]:
+        """Max intensity whose shielded cell met the bound (None if
+        even the lowest rung blew it)."""
+        passing = [r["intensity"] for r in self.rungs
+                   if r["shielded_within_bound"]]
+        return max(passing) if passing else None
+
+    @property
+    def unshielded_degraded(self) -> bool:
+        """Did any rung push the unshielded twin over the bound?"""
+        return any(not r["unshielded_within_bound"] for r in self.rungs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.spec.scenario,
+            "plan": self.spec.plan,
+            "bound_ns": self.spec.bound_ns,
+            "samples": self.spec.samples,
+            "seed": self.spec.seed,
+            "rungs": self.rungs,
+            "margin": self.margin,
+            "unshielded_degraded": self.unshielded_degraded,
+        }
+
+    def summary(self) -> str:
+        bound_us = self.spec.bound_ns / 1e3
+        lines = [f"shield margin: {self.spec.scenario} under "
+                 f"{self.spec.plan} (bound {bound_us:.0f}us)"]
+        for rung in self.rungs:
+            lines.append(
+                f"  x{rung['intensity']:<5g} "
+                f"shielded {_cell_str(rung['shielded'])}  "
+                f"unshielded {_cell_str(rung['unshielded'])}")
+        margin = self.margin
+        lines.append(
+            f"  margin: x{margin:g}" if margin is not None
+            else "  margin: none (shield over bound at every rung)")
+        if self.unshielded_degraded:
+            lines.append("  unshielded twin degraded past the bound")
+        return "\n".join(lines)
+
+
+def _within(cell: Dict[str, Any], bound_ns: int) -> bool:
+    """A stalled cell is over every bound by definition."""
+    return not cell["stalled"] and cell["max_ns"] <= bound_ns
+
+
+def _cell_str(cell: Dict[str, Any]) -> str:
+    if cell["stalled"]:
+        return "STALLED"
+    return f"max={cell['max_ns'] / 1e3:8.1f}us"
+
+
+def run_margin(spec: MarginSpec, workers: int = 1) -> MarginResult:
+    """Expand and execute the sweep (campaign-runner execution model)."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    jobs = spec.expand()
+    if workers == 1 or len(jobs) == 1:
+        cells = [_run_margin_job(job)[1] for job in jobs]
+    else:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        with ctx.Pool(processes=min(workers, len(jobs))) as pool:
+            indexed = pool.map(_run_margin_job, jobs, chunksize=1)
+        ordered: List[Optional[Dict[str, Any]]] = [None] * len(jobs)
+        for index, cell in indexed:
+            ordered[index] = cell
+        cells = [c for c in ordered if c is not None]
+    return MarginResult(spec=spec, jobs=jobs, cells=cells,
+                        workers=workers)

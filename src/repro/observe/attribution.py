@@ -25,6 +25,9 @@ the paper's "where does interrupt-response time go" question:
     runnable but waiting for the scheduler,
 ``pre_wake``
     blocked with nothing in the way (the device interval itself),
+``fault``
+    injected interference (simfault): a ``fault:``-named storm
+    handler executing, or a ``fault:``-named rogue task in the way,
 ``other``
     bookkeeping residue (state lag around window edges).
 
@@ -51,7 +54,13 @@ from repro.observe.tracepoints import TraceListener
 
 #: Every attribution bucket, in report order.
 BUCKETS = ("task", "handler", "softirq", "switch", "irq_off",
-           "preempt_off", "bkl", "lock", "runq_wait", "pre_wake", "other")
+           "preempt_off", "bkl", "lock", "runq_wait", "pre_wake",
+           "fault", "other")
+
+#: Injected-interference naming convention: every simfault-owned task,
+#: IRQ descriptor and tracepoint carries this prefix, which is what
+#: lets attribution blame faults without new plumbing.
+FAULT_PREFIX = "fault:"
 
 _RUNNING = "running"
 _RUNNABLE = "runnable"
@@ -121,7 +130,11 @@ class AttributionEngine(TraceListener):
                     cs.softirq_depth > 0)
         if kind == "spin":
             return ("spin", owner, lock_name, lock_bkl, cs.irqoff)
-        return (kind,)  # "hardirq" | "softirq" | "switch"
+        if kind == "hardirq":
+            # Carry the owning descriptor's name so injected storm
+            # lines (named "fault:*") land in the fault bucket.
+            return ("hardirq", owner.startswith(FAULT_PREFIX))
+        return (kind,)  # "softirq" | "switch"
 
     # -- frames ---------------------------------------------------------
     def frame_push(self, now: int, cpu: int, kind: str, label: str,
@@ -292,7 +305,7 @@ class AttributionEngine(TraceListener):
             if code == "task":
                 return "task" if ctx[1] == self.watch else "other"
             if code == "hardirq":
-                return "handler"
+                return "fault" if ctx[1] else "handler"
             if code == "softirq":
                 return "softirq"
             if code == "switch":
@@ -302,7 +315,7 @@ class AttributionEngine(TraceListener):
             return "other"
         if state == _RUNNABLE:
             if code == "hardirq":
-                return "handler"
+                return "fault" if ctx[1] else "handler"
             if code == "softirq":
                 return "softirq"
             if code == "switch":
@@ -313,6 +326,8 @@ class AttributionEngine(TraceListener):
                 _, owner, irqoff, preempt, in_kernel, holds_bkl, softi = ctx
                 if owner == self.watch:
                     return "task"
+                if owner.startswith(FAULT_PREFIX):
+                    return "fault"
                 if softi:
                     return "softirq"
                 if irqoff:
@@ -328,7 +343,7 @@ class AttributionEngine(TraceListener):
         # BLOCKED: what (if anything) stood between the device and the
         # wake on the CPU that eventually delivered it.
         if code == "hardirq":
-            return "handler"
+            return "fault" if ctx[1] else "handler"
         if code == "softirq":
             return "softirq"
         if code == "switch":
@@ -337,6 +352,8 @@ class AttributionEngine(TraceListener):
             return "irq_off" if ctx[4] else "pre_wake"
         if code == "task":
             _, owner, irqoff, preempt, in_kernel, holds_bkl, softi = ctx
+            if owner.startswith(FAULT_PREFIX) and (irqoff or holds_bkl):
+                return "fault"
             if irqoff:
                 return "irq_off"
             if softi:

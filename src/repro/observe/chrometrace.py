@@ -33,6 +33,7 @@ _INSTANTS = {
         "procs": a[0], "irqs": a[1], "ltmr": a[2]}),
     TP.LATENCY_SAMPLE: lambda a: ("sample " + a[0], {"latency_ns": a[1]}),
     TP.TASK_EXIT: lambda a: ("exit " + a[0], {}),
+    TP.FAULT_INJECT: lambda a: ("fault " + a[0], {"detail": a[1]}),
 }
 
 

@@ -57,6 +57,7 @@ class TP(enum.IntEnum):
     FRAME_POP = 23        # (kind_name, label, owner_name)
     LATENCY_SAMPLE = 24   # (task_name, latency_ns)
     TASK_CREATE = 25      # (task_name,)
+    FAULT_INJECT = 26     # (injector_key, detail)     simfault injection
 
     # IntEnum hashing/eq go through Python-level dunders; members key
     # hit counters on every emit, so use identity semantics.
@@ -155,6 +156,8 @@ class TraceListener:
                    owner: str) -> None: ...
     def frame_pop(self, now: int, cpu: int, kind: str, label: str,
                   owner: str) -> None: ...
+    def fault_inject(self, now: int, cpu: int, injector: str,
+                     detail: str) -> None: ...
 
 
 class Tracepoints:
@@ -457,6 +460,15 @@ class Tracepoints:
         self.hits[TP.LATENCY_SAMPLE] += 1
         self.rings[cpu].append(
             TraceEvent(now, cpu, TP.LATENCY_SAMPLE, (task, latency_ns)))
+
+    def fault_inject(self, now: int, cpu: int, injector: str,
+                     detail: str) -> None:
+        self.hits[TP.FAULT_INJECT] += 1
+        self.rings[cpu].append(
+            TraceEvent(now, cpu, TP.FAULT_INJECT, (injector, detail)))
+        lis = self.listener
+        if lis is not None:
+            lis.fault_inject(now, cpu, injector, detail)
 
 
 #: Spinlock observer adapting the lock's tracer hook to the registry.

@@ -215,6 +215,24 @@ class Simulator:
                 return head >> SEQ_BITS
         return w.when if w is not None else None
 
+    def pending_summary(self, max_labels: int = 8) -> str:
+        """Human-readable snapshot of what is still scheduled.
+
+        Names the live periodic callbacks (timer ticks, device pacers,
+        fault-injector pacers -- anything armed with a label) and
+        counts the live one-shots; one-shot labels are not retained on
+        the hot path, so they can only be counted.  Used by stall
+        diagnostics to say *what* was (or was not) left running.
+        """
+        labels = sorted({h.label or "<unlabelled>"
+                         for h in self._wheel.handles() if h.alive})
+        shown = ", ".join(labels[:max_labels])
+        if len(labels) > max_labels:
+            shown += f", ... ({len(labels) - max_labels} more)"
+        periodics = shown if labels else "none"
+        return (f"{len(labels)} periodic ({periodics}); "
+                f"{len(self._handles)} one-shot")
+
     def step(self) -> bool:
         """Fire the next event.  Returns False if none remain."""
         heap = self._heap

@@ -1,0 +1,72 @@
+"""Injection-timeline determinism across runs and worker counts.
+
+Fault injection draws from named child RNG streams off the scenario
+seed, so the full injection timeline -- times, CPUs, injector keys,
+details -- must be a pure function of (seed, plan, intensity):
+byte-identical between repeat runs, across campaign worker counts,
+and across margin-sweep worker counts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.campaign import CampaignSpec, CampaignRunner
+from repro.experiments.export import campaign_to_dict, to_json
+from repro.experiments.scenario import run_scenario, scenario
+from repro.faults import MarginSpec, run_margin
+
+KNOBS = dict(samples=300, iterations=3)
+
+
+def _storm_run(seed: int = 1):
+    spec = scenario("storm-fig6").configured(seed=seed, **KNOBS)
+    return run_scenario(spec)
+
+
+class TestTimelineDeterminism:
+    def test_repeat_runs_inject_identically(self):
+        a, b = _storm_run(), _storm_run()
+        assert a.faults is not None
+        assert a.faults["timeline"] == b.faults["timeline"]
+        assert a.faults["digest"] == b.faults["digest"]
+        assert a.faults["injections"] > 0
+
+    def test_seed_changes_the_timeline(self):
+        a, b = _storm_run(seed=1), _storm_run(seed=2)
+        assert a.faults["digest"] != b.faults["digest"]
+
+    def test_intensity_zero_injects_nothing(self):
+        spec = scenario("storm-fig6").configured(
+            fault_intensity=0.0, **KNOBS)
+        result = run_scenario(spec)
+        assert result.faults["enabled"] is False
+        assert result.faults["timeline"] == []
+
+
+@pytest.mark.slow
+class TestWorkerCountDeterminism:
+    def test_campaign_export_identical_across_worker_counts(self):
+        campaign = CampaignSpec(scenarios=("storm-fig6", "storm-fig7"),
+                                seeds=(1, 2), samples=300)
+        serial = CampaignRunner(campaign, workers=1).run()
+        parallel = CampaignRunner(campaign, workers=4).run()
+        assert (to_json(campaign_to_dict(serial))
+                == to_json(campaign_to_dict(parallel)))
+        for left, right in zip(serial.runs, parallel.runs):
+            assert left.faults["digest"] == right.faults["digest"]
+            assert left.faults["timeline"] == right.faults["timeline"]
+
+    def test_margin_report_identical_across_worker_counts(self):
+        spec = MarginSpec(scenario="fig6", plan="storm-fig6",
+                          intensities=(0.5, 1.0), samples=300, seed=1)
+        serial = run_margin(spec, workers=1)
+        parallel = run_margin(spec, workers=4)
+        assert (json.dumps(serial.to_dict(), sort_keys=True)
+                == json.dumps(parallel.to_dict(), sort_keys=True))
+        # The per-cell digests prove injection-level identity, not
+        # just identical latency statistics.
+        for rung in serial.rungs:
+            assert rung["shielded"]["faults"]["injections"] > 0

@@ -1,0 +1,64 @@
+"""Disabled simfault is invisible: the golden byte-identity sweep.
+
+The fault subsystem's contract is that *importable-but-disabled*
+means untouched simulation: running any pre-existing scenario with a
+zero-intensity fault controller installed must export exactly the
+golden JSON captured without simfault in the process at all.  Any
+divergence means constructing or installing the controller consumed
+randomness, scheduled an event, or left a hook behind.
+
+Storm scenarios are excluded: their goldens were (deliberately)
+captured *with* their plans enabled, so a disabled run diverges by
+design there.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.export import scenario_to_dict, to_json
+from repro.experiments.scenario import run_scenario, scenario
+from repro.faults import fault_plan
+
+from tests.experiments.test_golden_outputs import (
+    GOLDEN_KNOBS,
+    GOLDEN_PATH,
+)
+
+
+def _load_goldens() -> dict:
+    with GOLDEN_PATH.open("r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+_GOLDEN = _load_goldens() if GOLDEN_PATH.exists() else {}
+
+
+def _faultless_names():
+    return [name for name in sorted(_GOLDEN)
+            if not scenario(name).fault_plan]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name",
+                         _faultless_names() or ["<missing goldens>"])
+def test_disabled_faults_leave_exports_byte_identical(name: str) -> None:
+    if not _GOLDEN:
+        pytest.fail(f"golden file missing: {GOLDEN_PATH}")
+    spec = scenario(name).configured(**GOLDEN_KNOBS)
+    disabled = fault_plan("storm-fig6").scaled(0.0)
+    result = run_scenario(spec, faults=disabled)
+    assert result.faults is not None
+    assert result.faults["enabled"] is False
+    assert result.faults["injections"] == 0
+    assert to_json(scenario_to_dict(result)) == to_json(_GOLDEN[name]), (
+        f"scenario {name!r} diverged with a disabled fault controller "
+        "installed; disabled simfault must be a complete no-op")
+
+
+def test_goldens_cover_the_storm_scenarios() -> None:
+    """Storm reruns are golden-pinned like everything else."""
+    for name in ("storm-fig5", "storm-fig6", "storm-fig7"):
+        assert name in _GOLDEN

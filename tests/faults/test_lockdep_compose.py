@@ -1,0 +1,66 @@
+"""simfault x lockdep composition (the §5e install-order contract).
+
+Injectors reach the kernel through its public entry points
+(``register_irq_handler``, ``create_task``), so with a lockdep
+validator installed first, injected handlers and rogue critical
+sections run *under* the validator's wrapped paths.  The contract:
+
+* injected long irq-off windows trip configured hold budgets as
+  ordinary ``hold-budget`` violations -- they never crash the checker;
+* with no budgets configured (the default), storm plans are
+  invariant-clean: interference is legal kernel behaviour, just slow;
+* strict mode panics on the injected violation exactly as it would on
+  a native one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.lockdep import LockdepConfig
+from repro.experiments.scenario import run_scenario, scenario
+from repro.sim.errors import KernelPanic
+
+KNOBS = dict(samples=300, iterations=3)
+
+
+def _rogue_spec():
+    # fig5 on the vanilla kernel: no shield keeps the rogue's irq-off
+    # windows on the measurement path.
+    return scenario("fig5").configured(
+        fault_plan="rogue-irqoff", **KNOBS)
+
+
+class TestComposition:
+    def test_injected_irqoff_windows_trip_hold_budgets(self):
+        # rogue-irqoff holds the irq-disabling io_request_lock for
+        # 500us per period; a 100us budget must flag every hold.
+        config = LockdepConfig(irq_off_budget_ns=100_000)
+        result = run_scenario(_rogue_spec(), lockdep=config)
+        assert result.faults["lockdep_composed"] is True
+        assert result.faults["injections"] > 0
+        budget_hits = [v for v in result.lockdep
+                       if v["kind"] == "hold-budget"
+                       and "io_request_lock" in v["detail"]]
+        assert budget_hits, (
+            "injected 500us irq-off windows must surface as "
+            "hold-budget violations through the composed validator")
+
+    def test_default_budgets_stay_clean_under_storms(self):
+        result = run_scenario(
+            scenario("storm-fig6").configured(**KNOBS), lockdep=True)
+        assert result.faults["lockdep_composed"] is True
+        assert result.lockdep == [], (
+            "storm interference is legal kernel behaviour; it must "
+            "not fabricate invariant violations")
+
+    def test_strict_mode_panics_on_the_injected_violation(self):
+        config = LockdepConfig(strict=True,
+                               irq_off_budget_ns=100_000)
+        with pytest.raises(KernelPanic):
+            run_scenario(_rogue_spec(), lockdep=config)
+
+    def test_without_lockdep_the_flag_is_false(self):
+        result = run_scenario(_rogue_spec())
+        assert result.faults["lockdep_composed"] is False
+        assert result.faults["injections"] > 0

@@ -1,0 +1,65 @@
+"""The fault-plan data model and registry."""
+
+import pytest
+
+from repro.faults import (
+    INJECTOR_KINDS,
+    FaultPlan,
+    UnknownFaultPlanError,
+    all_fault_plans,
+    fault_plan,
+    fault_plan_names,
+    injector,
+    register_fault_plan,
+)
+
+
+class TestInjectorSpec:
+    def test_params_are_sorted_and_hashable(self):
+        a = injector("irq-storm", rate_hz=100.0, irq=96, name="s")
+        b = injector("irq-storm", irq=96, name="s", rate_hz=100.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.params == (("irq", 96), ("name", "s"), ("rate_hz", 100.0))
+
+    def test_param_lookup_with_default(self):
+        spec = injector("device-irq", device="eth0", mode="lost")
+        assert spec.param("mode") == "lost"
+        assert spec.param("prob", 0.5) == 0.5
+
+
+class TestFaultPlan:
+    def test_scaled_replaces_intensity_only(self):
+        plan = fault_plan("storm-fig6")
+        doubled = plan.scaled(2.0)
+        assert doubled.intensity == 2.0
+        assert doubled.injectors == plan.injectors
+        assert plan.intensity == 1.0  # frozen original untouched
+
+    def test_kinds_lists_injectors_in_order(self):
+        assert fault_plan("storm-fig5").kinds() == [
+            "irq-storm", "rogue-task", "tick-jitter"]
+
+
+class TestRegistry:
+    def test_builtin_plans_are_registered(self):
+        names = fault_plan_names()
+        for expected in ("storm-fig5", "storm-fig6", "storm-fig7",
+                         "rogue-irqoff", "shield-flap", "device-chaos"):
+            assert expected in names
+
+    def test_unknown_plan_raises(self):
+        with pytest.raises(UnknownFaultPlanError):
+            fault_plan("no-such-plan")
+
+    def test_duplicate_registration_rejected(self):
+        plan = FaultPlan(name="storm-fig6", title="dup", injectors=())
+        with pytest.raises(ValueError):
+            register_fault_plan(plan)
+
+    def test_every_builtin_kind_has_an_implementation(self):
+        for plan in all_fault_plans():
+            for kind in plan.kinds():
+                assert kind in INJECTOR_KINDS, (
+                    f"plan {plan.name!r} uses unimplemented "
+                    f"injector kind {kind!r}")
