@@ -19,6 +19,7 @@ import time
 from typing import Any, Dict
 
 from benchmarks.perf.core_bench import (
+    batched_drain_body,
     cancel_churn_body,
     drain_body,
     periodic_body,
@@ -29,19 +30,23 @@ from benchmarks.perf.legacy_core import LegacySimulator
 
 #: Microbench sizes (events) for full and --quick runs.
 SIZES = {"schedule": 300_000, "drain": 300_000, "periodic": 200_000,
-         "cancel_churn": 192_000}
+         "cancel_churn": 192_000, "batched_drain": 300_000}
 QUICK_SIZES = {"schedule": 60_000, "drain": 60_000, "periodic": 40_000,
-               "cancel_churn": 38_400}
+               "cancel_churn": 38_400, "batched_drain": 60_000}
 
-#: The drain speedup may regress at most this factor vs the committed
+#: A gated speedup may regress at most this factor vs the committed
 #: number before CI fails (the issue's ">20% regression" gate).
 REGRESSION_TOLERANCE = 0.8
+
+#: Microbench rows whose speedup ratio is regression-gated by --check.
+GATED_ROWS = ("drain", "periodic", "cancel_churn", "batched_drain")
 
 _BODIES = {
     "schedule": schedule_body,
     "drain": drain_body,
     "periodic": periodic_body,
     "cancel_churn": cancel_churn_body,
+    "batched_drain": batched_drain_body,
 }
 
 
@@ -121,21 +126,32 @@ def report(data: Dict[str, Any]) -> str:
 
 
 def check(path: str, quick: bool = True) -> int:
-    """Re-measure and fail if the drain speedup regressed >20%."""
+    """Re-measure and fail if any gated speedup regressed >20%."""
     with open(path, "r", encoding="utf-8") as fh:
         committed = json.load(fh)
-    committed_speedup = committed["micro"]["drain"]["speedup"]
     fresh = measure(quick=quick, skip_figures=True)
     print(report(fresh))
-    fresh_speedup = fresh["micro"]["drain"]["speedup"]
-    floor = committed_speedup * REGRESSION_TOLERANCE
-    print(f"\ndrain speedup: committed {committed_speedup:.2f}x, "
-          f"measured {fresh_speedup:.2f}x, floor {floor:.2f}x")
-    if fresh_speedup < floor:
-        print("FAIL: drain microbench regressed more than 20% against "
-              "the committed baseline")
+    print()
+    failed = []
+    for name in GATED_ROWS:
+        row = committed["micro"].get(name)
+        if row is None:
+            print(f"{name}: no committed baseline row, skipping gate")
+            continue
+        committed_speedup = row["speedup"]
+        fresh_speedup = fresh["micro"][name]["speedup"]
+        floor = committed_speedup * REGRESSION_TOLERANCE
+        verdict = "ok" if fresh_speedup >= floor else "FAIL"
+        print(f"{name}: committed {committed_speedup:.2f}x, "
+              f"measured {fresh_speedup:.2f}x, floor {floor:.2f}x "
+              f"[{verdict}]")
+        if fresh_speedup < floor:
+            failed.append(name)
+    if failed:
+        print(f"\nFAIL: {', '.join(failed)} regressed more than 20% "
+              f"against the committed baseline")
         return 1
-    print("OK: within the regression budget")
+    print("\nOK: all gated rows within the regression budget")
     return 0
 
 

@@ -132,6 +132,56 @@ def cancel_churn_body(sim, n: int) -> Tuple[float, int]:
     return elapsed, rounds * batch
 
 
+def batched_drain_body(sim, n: int) -> Tuple[float, int]:
+    """Mixed heap + wheel drain: the batched backend's target shape.
+
+    Half the events are pre-loaded scattered one-shots and the other
+    half are periodic fires interleaved among them, so the drain
+    crosses the one-shot/periodic boundary constantly.  The
+    event-at-a-time loop pays a heap-vs-wheel comparison per fire;
+    the batched backend stages each window once and dispatches the
+    merged run -- this row is the direct measure of that fusion.  On
+    the legacy core the periodic sources fall back to the naive
+    self-rescheduling ``after()`` idiom.
+    """
+    cb = _null_callback
+    oneshots = n // 2
+    at = sim.at
+    for when in _times(oneshots, horizon=10 ** 9):
+        at(when, cb)
+    periods = (9_973, 14_009, 20_011, 40_009)
+    budget = n - oneshots
+    fired = [0]
+
+    make_periodic = getattr(sim, "periodic", None)
+    if make_periodic is not None:
+        handles = []
+
+        def tick() -> None:
+            fired[0] += 1
+            if fired[0] >= budget:
+                for handle in handles:
+                    handle.cancel()
+
+        for period in periods:
+            handles.append(make_periodic(period, tick))
+    else:
+        def arm(period: int) -> None:
+            sim.after(period, lambda: fire(period))
+
+        def fire(period: int) -> None:
+            fired[0] += 1
+            if fired[0] < budget:
+                arm(period)
+
+        for period in periods:
+            arm(period)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return elapsed, oneshots + fired[0]
+
+
 def _null_callback() -> None:
     return None
 

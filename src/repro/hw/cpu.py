@@ -25,7 +25,6 @@ installs callbacks for frame completion, interrupt delivery and
 from __future__ import annotations
 
 import enum
-import math
 from collections import deque
 from typing import Callable, Deque, List, Optional, TYPE_CHECKING
 
@@ -223,7 +222,12 @@ class LogicalCpu:
             if duration != remaining:
                 duration += 1
         else:
-            duration = max(0, int(math.ceil(remaining / speed)))
+            # remaining >= 0 and speed > 0, so the ceil never goes
+            # negative; same divide-free ceil as the fast path.
+            q = remaining / speed
+            duration = int(q)
+            if duration != q:
+                duration += 1
         sim = self.sim
         # Event labels are diagnostics; building the f-string for every
         # frame start is measurable, so only pay for it when tracing.
@@ -235,8 +239,8 @@ class LogicalCpu:
         frame = self.frames[-1]
         if frame.kind is not FrameKind.SPIN and frame.started_at is not None:
             elapsed = self.sim.now - frame.started_at
-            done = elapsed * frame.speed
-            frame.remaining = max(0.0, frame.remaining - done)
+            rem = frame.remaining - elapsed * frame.speed
+            frame.remaining = rem if rem > 0.0 else 0.0
         frame.started_at = None
         if frame._event is not None:
             frame._event.cancel()

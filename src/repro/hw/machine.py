@@ -132,7 +132,11 @@ class Machine:
             ht = 1.0
         else:
             ht = cpu.core._current_factor
-        speed = ht * self.memory.speed_factor(cpu)
+        mem = self.memory
+        mf = mem._factors.get(cpu.index)
+        if mf is None:
+            mf = mem.speed_factor(cpu)
+        speed = ht * mf
         return speed if speed > 0.01 else 0.01
 
     def notify_busy_changed(self, cpu: LogicalCpu) -> None:

@@ -38,6 +38,10 @@ class MemoryBus:
         self.coupling = coupling
         self.max_level = max_level
         self._levels: Dict[int, float] = {}
+        # Derived speed multipliers, maintained alongside the levels so
+        # the per-frame-start query is a bare dict hit with no float
+        # math (speed_factor is on the frame-start hot path).
+        self._factors: Dict[int, float] = {}
         self._machine: Optional["Machine"] = None
         self._sim: Optional["Simulator"] = None
         self._rng: Optional["np.random.Generator"] = None
@@ -53,8 +57,14 @@ class MemoryBus:
     def _roll_epoch(self) -> None:
         """Resample every CPU's contention level and retime them."""
         assert self._machine is not None and self._rng is not None
+        levels = self._levels
+        factors = self._factors
+        coupling = self.coupling
         for cpu in self._machine.cpus:
-            self._levels[cpu.index] = self._sample_level(cpu)
+            level = self._sample_level(cpu)
+            levels[cpu.index] = level
+            f = 1.0 - level * coupling
+            factors[cpu.index] = f if f > 0.05 else 0.05
         for cpu in self._machine.cpus:
             cpu.retime()
 
@@ -70,11 +80,18 @@ class MemoryBus:
 
     def speed_factor(self, cpu: "LogicalCpu") -> float:
         """Speed multiplier for *cpu* in the current epoch."""
-        level = self._levels.get(cpu.index)
-        if level is None:
+        f = self._factors.get(cpu.index)
+        if f is None:
+            # Lazy first-epoch fill: the sample is drawn here, on first
+            # query, exactly as before -- RNG draw order is part of the
+            # byte-identity contract.
             level = self._sample_level(cpu)
             self._levels[cpu.index] = level
-        return max(0.05, 1.0 - level * self.coupling)
+            f = 1.0 - level * self.coupling
+            if f < 0.05:
+                f = 0.05
+            self._factors[cpu.index] = f
+        return f
 
     def current_level(self, cpu: "LogicalCpu") -> float:
         """Expose the raw occupancy level (for tests)."""

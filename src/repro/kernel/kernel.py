@@ -509,21 +509,22 @@ class Kernel:
     def _dispatch(self, task: Task, cpu_idx: int, o: op.Op) -> None:
         """Execute one primitive op for the current task."""
         self.dispatching_cpu = cpu_idx
-        if isinstance(o, op.Compute):
+        t = type(o)
+        if t is op.Compute:
             self._run_compute(task, cpu_idx, o, o.work)
-        elif isinstance(o, op.Acquire):
+        elif t is op.Acquire:
             self._acquire(task, cpu_idx, o.lock)
-        elif isinstance(o, op.Release):
+        elif t is op.Release:
             self._release(task, cpu_idx, o.lock)
-        elif isinstance(o, op.Block):
+        elif t is op.Block:
             self._block(task, cpu_idx, o.wq)
-        elif isinstance(o, op.SemDown):
+        elif t is op.SemDown:
             self._sem_down(task, cpu_idx, o.sem)
-        elif isinstance(o, op.SemUp):
+        elif t is op.SemUp:
             self._sem_up(task, cpu_idx, o.sem)
-        elif isinstance(o, op.Sleep):
+        elif t is op.Sleep:
             self._sleep(task, cpu_idx, o.duration)
-        elif isinstance(o, op.EnterSyscall):
+        elif t is op.EnterSyscall:
             task.in_syscall += 1
             task.syscall_name = o.name
             self.stats.syscalls += 1
@@ -531,36 +532,36 @@ class Kernel:
             if tp.enabled:
                 tp.syscall_entry(self.sim.now, cpu_idx, task.name, o.name)
             self._step(task, cpu_idx)
-        elif isinstance(o, op.ExitSyscall):
+        elif t is op.ExitSyscall:
             self._exit_syscall(task, cpu_idx)
-        elif isinstance(o, op.PreemptPoint):
+        elif t is op.PreemptPoint:
             if (self.need_resched[cpu_idx] and task.preempt_count == 0
                     and self.current[cpu_idx] is task):
                 self.schedule(cpu_idx)
             else:
                 self._step(task, cpu_idx)
-        elif isinstance(o, op.YieldCpu):
+        elif t is op.YieldCpu:
             self._yield_cpu(task, cpu_idx)
-        elif isinstance(o, op.SetScheduler):
+        elif t is op.SetScheduler:
             task.policy = o.policy
             task.rt_prio = o.rt_prio
             task.nice = o.nice
             self._step(task, cpu_idx)
-        elif isinstance(o, op.SetAffinity):
+        elif t is op.SetAffinity:
             self.set_task_affinity(task, o.mask)
             if self.current[cpu_idx] is task:
                 self._step(task, cpu_idx)
             # else: reapply pushed us off this CPU; we resume elsewhere.
-        elif isinstance(o, op.MlockAll):
+        elif t is op.MlockAll:
             task.mm_locked = True
             self._step(task, cpu_idx)
-        elif isinstance(o, op.Call):
+        elif t is op.Call:
             task.send_value = o.fn(*o.args)
             self._step(task, cpu_idx)
-        elif isinstance(o, op.Wake):
+        elif t is op.Wake:
             self.wake_up(o.wq, all_waiters=o.all_waiters, from_cpu=cpu_idx)
             self._step(task, cpu_idx)
-        elif isinstance(o, op.Exit):
+        elif t is op.Exit:
             self._task_exit(task, cpu_idx, o.code)
         else:
             raise KernelPanic(f"{task.name} yielded unknown op {o!r}")
@@ -570,7 +571,7 @@ class Kernel:
                      work: int) -> None:
         cpu = self.machine.cpus[cpu_idx]
         task.current_compute = o
-        frame = ExecFrame(FrameKind.TASK, max(0, work),
+        frame = ExecFrame(FrameKind.TASK, work if work > 0 else 0,
                           self._compute_done,
                           label=o.label or ("kcode" if o.kernel else "ucode"),
                           owner=task)

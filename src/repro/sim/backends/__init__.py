@@ -1,0 +1,74 @@
+"""Swappable simulation engine backends.
+
+The :class:`~repro.sim.engine.Simulator` keeps all queue state; a
+*backend* supplies the dequeue/dispatch/re-arm inner loop over it (see
+:mod:`repro.sim.backends.base` for the contract).  Three are provided:
+
+``batched`` (default)
+    Windowed staging plus fused dispatch
+    (:mod:`repro.sim.backends.batched`).
+``simple``
+    The historical event-at-a-time reference loop, kept as the
+    batched backend's A/B oracle (:mod:`repro.sim.backends.simple`).
+``compiled``
+    The batched loop compiled to an extension module when built
+    (``tools/build_backend.py``); falls back to pure-Python ``batched``
+    with a warning otherwise (:mod:`repro.sim.backends.compiled`).
+
+Selection: the ``backend=`` argument of ``Simulator`` wins, then the
+``REPRO_SIM_BACKEND`` environment variable, then the default.  All
+backends fire callbacks in identical packed-key order -- swapping them
+never changes simulation output, only wall-clock.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.sim.backends.base import SimBackend, unstage
+from repro.sim.backends.batched import BatchedBackend
+from repro.sim.backends.simple import SimpleBackend
+
+#: Environment switch: ``REPRO_SIM_BACKEND=simple`` (or ``batched`` /
+#: ``compiled``) selects the engine inner loop for Simulators that do
+#: not pass an explicit ``backend=``.
+BACKEND_ENV = "REPRO_SIM_BACKEND"
+
+_batched = BatchedBackend()
+_simple = SimpleBackend()
+_compiled = None
+
+
+def resolve(backend: Union[None, str, SimBackend] = None) -> SimBackend:
+    """Resolve a backend name (or pass an instance through).
+
+    ``None`` consults :data:`BACKEND_ENV`, defaulting to ``batched``.
+    """
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV) or "batched"
+    if not isinstance(backend, str):
+        return backend
+    name = backend.strip().lower()
+    if name in ("batched", "python", "default"):
+        return _batched
+    if name == "simple":
+        return _simple
+    if name == "compiled":
+        global _compiled
+        if _compiled is None:
+            from repro.sim.backends.compiled import load_compiled
+            _compiled = load_compiled()
+        return _compiled
+    raise ValueError(
+        f"unknown simulation backend {backend!r}; expected one of "
+        f"'batched', 'simple', 'compiled'")
+
+
+def available() -> list:
+    """Names accepted by :func:`resolve` (build-independent)."""
+    return ["batched", "simple", "compiled"]
+
+
+__all__ = ["SimBackend", "BatchedBackend", "SimpleBackend", "BACKEND_ENV",
+           "resolve", "available", "unstage"]

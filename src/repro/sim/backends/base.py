@@ -1,0 +1,63 @@
+"""The ``SimBackend`` seam: the engine's inner loop as a protocol.
+
+:class:`~repro.sim.engine.Simulator` owns all simulation *state* (the
+clock, the packed-key heap, the liveness dict, the timer wheel, the
+staged batch run) while a backend owns only the dequeue/dispatch/re-arm
+*loop* over that state.  Backends are therefore stateless singletons,
+interchangeable mid-life, and -- because the loop never closes over
+engine internals beyond documented attributes -- compilable as a unit
+(see ``tools/build_backend.py``) without touching any call site.
+
+Contract highlights every backend must honour:
+
+* Firing order is strict packed-key order ``(when << SEQ_BITS) | seq``
+  across the heap and the wheel; ties are impossible (seq is unique).
+* Periodics draw their re-arm seq *after* the callback returns (the
+  self-rescheduling ``after()`` idiom this replaces).
+* ``sim._events_fired`` is updated even when a callback raises.
+* Entries staged in ``sim._active_run`` (a sorted ``(key, handle)``
+  list) are live events: backends must either dispatch them or leave
+  them staged for the engine's introspection helpers to report.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+
+@runtime_checkable
+class SimBackend(Protocol):
+    """Dequeue/dispatch/re-arm inner loop over a :class:`Simulator`."""
+
+    #: Short identifier reported by ``Simulator.backend_name``.
+    name: str
+
+    def step(self, sim: "Simulator") -> bool:
+        """Fire exactly one event; False if none remain."""
+
+    def run(self, sim: "Simulator") -> None:
+        """Fire events until both queues drain."""
+
+    def run_until(self, sim: "Simulator", when: int) -> None:
+        """Fire events with ``when_event <= when``; leave clock at *when*."""
+
+
+def unstage(sim: "Simulator") -> None:
+    """Refile staged batch-run entries back onto the wheel.
+
+    A batched loop that exits through an exception (kernel panic,
+    harness abort) may leave extracted periodics in ``sim._active_run``.
+    Loop entry points call this so every backend starts from the
+    canonical heap+wheel state regardless of how the previous loop
+    ended or which backend ran it.
+    """
+    run = sim._active_run
+    if run:
+        wheel = sim._wheel
+        for _, handle in run:
+            if handle._alive:
+                wheel.insert(handle)
+        run.clear()

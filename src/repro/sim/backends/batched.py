@@ -1,0 +1,166 @@
+"""The batched (default) simulation backend: fused event-run dispatch.
+
+Instead of merging the heap head against the wheel head once *per
+event*, each advance works in windows:
+
+1. **Stage** -- every wheel entry due inside the window is extracted
+   (:meth:`TimerWheel.extract_upto`) into ``sim._active_run``, a flat
+   sorted ``(key, handle)`` list.  The wheel's bitmap scans and
+   cascades are paid once per window, not once per fire.
+2. **Fused one-shot run** -- heap keys below the staged head are popped
+   and dispatched in a tight loop with no wheel comparison at all.
+   The only event that can invalidate the boundary is a callback
+   arming a *new* periodic; that is detected by comparing the wheel's
+   monotone insertion generation (``wheel._ins``) around the callback
+   -- two int reads -- after which the window is re-staged.  One-shots
+   scheduled by callbacks need no special casing: they enter the heap
+   and the loop re-reads ``heap[0]`` every iteration.
+3. **Staged dispatch** -- the run head fires and re-arms by ``insort``
+   into the run (still inside the window) or back onto the wheel
+   (beyond it).  Cancelled staged entries are skipped at dispatch;
+   they remain visible to the engine's introspection until then.
+
+Firing order stays strict packed-key order -- the staging is a
+reordering of *bookkeeping*, never of callbacks -- which is what keeps
+the 26-scenario golden sweep byte-identical under this backend.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from typing import TYPE_CHECKING
+
+from repro.sim.backends.base import unstage
+from repro.sim.events import SEQ_BITS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+_heappop = heapq.heappop
+
+#: A key bound larger than any schedulable one.  Packed keys are
+#: unbounded Python ints (``when << SEQ_BITS``), so the only safe
+#: universal bound is +inf -- int/float comparisons are exact here.
+_INF_KEY = float("inf")
+
+
+def _advance(sim: "Simulator", limit: int) -> None:
+    """Fire every event with packed key <= *limit* in key order."""
+    heap = sim._heap
+    handles = sim._handles
+    wheel = sim._wheel
+    run = sim._active_run
+    if run and run[-1][0] > limit:
+        # A previous advance exited exceptionally with entries staged
+        # beyond this window; refile them so the boundary stays honest.
+        unstage(sim)
+    pop = _heappop
+    get = handles.pop
+    fired = 0
+    try:
+        while True:
+            # Stage the window: pull due wheel entries into the run.
+            if wheel._count:
+                w = wheel._min_cache
+                if w is None:
+                    w = wheel.peek()
+                if w.key <= limit:
+                    wheel.extract_upto(limit, run)
+            if run:
+                boundary = run[0][0]
+            else:
+                boundary = limit
+            # Fused one-shot run up to the staged head.
+            restage = False
+            while heap:
+                key = heap[0]
+                if key > boundary:
+                    break
+                pop(heap)
+                cb = get(key, None)
+                if cb is None:
+                    sim._dead -= 1
+                    continue
+                sim.now = key >> SEQ_BITS
+                fired += 1
+                gen = wheel._ins
+                cb()
+                if wheel._ins != gen:
+                    # A new periodic was armed; it may be due before
+                    # the current boundary.  Re-stage the window.
+                    restage = True
+                    break
+            if restage:
+                continue
+            if not run:
+                break
+            # Dispatch the staged head; every remaining heap key is
+            # larger, so key order is preserved.
+            key, handle = run[0]
+            del run[0]
+            if not handle._alive:
+                continue  # cancelled while staged
+            sim.now = key >> SEQ_BITS
+            fired += 1
+            handle.callback()
+            if handle._alive:
+                # Fresh seq *after* the callback returns -- the re-arm
+                # point of the self-rescheduling idiom this replaces,
+                # which is what keeps (when, seq) ties byte-identical.
+                seq = sim._seq
+                sim._seq = seq + 1
+                handle.fires += 1
+                nxt = handle.when + handle.period
+                handle.when = nxt
+                handle.seq = seq
+                nkey = (nxt << SEQ_BITS) | seq
+                handle.key = nkey
+                if nkey <= limit:
+                    insort(run, (nkey, handle))
+                else:
+                    wheel.insert(handle)
+    finally:
+        sim._events_fired += fired
+
+
+class BatchedBackend:
+    """Windowed staging + fused dispatch; the default backend."""
+
+    name = "batched"
+
+    def step(self, sim: "Simulator") -> bool:
+        # Single-step semantics are inherently unbatched: refile any
+        # staged run (left by an aborted advance) and dispatch one.
+        unstage(sim)
+        heap = sim._heap
+        handles = sim._handles
+        wheel = sim._wheel
+        while True:
+            w = wheel._min_cache
+            if w is None and wheel._count:
+                w = wheel.peek()
+            if heap:
+                key = heap[0]
+                if w is None or key < w.key:
+                    _heappop(heap)
+                    cb = handles.pop(key, None)
+                    if cb is None:
+                        sim._dead -= 1
+                        continue
+                    sim.now = key >> SEQ_BITS
+                    sim._events_fired += 1
+                    cb()
+                    return True
+            if w is None:
+                return False
+            sim._fire_periodic(w)
+            return True
+
+    def run_until(self, sim: "Simulator", when: int) -> None:
+        _advance(sim, ((when + 1) << SEQ_BITS) - 1)
+        if when > sim.now:
+            sim.now = when
+
+    def run(self, sim: "Simulator") -> None:
+        _advance(sim, _INF_KEY)

@@ -1,0 +1,35 @@
+"""Loader for the optional compiled simulation backend.
+
+``tools/build_backend.py`` compiles the batched backend's dispatch
+loop (``batched.py``) into an extension module
+``repro.sim.backends._batched_c`` when a Cython toolchain is present.
+The build is strictly optional: this loader falls back to the
+pure-Python batched backend -- same loop, same byte-identical event
+order -- with a one-time warning when the extension is absent, so
+selecting ``REPRO_SIM_BACKEND=compiled`` is always safe.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.sim.backends.batched import BatchedBackend
+
+
+def load_compiled():
+    """The compiled backend instance, or the pure-Python fallback."""
+    try:
+        from repro.sim.backends import _batched_c  # type: ignore
+    except ImportError:
+        warnings.warn(
+            "compiled simulation backend is not built; falling back to "
+            "the pure-Python batched backend (build it with "
+            "`python tools/build_backend.py`)",
+            RuntimeWarning, stacklevel=3)
+        return BatchedBackend()
+    backend = _batched_c.BatchedBackend()
+    try:
+        backend.name = "compiled"
+    except (AttributeError, TypeError):  # pragma: no cover - frozen class
+        pass
+    return backend

@@ -1,0 +1,162 @@
+"""The reference (unbatched) simulation backend.
+
+One event per loop iteration, merging the heap head and the wheel head
+with a fresh comparison each time -- the engine's historical inner
+loop, kept verbatim as (a) the oracle the batched backend is
+A/B-tested against in ``tests/sim/test_backends.py`` and (b) the
+simplest statement of the dispatch contract.  Select it with
+``REPRO_SIM_BACKEND=simple`` or ``Simulator(backend="simple")``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING
+
+from repro.sim.backends.base import unstage
+from repro.sim.events import SEQ_BITS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+_heappop = heapq.heappop
+
+
+class SimpleBackend:
+    """Event-at-a-time dispatch; the batched backend's oracle."""
+
+    name = "simple"
+
+    def step(self, sim: "Simulator") -> bool:
+        unstage(sim)
+        heap = sim._heap
+        handles = sim._handles
+        wheel = sim._wheel
+        while True:
+            w = wheel._min_cache
+            if w is None and wheel._count:
+                w = wheel.peek()
+            if heap:
+                key = heap[0]
+                if w is None or key < w.key:
+                    _heappop(heap)
+                    cb = handles.pop(key, None)
+                    if cb is None:
+                        sim._dead -= 1
+                        continue
+                    sim.now = key >> SEQ_BITS
+                    sim._events_fired += 1
+                    cb()
+                    return True
+            if w is None:
+                return False
+            sim._fire_periodic(w)
+            return True
+
+    def run_until(self, sim: "Simulator", when: int) -> None:
+        unstage(sim)
+        heap = sim._heap
+        handles = sim._handles
+        wheel = sim._wheel
+        pop = _heappop
+        get = handles.pop
+        limit = ((when + 1) << SEQ_BITS) - 1  # largest key firing <= when
+        fired = 0
+        try:
+            while True:
+                w = wheel._min_cache
+                if w is None and wheel._count:
+                    w = wheel.peek()
+                if heap:
+                    key = heap[0]
+                    if w is None or key < w.key:
+                        if key > limit:
+                            break
+                        pop(heap)
+                        cb = get(key, None)
+                        if cb is None:
+                            sim._dead -= 1
+                            continue
+                        sim.now = key >> SEQ_BITS
+                        fired += 1
+                        cb()
+                        continue
+                if w is None or w.key > limit:
+                    break
+                fired += 1
+                # Inlined _fire_one_periodic (hot: every wheel tick).
+                # w is the wheel minimum here, so take the fused pop.
+                wheel.pop_min()
+                sim.now = w.when
+                w.callback()
+                if w._alive:
+                    seq = sim._seq
+                    sim._seq = seq + 1
+                    w.fires += 1
+                    nxt = w.when + w.period
+                    w.when = nxt
+                    w.seq = seq
+                    w.key = (nxt << SEQ_BITS) | seq
+                    wheel.insert(w)
+        finally:
+            sim._events_fired += fired
+        if when > sim.now:
+            sim.now = when
+
+    def run(self, sim: "Simulator") -> None:
+        unstage(sim)
+        heap = sim._heap
+        handles = sim._handles
+        wheel = sim._wheel
+        pop = _heappop
+        get = handles.pop
+        fired = 0
+        try:
+            while True:
+                if wheel._count == 0:
+                    # Pure one-shot fast path: pop straight off the heap.
+                    if not heap:
+                        return
+                    key = pop(heap)
+                    cb = get(key, None)
+                    if cb is None:
+                        sim._dead -= 1
+                        continue
+                    sim.now = key >> SEQ_BITS
+                    fired += 1
+                    cb()
+                    continue
+                if heap:
+                    w = wheel._min_cache
+                    if w is None:
+                        w = wheel.peek()
+                    key = heap[0]
+                    if key < w.key:
+                        pop(heap)
+                        cb = get(key, None)
+                        if cb is None:
+                            sim._dead -= 1
+                            continue
+                        sim.now = key >> SEQ_BITS
+                        fired += 1
+                        cb()
+                        continue
+                    wheel.remove(w)
+                else:
+                    # Only wheel events remain: one fused call per tick.
+                    w = wheel.pop_min()
+                fired += 1
+                # Inlined _fire_one_periodic (hot: every wheel tick).
+                sim.now = w.when
+                w.callback()
+                if w._alive:
+                    seq = sim._seq
+                    sim._seq = seq + 1
+                    w.fires += 1
+                    nxt = w.when + w.period
+                    w.when = nxt
+                    w.seq = seq
+                    w.key = (nxt << SEQ_BITS) | seq
+                    wheel.insert(w)
+        finally:
+            sim._events_fired += fired

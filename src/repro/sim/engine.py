@@ -20,30 +20,38 @@ Hot-path design (the perf suite in ``benchmarks/perf`` tracks this):
   objects on the heap, no tuple indirection, no Python ``__lt__``.
   Liveness is an external dict (key -> handle); absence means
   cancelled, so firing needs no handle write-back at all.
-* ``run``/``run_until``/``step`` merge the heap head and the wheel
-  head in a single scan -- the old code paid a separate
-  "peek-then-step" pass per event.
+* The dequeue/dispatch/re-arm inner loop lives behind the
+  :class:`~repro.sim.backends.base.SimBackend` seam
+  (``repro.sim.backends``): the default ``batched`` backend stages due
+  wheel entries into a flat sorted run (``_active_run``) and dispatches
+  fused one-shot runs between staged heads; the ``simple`` backend is
+  the historical event-at-a-time loop kept as its oracle; ``compiled``
+  is the batched loop built as an extension module when available.
 * Firing order is strict ``(when, seq)`` across both queues, with
   periodics drawing a fresh seq from the same counter at each re-arm:
   exactly the order the naive self-rescheduling ``after()`` idiom
-  produced, which is what keeps figure outputs byte-identical.
+  produced, which is what keeps figure outputs byte-identical --
+  under every backend.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Union
 
 from repro.observe.tracepoints import Tracepoints
+from repro.sim.backends import SimBackend, resolve as _resolve_backend
 from repro.sim.errors import SchedulingInPastError, SimulationStalledError
-from repro.sim.events import EventHandle, PeriodicHandle, SEQ_BITS
+from repro.sim.events import (COMPACT_FLOOR, EventHandle, PeriodicHandle,
+                              SEQ_BITS)
 from repro.sim.rng import DEFAULT_SEED, RngStreams
 from repro.sim.trace import TraceBuffer
 from repro.sim.wheel import TimerWheel
 
-#: Compact the heap only once it is at least this large; below that the
-#: lazy-deletion overhead is noise and compaction would just churn.
-_COMPACT_FLOOR = 64
+#: Compact the heap only once it is at least this large (see
+#: :data:`repro.sim.events.COMPACT_FLOOR`, shared with the inlined
+#: cancel path in EventHandle.cancel).
+_COMPACT_FLOOR = COMPACT_FLOOR
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
@@ -62,10 +70,17 @@ class Simulator:
         ``ScenarioSpec`` driving the experiment).
     trace_capacity:
         Ring-buffer size for the (normally disabled) trace facility.
+    backend:
+        Inner-loop implementation: ``"batched"`` (default),
+        ``"simple"``, ``"compiled"``, or a :class:`SimBackend`
+        instance.  ``None`` consults the ``REPRO_SIM_BACKEND``
+        environment variable.  All backends fire events in identical
+        order; the choice affects wall-clock only.
     """
 
     def __init__(self, seed: Optional[int] = None,
-                 trace_capacity: int = 65536) -> None:
+                 trace_capacity: int = 65536,
+                 backend: Union[None, str, SimBackend] = None) -> None:
         self.now: int = 0
         self._heap: List[int] = []
         self._handles: dict = {}  # packed key -> callback (presence = alive)
@@ -73,11 +88,22 @@ class Simulator:
         self._seq = 0
         self._events_fired = 0
         self._dead = 0   # cancelled entries not yet popped or compacted
+        # Wheel entries staged for batched dispatch: a sorted list of
+        # (key, PeriodicHandle).  Normally drained by the advance that
+        # staged it; introspection helpers below fold it in so staged
+        # events are never invisible.
+        self._active_run: list = []
+        self._backend: SimBackend = _resolve_backend(backend)
         self.rng = RngStreams(DEFAULT_SEED if seed is None else seed)
         self.trace = TraceBuffer(trace_capacity)
         # Typed tracepoint registry (disabled; the machine sizes its
         # per-CPU rings via tp.configure() once the CPU count is known).
         self.tp = Tracepoints()
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the active inner-loop backend."""
+        return self._backend.name
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -108,7 +134,19 @@ class Simulator:
         if delay < 0:
             raise SchedulingInPastError(
                 f"negative delay {delay} for {label or callback}")
-        return self.at(self.now + delay, callback, label)
+        # Inlined at(): delay >= 0 already implies when >= now, and
+        # relative scheduling is the kernel/hw layers' hottest idiom.
+        seq = self._seq
+        self._seq = seq + 1
+        key = ((self.now + delay) << SEQ_BITS) | seq
+        handle = _new_handle(EventHandle)
+        handle.key = key
+        handle.callback = callback
+        handle.label = label
+        handle._owner = self
+        self._handles[key] = callback
+        _heappush(self._heap, key)
+        return handle
 
     def periodic(self, period: int, callback: Callable[[], None], *,
                  first_delay: Optional[int] = None,
@@ -148,13 +186,20 @@ class Simulator:
     # Queue hygiene
     # ------------------------------------------------------------------
     def _cancel_oneshot(self, handle: EventHandle) -> bool:
-        """Cancel a one-shot (EventHandle.cancel hook)."""
+        """Cancel a one-shot.
+
+        Kept as the documented seam even though
+        :meth:`EventHandle.cancel` inlines this logic on the hot path;
+        policy here must mirror the inlined copy.
+        """
         if self._handles.pop(handle.key, None) is None:
             return False  # already fired or already cancelled
         dead = self._dead + 1
         self._dead = dead
-        if dead > len(self._heap) // 2 and len(self._heap) >= _COMPACT_FLOOR:
-            self._compact()
+        if not dead & 31:
+            heap = self._heap
+            if dead > len(heap) // 2 and len(heap) >= _COMPACT_FLOOR:
+                self._compact()
         return True
 
     def _note_periodic_cancelled(self, handle: PeriodicHandle) -> None:
@@ -198,22 +243,39 @@ class Simulator:
         for phandle in list(self._wheel.handles()):
             if phandle.cancel():
                 count += 1
+        run = self._active_run
+        if run:
+            for _, phandle in run:
+                if phandle.cancel():
+                    count += 1
+            run.clear()
         return count
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def peek_time(self) -> Optional[int]:
-        """Timestamp of the next live event, or None if none remain."""
+        """Timestamp of the next live event, or None if none remain.
+
+        Considers all three holding areas: the one-shot heap, the timer
+        wheel, and any batch run still staged by an (aborted) advance.
+        """
         self._discard_dead_head()
-        wheel = self._wheel
-        w = wheel.peek() if wheel._count else None
+        best: Optional[int] = None  # packed key
         heap = self._heap
         if heap:
-            head = heap[0]
-            if w is None or head < w.key:
-                return head >> SEQ_BITS
-        return w.when if w is not None else None
+            best = heap[0]
+        for key, handle in self._active_run:
+            if handle._alive:
+                if best is None or key < best:
+                    best = key
+                break
+        wheel = self._wheel
+        if wheel._count:
+            w = wheel.peek()
+            if best is None or w.key < best:
+                best = w.key
+        return (best >> SEQ_BITS) if best is not None else None
 
     def pending_summary(self, max_labels: int = 8) -> str:
         """Human-readable snapshot of what is still scheduled.
@@ -221,43 +283,29 @@ class Simulator:
         Names the live periodic callbacks (timer ticks, device pacers,
         fault-injector pacers -- anything armed with a label) and
         counts the live one-shots; one-shot labels are not retained on
-        the hot path, so they can only be counted.  Used by stall
+        the hot path, so they can only be counted.  Periodics staged in
+        an in-flight batch run are folded in and reported separately --
+        before the batched core, an advance aborted mid-run made these
+        events invisible to stall diagnostics.  Used by stall
         diagnostics to say *what* was (or was not) left running.
         """
+        staged = [h for _, h in self._active_run if h._alive]
         labels = sorted({h.label or "<unlabelled>"
-                         for h in self._wheel.handles() if h.alive})
+                         for h in self._wheel.handles() if h.alive}
+                        | {h.label or "<unlabelled>" for h in staged})
         shown = ", ".join(labels[:max_labels])
         if len(labels) > max_labels:
             shown += f", ... ({len(labels) - max_labels} more)"
         periodics = shown if labels else "none"
-        return (f"{len(labels)} periodic ({periodics}); "
-                f"{len(self._handles)} one-shot")
+        summary = (f"{len(labels)} periodic ({periodics}); "
+                   f"{len(self._handles)} one-shot")
+        if staged:
+            summary += f"; {len(staged)} staged in an in-flight batch run"
+        return summary
 
     def step(self) -> bool:
         """Fire the next event.  Returns False if none remain."""
-        heap = self._heap
-        handles = self._handles
-        wheel = self._wheel
-        while True:
-            w = wheel._min_cache
-            if w is None and wheel._count:
-                w = wheel.peek()
-            if heap:
-                key = heap[0]
-                if w is None or key < w.key:
-                    _heappop(heap)
-                    cb = handles.pop(key, None)
-                    if cb is None:
-                        self._dead -= 1
-                        continue
-                    self.now = key >> SEQ_BITS
-                    self._events_fired += 1
-                    cb()
-                    return True
-            if w is None:
-                return False
-            self._fire_periodic(w)
-            return True
+        return self._backend.step(self)
 
     def _fire_periodic(self, handle: PeriodicHandle) -> None:
         """Fire the wheel head; counts the event (step() path)."""
@@ -292,113 +340,14 @@ class Simulator:
 
         The clock is left at *when* even if the last event fired
         earlier; this gives callers a consistent "the simulated world
-        has reached t" view.
+        has reached t" view.  The loop itself is supplied by the
+        active :class:`SimBackend`.
         """
-        heap = self._heap
-        handles = self._handles
-        wheel = self._wheel
-        pop = _heappop
-        get = handles.pop
-        limit = ((when + 1) << SEQ_BITS) - 1  # largest key firing <= when
-        fired = 0
-        try:
-            while True:
-                w = wheel._min_cache
-                if w is None and wheel._count:
-                    w = wheel.peek()
-                if heap:
-                    key = heap[0]
-                    if w is None or key < w.key:
-                        if key > limit:
-                            break
-                        pop(heap)
-                        cb = get(key, None)
-                        if cb is None:
-                            self._dead -= 1
-                            continue
-                        self.now = key >> SEQ_BITS
-                        fired += 1
-                        cb()
-                        continue
-                if w is None or w.key > limit:
-                    break
-                fired += 1
-                # Inlined _fire_one_periodic (hot: every wheel tick).
-                # w is the wheel minimum here, so take the fused pop.
-                wheel.pop_min()
-                self.now = w.when
-                w.callback()
-                if w._alive:
-                    seq = self._seq
-                    self._seq = seq + 1
-                    w.fires += 1
-                    nxt = w.when + w.period
-                    w.when = nxt
-                    w.seq = seq
-                    w.key = (nxt << SEQ_BITS) | seq
-                    wheel.insert(w)
-        finally:
-            self._events_fired += fired
-        if when > self.now:
-            self.now = when
+        self._backend.run_until(self, when)
 
     def run(self) -> None:
-        """Fire events until both queues drain."""
-        heap = self._heap
-        handles = self._handles
-        wheel = self._wheel
-        pop = _heappop
-        get = handles.pop
-        fired = 0
-        try:
-            while True:
-                if wheel._count == 0:
-                    # Pure one-shot fast path: pop straight off the heap.
-                    if not heap:
-                        return
-                    key = pop(heap)
-                    cb = get(key, None)
-                    if cb is None:
-                        self._dead -= 1
-                        continue
-                    self.now = key >> SEQ_BITS
-                    fired += 1
-                    cb()
-                    continue
-                if heap:
-                    w = wheel._min_cache
-                    if w is None:
-                        w = wheel.peek()
-                    key = heap[0]
-                    if key < w.key:
-                        pop(heap)
-                        cb = get(key, None)
-                        if cb is None:
-                            self._dead -= 1
-                            continue
-                        self.now = key >> SEQ_BITS
-                        fired += 1
-                        cb()
-                        continue
-                    wheel.remove(w)
-                else:
-                    # Only wheel events remain: one fused call per tick.
-                    w = wheel.pop_min()
-                fired += 1
-                # Inlined _fire_one_periodic (hot: every wheel tick).
-                self.now = w.when
-                w.callback()
-                if w._alive:
-                    seq = self._seq
-                    self._seq = seq + 1
-                    w.fires += 1
-                    nxt = w.when + w.period
-                    w.when = nxt
-                    w.seq = seq
-                    w.key = (nxt << SEQ_BITS) | seq
-                    wheel.insert(w)
-        finally:
-            self._events_fired += fired
+        """Fire events until both queues drain (backend-supplied loop)."""
+        self._backend.run(self)
 
     def run_steps(self, count: int) -> int:
         """Fire at most *count* events; returns the number fired."""
@@ -422,8 +371,17 @@ class Simulator:
 
     @property
     def events_pending(self) -> int:
-        """Number of live events still scheduled (O(1))."""
-        return len(self._handles) + self._wheel._count
+        """Number of live events still scheduled.
+
+        O(1) plus the (normally empty) staged batch run: entries a
+        batched advance extracted but had not dispatched when it
+        exited are still pending events and are counted here.
+        """
+        pending = len(self._handles) + self._wheel._count
+        run = self._active_run
+        if run:
+            pending += sum(1 for _, h in run if h._alive)
+        return pending
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Simulator t={self.now} fired={self._events_fired} "

@@ -29,6 +29,11 @@ from typing import Any, Callable, Optional
 SEQ_BITS = 44
 SEQ_MASK = (1 << SEQ_BITS) - 1
 
+#: Compact the one-shot heap only once it is at least this large;
+#: below that the lazy-deletion overhead is noise and compaction would
+#: just churn.
+COMPACT_FLOOR = 64
+
 
 class EventHandle:
     """A scheduled one-shot callback that may be cancelled before firing.
@@ -77,7 +82,20 @@ class EventHandle:
         """Cancel the event.  Returns True if it had not yet fired."""
         owner = self._owner
         if owner is not None:
-            return owner._cancel_oneshot(self)
+            # Inlined Simulator._cancel_oneshot: timeout-style
+            # workloads cancel most of what they schedule, so this is
+            # a hot path worth a frame.  The compaction test runs every
+            # 32nd dead entry -- the bound only loosens by a constant,
+            # and mass-cancel storms skip 31 len() calls out of 32.
+            if owner._handles.pop(self.key, None) is None:
+                return False  # already fired or already cancelled
+            dead = owner._dead + 1
+            owner._dead = dead
+            if not dead & 31:
+                heap = owner._heap
+                if dead > len(heap) // 2 and len(heap) >= COMPACT_FLOOR:
+                    owner._compact()
+            return True
         if self.key < 0:
             return False
         self.key = ~self.key

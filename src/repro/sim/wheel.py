@@ -69,7 +69,7 @@ class TimerWheel:
     """Hierarchical timing wheel over :class:`PeriodicHandle` entries."""
 
     __slots__ = ("_slots", "_occupied", "_time", "_count", "_near", "_far",
-                 "_min_cache")
+                 "_min_cache", "_ins")
 
     def __init__(self) -> None:
         self._slots: List[List[_Bucket]] = [
@@ -81,6 +81,11 @@ class TimerWheel:
         self._near: list = []   # (key, handle) behind the cursor
         self._far: list = []    # (key, handle) beyond the horizon
         self._min_cache: Optional["PeriodicHandle"] = None
+        #: Monotone insertion generation.  The batched run loops compare
+        #: it around callbacks to learn whether a callback armed a new
+        #: periodic (which may be due inside the current dispatch
+        #: window) without paying a wheel scan per event.
+        self._ins = 0
 
     def __len__(self) -> int:
         return self._count
@@ -91,6 +96,7 @@ class TimerWheel:
     def insert(self, handle: "PeriodicHandle") -> None:
         """File *handle* by its ``when``; O(levels)."""
         self._count += 1
+        self._ins += 1
         cache = self._min_cache
         if cache is not None and handle.key < cache.key:
             self._min_cache = handle
@@ -202,6 +208,46 @@ class TimerWheel:
         else:
             bucket.remove((handle.key, handle))
         return handle
+
+    def extract_upto(self, limit_key: int, out: list) -> int:
+        """Move every entry with packed key <= *limit_key* into *out*.
+
+        Entries are appended (or merged, if *out* is non-empty) as
+        ``(key, handle)`` pairs in ascending key order and unlinked from
+        the wheel, so *out* becomes a ready-to-dispatch sorted run and
+        the wheel retains only entries beyond the window.  This folds
+        the cascade into run extraction: instead of a bitmap scan, a
+        cascade check and an unlink *per fire*, the batched engine
+        loops pay them once per window and then dispatch/re-arm against
+        a flat sorted list.  Returns the number of entries moved.
+        """
+        moved = 0
+        merge = bool(out)
+        while self._count:
+            handle = self._min_cache
+            if handle is None:
+                handle = self.peek()
+            key = handle.key
+            if key > limit_key:
+                break
+            # Inlined unlink of the cached minimum (cf. pop_min).
+            self._min_cache = None
+            self._count -= 1
+            bucket = handle._bucket
+            handle._bucket = None
+            if type(bucket) is _Bucket:
+                entries = bucket.entries
+                entries.remove(handle)
+                if not entries:
+                    self._occupied[bucket.level] &= ~(1 << bucket.idx)
+            else:
+                bucket.remove((key, handle))
+            if merge:
+                insort(out, (key, handle))
+            else:
+                out.append((key, handle))
+            moved += 1
+        return moved
 
     def _wheel_min(self) -> Optional["PeriodicHandle"]:
         """Earliest entry held in the wheel proper, cascading as needed."""
