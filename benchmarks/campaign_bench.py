@@ -1,0 +1,253 @@
+"""Campaign throughput benchmark: cold vs warm vs resumed sweeps.
+
+Times one ``>=64``-job campaign (fig7 x seeds) three ways against a
+:class:`repro.store.ResultStore`:
+
+* **cold**  -- empty store, every job computes (and is persisted),
+* **warm**  -- identical re-run, every job is a cache hit,
+* **resumed** -- the campaign is interrupted roughly halfway, then
+  finished with ``--resume``; completed jobs load from the journal.
+
+Byte-identity of the exported ``CampaignResult`` across all three is
+asserted as part of the measurement -- a cache that is fast but wrong
+would fail the benchmark, not just the test suite.
+
+Measure and write (committed at the repo root, tracked PR-over-PR)::
+
+    PYTHONPATH=src python -m benchmarks.campaign_bench \
+        --output BENCH_campaign.json
+
+CI gate (quick sizes; asserts >=95% warm hit rate, >10x speedup,
+byte-identical exports)::
+
+    PYTHONPATH=src python -m benchmarks.campaign_bench --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import re
+import shutil
+import sys
+import tempfile
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.experiments.campaign import CampaignRunner, CampaignSpec
+from repro.experiments.export import campaign_to_dict, to_json
+from repro.store import ResultStore
+
+#: Default matrix: 64 jobs is the acceptance floor for the 10x gate.
+SEEDS = 64
+SAMPLES = 300
+QUICK_SAMPLES = 120
+WORKERS = 4
+REPEATS = 5
+
+#: --check gates (the CI campaign-cache job fails on either).
+MIN_HIT_RATE = 0.95
+MIN_WARM_SPEEDUP = 10.0
+
+
+class _Interrupted(Exception):
+    """Raised by the progress hook to simulate a mid-campaign kill."""
+
+
+def _spec(seeds: int, samples: int) -> CampaignSpec:
+    return CampaignSpec(scenarios=("fig7",),
+                        seeds=tuple(range(1, seeds + 1)),
+                        samples=samples)
+
+
+def _export(result) -> str:
+    return to_json(campaign_to_dict(result))
+
+
+def _timed_run(spec: CampaignSpec, store: ResultStore, workers: int,
+               resume: bool = False,
+               progress=None) -> Tuple[float, Any]:
+    runner = CampaignRunner(spec, workers=workers, store=store,
+                            resume=resume, progress=progress)
+    start = time.perf_counter()
+    result = runner.run()
+    return time.perf_counter() - start, result
+
+
+def _interrupting_progress(stop_after: int):
+    """A progress hook that kills the run once ~stop_after jobs did."""
+    pattern = re.compile(r"campaign: (\d+)/\d+ computed")
+
+    def hook(message: str) -> None:
+        match = pattern.match(message)
+        if match and int(match.group(1)) >= stop_after:
+            raise _Interrupted
+
+    return hook
+
+
+def measure(seeds: int = SEEDS, samples: int = SAMPLES,
+            workers: int = WORKERS,
+            repeats: int = REPEATS) -> Dict[str, Any]:
+    spec = _spec(seeds, samples)
+    jobs = len(spec.expand())
+    root = tempfile.mkdtemp(prefix="campaign-bench-")
+    try:
+        # One persistent store for the warm leg, fresh ones for each
+        # cold/resumed sample.
+        warm_store = ResultStore(f"{root}/warm")
+        cold_s = float("inf")
+        cold_result = None
+        for index in range(repeats):
+            store = (warm_store if index == 0
+                     else ResultStore(f"{root}/cold{index}"))
+            elapsed, result = _timed_run(spec, store, workers)
+            assert result.cache["computed"] == jobs
+            cold_s = min(cold_s, elapsed)
+            cold_result = result
+
+        warm_s = float("inf")
+        warm_result = None
+        for _ in range(repeats):
+            elapsed, warm_result = _timed_run(spec, warm_store, workers)
+            warm_s = min(warm_s, elapsed)
+        hits = warm_result.cache["hits"]
+        hit_rate = hits / jobs
+
+        resumed_s = float("inf")
+        resumed_result = None
+        resumed_jobs = 0
+        for index in range(repeats):
+            store = ResultStore(f"{root}/resume{index}")
+            try:
+                _timed_run(spec, store, workers,
+                           progress=_interrupting_progress(jobs // 2))
+                raise RuntimeError("interruption hook never fired")
+            except _Interrupted:
+                pass
+            elapsed, resumed_result = _timed_run(spec, store, workers,
+                                                 resume=True)
+            resumed_s = min(resumed_s, elapsed)
+            resumed_jobs = resumed_result.cache["resumed"]
+
+        export_identical = (_export(cold_result) == _export(warm_result)
+                            == _export(resumed_result))
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    return {
+        "schema": 1,
+        "python": platform.python_version(),
+        "campaign": {"scenario": "fig7", "jobs": jobs,
+                     "samples": samples, "workers": workers},
+        "repeats": repeats,
+        "export_byte_identical": export_identical,
+        "rows": {
+            "cold": {
+                "wall_s": round(cold_s, 4),
+                "jobs_computed": jobs,
+            },
+            "warm": {
+                "wall_s": round(warm_s, 4),
+                "hits": hits,
+                "hit_rate": round(hit_rate, 4),
+                "speedup_vs_cold": round(cold_s / warm_s, 1),
+            },
+            "resumed": {
+                "wall_s": round(resumed_s, 4),
+                "jobs_resumed": resumed_jobs,
+                "jobs_computed": resumed_result.cache["computed"],
+                "speedup_vs_cold": round(cold_s / resumed_s, 1),
+            },
+        },
+    }
+
+
+def report(data: Dict[str, Any]) -> str:
+    rows = data["rows"]
+    spec = data["campaign"]
+    lines = [
+        f"campaign bench: {spec['jobs']} jobs "
+        f"(fig7, samples={spec['samples']}, workers={spec['workers']}, "
+        f"best-of-{data['repeats']})",
+        "",
+        f"  cold     {rows['cold']['wall_s']:>8.3f}s  "
+        f"({rows['cold']['jobs_computed']} computed)",
+        f"  warm     {rows['warm']['wall_s']:>8.3f}s  "
+        f"({rows['warm']['hits']} hits, "
+        f"{rows['warm']['hit_rate'] * 100:.0f}% hit rate, "
+        f"{rows['warm']['speedup_vs_cold']:.0f}x vs cold)",
+        f"  resumed  {rows['resumed']['wall_s']:>8.3f}s  "
+        f"({rows['resumed']['jobs_resumed']} resumed + "
+        f"{rows['resumed']['jobs_computed']} computed, "
+        f"{rows['resumed']['speedup_vs_cold']:.1f}x vs cold)",
+        "",
+        f"  exports byte-identical: {data['export_byte_identical']}",
+    ]
+    return "\n".join(lines)
+
+
+def check(data: Dict[str, Any]) -> int:
+    """Gate the freshly measured numbers (CI campaign-cache job)."""
+    rows = data["rows"]
+    failures = []
+    if rows["warm"]["hit_rate"] < MIN_HIT_RATE:
+        failures.append(
+            f"warm hit rate {rows['warm']['hit_rate']:.2%} "
+            f"< {MIN_HIT_RATE:.0%}")
+    if rows["warm"]["speedup_vs_cold"] <= MIN_WARM_SPEEDUP:
+        failures.append(
+            f"warm speedup {rows['warm']['speedup_vs_cold']:.1f}x "
+            f"<= {MIN_WARM_SPEEDUP:.0f}x")
+    if not data["export_byte_identical"]:
+        failures.append("cold/warm/resumed exports differ")
+    if rows["resumed"]["jobs_resumed"] == 0:
+        failures.append("resume leg recomputed every job")
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    print("OK: hit rate, warm speedup, resume and byte-identity gates "
+          "all passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.campaign_bench")
+    parser.add_argument("--seeds", type=int, default=SEEDS,
+                        help="seed count (= job count; default 64)")
+    parser.add_argument("--samples", type=int, default=SAMPLES)
+    parser.add_argument("--workers", type=int, default=WORKERS)
+    parser.add_argument("--repeats", type=int, default=REPEATS,
+                        help="best-of-N (default 5)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller samples and best-of-1 (CI)")
+    parser.add_argument("--check", action="store_true",
+                        help="assert the hit-rate/speedup/identity "
+                             "gates (implies --quick)")
+    parser.add_argument("--output", default="",
+                        help="write BENCH_campaign.json here")
+    args = parser.parse_args(argv)
+
+    samples, repeats = args.samples, args.repeats
+    if args.quick or args.check:
+        samples = min(samples, QUICK_SAMPLES)
+        repeats = 1
+
+    data = measure(seeds=args.seeds, samples=samples,
+                   workers=args.workers, repeats=repeats)
+    print(report(data))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"(wrote {args.output})")
+    if args.check:
+        print()
+        return check(data)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

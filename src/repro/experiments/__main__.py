@@ -11,10 +11,21 @@ Scenario registry::
     python -m repro.experiments list-scenarios [--group a1]
     python -m repro.experiments run a1-full --samples 2000
 
-Campaigns (scenario x seed matrix, parallel workers)::
+Campaigns (scenario x seed matrix, parallel workers, cached and
+resumable through the content-addressed result store)::
 
     python -m repro.experiments campaign --scenarios fig5,fig6 \\
         --seeds 1..8 --workers 4 --json campaign.json
+    python -m repro.experiments campaign --scenarios fig6 \\
+        --seeds 1..64 --workers 4 --store         # warm runs are hits
+    python -m repro.experiments campaign --scenarios fig6 \\
+        --seeds 1..64 --store --resume            # after a Ctrl-C
+
+Result store maintenance::
+
+    python -m repro.experiments store ls
+    python -m repro.experiments store verify [--delete]
+    python -m repro.experiments store gc [--keep-days 30]
 
 Tracing (ftrace/perf-style observability)::
 
@@ -68,7 +79,8 @@ LATENCY = {
     "fig7": (run_fig7_rcim, "summary"),
 }
 
-SUBCOMMANDS = ("campaign", "faults", "list-scenarios", "run", "trace")
+SUBCOMMANDS = ("campaign", "faults", "list-scenarios", "run", "store",
+               "trace")
 
 
 def run_one(name: str, iterations: int, samples: int, seed: int,
@@ -163,6 +175,24 @@ def _run_lint(paths=("src",)) -> int:
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
+def _store_arg(value):
+    """Resolve a ``--store [DIR]`` argument: None, "" (default dir) or
+    an explicit path."""
+    if value is None:
+        return None
+    if value == "":
+        from repro.store import DEFAULT_STORE_DIR
+
+        return DEFAULT_STORE_DIR
+    return value
+
+
+def _progress(message: str) -> None:
+    """Campaign progress lines go to stderr: stdout carries the
+    summary/JSON that byte-identity checks compare."""
+    print(message, file=sys.stderr)
+
+
 def _cmd_list_scenarios(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments list-scenarios",
@@ -213,23 +243,54 @@ def _cmd_campaign(argv) -> int:
                              "(see 'faults list-faults')")
     parser.add_argument("--fault-intensity", type=float, default=None,
                         help="scale the fault plan's baseline intensity")
+    parser.add_argument("--store", nargs="?", const="", default=None,
+                        metavar="DIR",
+                        help="cache runs in a content-addressed result "
+                             "store (default directory: .repro-store); "
+                             "warm re-runs load hits instead of "
+                             "recomputing, byte-identically")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="with --store: ignore existing entries "
+                             "(recompute everything) but still persist "
+                             "fresh results")
+    parser.add_argument("--resume", action="store_true",
+                        help="with --store: trust the campaign journal "
+                             "from an interrupted run; completed jobs "
+                             "are loaded even under --no-cache")
+    parser.add_argument("--merged-only", action="store_true",
+                        help="drop per-run results after merging "
+                             "(memory stays O(per-scenario); the JSON "
+                             "export then carries merges only)")
     args = parser.parse_args(argv)
 
     names = tuple(n.strip() for n in args.scenarios.split(",") if n.strip())
     try:
         seeds = parse_seeds(args.seeds)
-    except ValueError:
-        parser.error(f"--seeds must look like '1..8' or '1,2,5', "
-                     f"got {args.seeds!r}")
+    except ValueError as exc:
+        parser.error(str(exc))
+    store = _store_arg(args.store)
+    if store is None and (args.no_cache or args.resume):
+        parser.error("--no-cache/--resume need --store")
     try:
         result = run_campaign(names, seeds=seeds,
                               workers=args.workers, samples=args.samples,
                               iterations=args.iterations,
                               trace=args.trace,
                               fault_plan=args.fault_plan,
-                              fault_intensity=args.fault_intensity)
+                              fault_intensity=args.fault_intensity,
+                              store=store,
+                              use_cache=not args.no_cache,
+                              resume=args.resume,
+                              progress=_progress,
+                              retain_runs=not args.merged_only)
     except (UnknownScenarioError, ValueError) as exc:
         raise SystemExit(f"error: {exc}")
+    except KeyboardInterrupt:
+        if store is not None:
+            raise SystemExit(
+                "interrupted: completed jobs are journaled -- rerun "
+                "with --resume to continue where this run stopped")
+        raise SystemExit("interrupted (no --store: progress not kept)")
     print(result.summary())
     if args.json:
         to_json(campaign_to_dict(result), path=args.json)
@@ -466,9 +527,20 @@ def _cmd_margin(argv) -> int:
     parser.add_argument("--samples", type=int, default=6_000)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--store", nargs="?", const="", default=None,
+                        metavar="DIR",
+                        help="reuse/persist ladder cells through the "
+                             "content-addressed result store (default "
+                             "directory: .repro-store); twins and "
+                             "repeated/extended ladders share cached "
+                             "runs")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="with --store: recompute every cell but "
+                             "still persist the fresh results")
     parser.add_argument("--json", default="",
                         help="write the margin report here "
-                             "(byte-identical across --workers)")
+                             "(byte-identical across --workers and "
+                             "cache states)")
     args = parser.parse_args(argv)
 
     from repro.faults import MarginSpec, run_margin
@@ -485,13 +557,94 @@ def _cmd_margin(argv) -> int:
         scenario=spec.name, plan=plan.name, intensities=intensities,
         bound_ns=int(args.bound_us * 1_000), samples=args.samples,
         seed=args.seed)
-    result = run_margin(margin_spec, workers=args.workers)
+    result = run_margin(margin_spec, workers=args.workers,
+                        store=_store_arg(args.store),
+                        use_cache=not args.no_cache)
     print(result.summary())
     if args.json:
         from repro.experiments.export import to_json
 
         to_json(result.to_dict(), path=args.json)
         print(f"(wrote {args.json})")
+    return 0
+
+
+def _cmd_store(argv) -> int:
+    """Result-store maintenance: ls | verify | gc."""
+    actions = ("ls", "verify", "gc")
+    if not argv or argv[0] not in actions:
+        print(f"usage: python -m repro.experiments store "
+              f"{{{'|'.join(actions)}}} ...", file=sys.stderr)
+        return 2
+    action, rest = argv[0], argv[1:]
+
+    from repro.store import DEFAULT_STORE_DIR, ResultStore
+
+    parser = argparse.ArgumentParser(
+        prog=f"python -m repro.experiments store {action}",
+        description={
+            "ls": "List the store's entries (scenario, seed, size).",
+            "verify": "Fully decode every entry and flag corruption.",
+            "gc": "Drop entries no current key can hit (other code "
+                  "versions), optionally also entries older than "
+                  "--keep-days.",
+        }[action])
+    parser.add_argument("--store", default=DEFAULT_STORE_DIR,
+                        metavar="DIR",
+                        help=f"store directory (default "
+                             f"{DEFAULT_STORE_DIR})")
+    if action == "verify":
+        parser.add_argument("--delete", action="store_true",
+                            help="remove corrupt entries so the next "
+                                 "run recomputes them")
+    if action == "gc":
+        parser.add_argument("--keep-days", type=float, default=None,
+                            help="also drop entries older than this "
+                                 "many days")
+        parser.add_argument("--dry-run", action="store_true",
+                            help="report what would be removed")
+    args = parser.parse_args(rest)
+
+    store = ResultStore(args.store)
+    if action == "ls":
+        count = 0
+        total = 0
+        for key, meta, size in store.ls():
+            count += 1
+            total += size
+            if not meta:
+                print(f"{key[:16]}  CORRUPT  {size:>10} B")
+                continue
+            if meta.get("stalled"):
+                detail = f"stalled: {meta.get('error', '')[:40]}"
+            else:
+                detail = (f"{meta.get('kind', '?'):<12} "
+                          f"n={meta.get('count', 0)}")
+            print(f"{key[:16]}  {meta.get('scenario', '?'):<16} "
+                  f"seed={meta.get('seed', '?'):<6} {detail}  "
+                  f"{size:>10} B")
+        print(f"{count} entries, {total / 1e6:.2f} MB in {store.root}")
+        return 0
+    if action == "verify":
+        ok, corrupt = store.verify(delete=args.delete)
+        for key in corrupt:
+            print(f"corrupt: {key}"
+                  f"{'  (deleted)' if args.delete else ''}")
+        print(f"verify: {ok} ok, {len(corrupt)} corrupt")
+        return 1 if corrupt and not args.delete else 0
+    # gc
+    now_s = None
+    max_age_s = None
+    if args.keep_days is not None:
+        import time  # lint: ok(wall-clock)  (CLI maintenance only)
+
+        now_s = time.time()
+        max_age_s = args.keep_days * 86_400.0
+    removed = store.gc(max_age_s=max_age_s, now_s=now_s,
+                       dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"gc: {verb} {len(removed)} entr"
+          f"{'y' if len(removed) == 1 else 'ies'}")
     return 0
 
 
@@ -545,6 +698,8 @@ def main(argv=None) -> int:
             return _cmd_faults(rest)
         if command == "list-scenarios":
             return _cmd_list_scenarios(rest)
+        if command == "store":
+            return _cmd_store(rest)
         if command == "trace":
             return _cmd_trace(rest)
         return _cmd_run(rest)

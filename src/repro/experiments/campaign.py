@@ -1,29 +1,41 @@
-"""Parallel campaign execution over the scenario registry.
+"""Parallel, cacheable, resumable campaign execution.
 
 A :class:`CampaignSpec` names a scenario x seed x config-override
 matrix; :class:`CampaignRunner` expands it into jobs and executes the
 benches in parallel with :mod:`multiprocessing`.  Each worker rebuilds
 its bench from the picklable :class:`ScenarioSpec`, so runs are fully
 independent; the merged :class:`CampaignResult` is **byte-identical
-regardless of worker count or scheduling order** because
+regardless of worker count, scheduling order, or cache state** because
 
 * every job's seed and configuration live in its spec (no shared RNG),
-* results are reassembled in the deterministic job-expansion order, and
-* merging recorders is a pure, order-preserving fold over that order.
+* results are folded in the deterministic job-expansion order no
+  matter when they arrive (an order-preserving streaming merge), and
+* a cache hit loads the exact bytes a recomputation would produce
+  (the store key embeds the code-tree digest, and the simulator is
+  byte-deterministic -- pinned by the golden suites).
+
+With a :class:`~repro.store.ResultStore` attached, the expanded job
+list is partitioned into cache **hits** (loaded, never recomputed) and
+**misses** (executed via ``imap_unordered`` with adaptive chunking);
+every completed job is persisted and journaled the moment it finishes,
+so an interrupted campaign (Ctrl-C, crashed worker, CI timeout)
+resumes from where it stopped instead of starting over.
 
 Usage::
 
     campaign = CampaignSpec(scenarios=("fig5", "fig6"),
                             seeds=tuple(range(1, 9)))
-    result = CampaignRunner(campaign, workers=4).run()
+    result = CampaignRunner(campaign, workers=4,
+                            store=".repro-store").run()
     result.merged["fig5"].max()
 """
 
 from __future__ import annotations
 
 import multiprocessing
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.experiments.scenario import (
     ScenarioResult,
@@ -33,15 +45,43 @@ from repro.experiments.scenario import (
 )
 from repro.metrics.recorder import JitterRecorder, LatencyRecorder
 from repro.sim.rng import DEFAULT_SEED
+from repro.store import digest_of, job_key, open_store
+from repro.store.keys import code_version
 
 
 def parse_seeds(text: str) -> Tuple[int, ...]:
-    """Parse a seed list: ``"1..8"`` (inclusive) or ``"1,2,5"``."""
+    """Parse a seed list: ``"1..8"`` (inclusive) or ``"1,2,5"``.
+
+    Rejects anything that would silently produce an empty or
+    backwards matrix: ``""``, ``"8..1"``, ``"1..x"``, ``","``.
+    """
     text = text.strip()
+    if not text:
+        raise ValueError("empty seed list (expected '1..8' or '1,2,5')")
     if ".." in text:
-        lo, hi = text.split("..", 1)
-        return tuple(range(int(lo), int(hi) + 1))
-    return tuple(int(part) for part in text.split(",") if part.strip())
+        lo_text, hi_text = text.split("..", 1)
+        try:
+            lo, hi = int(lo_text), int(hi_text)
+        except ValueError:
+            raise ValueError(
+                f"malformed seed range {text!r} "
+                f"(expected '<lo>..<hi>', e.g. '1..8')") from None
+        if hi < lo:
+            raise ValueError(
+                f"backwards seed range {text!r}: {lo} > {hi}")
+        return tuple(range(lo, hi + 1))
+    try:
+        seeds = tuple(int(part) for part in text.split(",")
+                      if part.strip())
+    except ValueError:
+        raise ValueError(
+            f"malformed seed list {text!r} "
+            f"(expected '1..8' or '1,2,5')") from None
+    if not seeds:
+        raise ValueError(
+            f"seed list {text!r} names no seeds "
+            f"(expected '1..8' or '1,2,5')")
+    return seeds
 
 
 @dataclass(frozen=True)
@@ -72,6 +112,8 @@ class CampaignSpec:
     #: Enable typed tracing in every worker.  Observational: the
     #: recorders -- and therefore the campaign export -- stay
     #: byte-identical; trace reports ride on each run's ``trace``.
+    #: Traced jobs bypass the result store entirely (the trace report
+    #: is not persisted, so a cache hit could not reproduce it).
     trace: bool = False
     #: Fault plan applied to every scenario ("" keeps each scenario's
     #: registered plan -- usually none), plus an intensity override.
@@ -110,15 +152,74 @@ def _run_job(job: CampaignJob) -> Tuple[int, ScenarioResult]:
     return job.index, run_scenario(job.spec, trace=job.trace or None)
 
 
+class _StreamingMerge:
+    """Order-preserving incremental fold of per-scenario recorders.
+
+    Results may arrive in any order (``imap_unordered``); they are
+    buffered until the fold cursor reaches them and then merged in
+    job-expansion order, so the merged recorders -- and every
+    downstream export byte -- are independent of arrival order.  At
+    any moment the buffer holds only the arrival-order skew, not the
+    whole campaign.
+    """
+
+    def __init__(self, total: int) -> None:
+        self._total = total
+        self._cursor = 0
+        self._buffer: Dict[int, ScenarioResult] = {}
+        self._merged: Dict[str, Any] = {}
+        self._periods: Dict[str, set] = {}
+
+    def add(self, index: int, result: ScenarioResult) -> None:
+        self._buffer[index] = result
+        while self._cursor in self._buffer:
+            self._fold(self._buffer.pop(self._cursor))
+            self._cursor += 1
+
+    def _fold(self, result: ScenarioResult) -> None:
+        name = result.scenario
+        rec = result.recorder
+        merged = self._merged.get(name)
+        if isinstance(rec, JitterRecorder):
+            if merged is None:
+                merged = self._merged[name] = JitterRecorder(name)
+        else:
+            if merged is None:
+                merged = self._merged[name] = LatencyRecorder(name)
+            self._periods.setdefault(name, set()).add(rec.period_ns)
+        merged.merge_from(rec)
+
+    def finish(self) -> Dict[str, Any]:
+        if self._cursor != self._total or self._buffer:
+            raise RuntimeError(
+                f"merge incomplete: {self._cursor}/{self._total} folded, "
+                f"{len(self._buffer)} buffered")
+        # Same consensus rule as Recorder.merged(): the period survives
+        # only if every contributing recorder agreed on it.
+        for name, periods in self._periods.items():
+            self._merged[name].period_ns = (periods.pop()
+                                            if len(periods) == 1 else None)
+        return self._merged
+
+
 @dataclass
 class CampaignResult:
-    """All runs of a campaign plus per-scenario merged recorders."""
+    """All runs of a campaign plus per-scenario merged recorders.
+
+    ``cache`` summarises how the runner sourced the jobs (total /
+    cache hits / journal-resumed / computed); it is diagnostic only
+    and deliberately excluded from exports, which must stay
+    byte-identical whatever the cache state.  With ``retain_runs``
+    disabled on the runner, ``runs`` is empty and only ``merged``
+    (O(per-scenario recorder)) is kept.
+    """
 
     campaign: CampaignSpec
     jobs: List[CampaignJob]
     runs: List[ScenarioResult]
     workers: int = 1
     merged: Dict[str, Any] = field(default_factory=dict)
+    cache: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.merged:
@@ -170,39 +271,183 @@ class CampaignResult:
 
 
 class CampaignRunner:
-    """Expand and execute a campaign, optionally across processes."""
+    """Expand and execute a campaign, optionally across processes.
 
-    def __init__(self, campaign: CampaignSpec, workers: int = 1) -> None:
+    Parameters
+    ----------
+    store:
+        A :class:`~repro.store.ResultStore`, a path for one, or None
+        (no persistence -- the pre-store behaviour).
+    use_cache:
+        When False, existing entries are ignored (every job
+        recomputes) but fresh results are still persisted -- refresh
+        semantics.
+    resume:
+        Trust the campaign journal from a prior (interrupted) run:
+        journaled jobs whose key still matches are loaded from the
+        store even under ``use_cache=False``.
+    progress:
+        Optional ``callable(str)`` receiving partition and completion
+        lines (the CLI points this at stderr).
+    retain_runs:
+        When False, per-run results are dropped after the streaming
+        merge folds them (and, with a store, after persistence), so
+        memory stays O(per-scenario recorder) instead of O(all runs);
+        ``CampaignResult.runs`` comes back empty.
+    """
+
+    def __init__(self, campaign: CampaignSpec, workers: int = 1,
+                 store: Any = None, use_cache: bool = True,
+                 resume: bool = False,
+                 progress: Optional[Callable[[str], None]] = None,
+                 retain_runs: bool = True) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.campaign = campaign
         self.workers = workers
+        self.store = open_store(store)
+        self.use_cache = use_cache
+        self.resume = resume
+        self.progress = progress
+        self.retain_runs = retain_runs
 
+    # ------------------------------------------------------------------
+    def _emit(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    def campaign_key(self, jobs: Optional[List[CampaignJob]] = None
+                     ) -> str:
+        """Identity of this campaign's job list (journal file name)."""
+        if jobs is None:
+            jobs = self.campaign.expand()
+        code = code_version()
+        return digest_of({
+            "jobs": [None if job.trace else job_key(job.spec, code)
+                     for job in jobs],
+        })
+
+    # ------------------------------------------------------------------
     def run(self) -> CampaignResult:
         jobs = self.campaign.expand()
-        if self.workers == 1 or len(jobs) == 1:
-            results = [run_scenario(job.spec, trace=job.trace or None)
-                       for job in jobs]
-        else:
-            results = self._run_parallel(jobs)
-        return CampaignResult(campaign=self.campaign, jobs=jobs,
-                              runs=results, workers=self.workers)
+        store = self.store
+        code = code_version() if store is not None else ""
 
-    def _run_parallel(self, jobs: List[CampaignJob]
-                      ) -> List[ScenarioResult]:
+        # Traced jobs bypass the store: their trace report is not
+        # persisted, so a hit could not reproduce the full result.
+        keys: Dict[int, str] = {}
+        if store is not None:
+            keys = {job.index: job_key(job.spec, code)
+                    for job in jobs if not job.trace}
+
+        journal: Dict[int, str] = {}
+        campaign_key = ""
+        if store is not None:
+            campaign_key = digest_of(
+                {"jobs": [keys.get(job.index) for job in jobs]})
+            if self.resume:
+                journal = store.read_journal(campaign_key)
+
+        def load_hit(key: str) -> Optional[ScenarioResult]:
+            entry = store.get(key)
+            if entry is not None and not entry.stalled:
+                return entry.result
+            return None
+
+        # -- partition: hits load, misses queue ------------------------
+        hits: Dict[int, ScenarioResult] = {}
+        resumed = 0
+        pending: List[CampaignJob] = []
+        for job in jobs:
+            key = keys.get(job.index)
+            result = None
+            if key is not None:
+                if journal.get(job.index) == key:
+                    result = load_hit(key)
+                    if result is not None:
+                        resumed += 1
+                if result is None and self.use_cache:
+                    result = load_hit(key)
+            if result is not None:
+                hits[job.index] = result
+            else:
+                pending.append(job)
+        self._emit(f"campaign: {len(jobs)} jobs | {len(hits)} cache "
+                   f"hits ({resumed} via journal) | {len(pending)} "
+                   f"to run")
+
+        merge = _StreamingMerge(len(jobs))
+        runs: Optional[List[Optional[ScenarioResult]]] = (
+            [None] * len(jobs) if self.retain_runs else None)
+        completed = 0
+        step = max(1, len(pending) // 10)
+
+        journal_ctx = (store.journal_writer(campaign_key)
+                       if store is not None else nullcontext())
+        with journal_ctx as writer:
+            def ingest(index: int, result: ScenarioResult,
+                       computed: bool) -> None:
+                nonlocal completed
+                key = keys.get(index)
+                if computed and store is not None and key is not None:
+                    store.put(key, result, code)
+                if writer is not None and key is not None:
+                    writer.record(index, key)
+                merge.add(index, result)
+                if runs is not None:
+                    runs[index] = result
+                if computed:
+                    completed += 1
+                    if completed % step == 0 or completed == len(pending):
+                        self._emit(f"campaign: {completed}/"
+                                   f"{len(pending)} computed")
+
+            # Hits are complete work: fold and journal them first so a
+            # resumed-then-interrupted campaign keeps its full prefix.
+            for index in sorted(hits):
+                ingest(index, hits[index], computed=False)
+
+            if pending:
+                if self.workers == 1 or len(pending) == 1:
+                    for job in pending:
+                        index, result = _run_job(job)
+                        ingest(index, result, computed=True)
+                else:
+                    results = self._imap(pending)
+                    for index, result in results:
+                        ingest(index, result, computed=True)
+
+        merged = merge.finish()
+        return CampaignResult(
+            campaign=self.campaign, jobs=jobs,
+            runs=([r for r in runs if r is not None]
+                  if runs is not None else []),
+            workers=self.workers, merged=merged,
+            cache={"jobs": len(jobs), "hits": len(hits),
+                   "resumed": resumed, "computed": len(pending),
+                   "campaign_key": campaign_key})
+
+    def _imap(self, pending: List[CampaignJob]):
+        """Unordered parallel execution with adaptive chunking.
+
+        ``chunksize=1`` pays one IPC round-trip per job; for large
+        matrices of short runs the dispatch overhead dominates.  The
+        adaptive chunk targets ~8 chunks per worker so the tail stays
+        balanced while amortising the round-trips.  Results stream
+        back as they finish (the caller's streaming merge restores
+        job order).
+        """
         # fork keeps the already-imported registries; fall back to
         # spawn on platforms without it (workers re-import the catalog).
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn")
-        workers = min(self.workers, len(jobs))
+        workers = min(self.workers, len(pending))
+        chunksize = max(1, len(pending) // (workers * 8))
         with ctx.Pool(processes=workers) as pool:
-            indexed = pool.map(_run_job, jobs, chunksize=1)
-        # Reassemble in job order no matter how the pool scheduled them.
-        ordered: List[Optional[ScenarioResult]] = [None] * len(jobs)
-        for index, result in indexed:
-            ordered[index] = result
-        return [r for r in ordered if r is not None]
+            for item in pool.imap_unordered(_run_job, pending,
+                                            chunksize=chunksize):
+                yield item
 
 
 def run_campaign(scenarios: Tuple[str, ...],
@@ -216,6 +461,11 @@ def run_campaign(scenarios: Tuple[str, ...],
                  trace: bool = False,
                  fault_plan: str = "",
                  fault_intensity: Optional[float] = None,
+                 store: Any = None,
+                 use_cache: bool = True,
+                 resume: bool = False,
+                 progress: Optional[Callable[[str], None]] = None,
+                 retain_runs: bool = True,
                  ) -> CampaignResult:
     """One-call campaign: expand the matrix and run it."""
     campaign = CampaignSpec(
@@ -225,4 +475,7 @@ def run_campaign(scenarios: Tuple[str, ...],
         fault_intensity=fault_intensity)
     if config_overrides is not None:
         campaign = replace(campaign, config_overrides=config_overrides)
-    return CampaignRunner(campaign, workers=workers).run()
+    return CampaignRunner(campaign, workers=workers, store=store,
+                          use_cache=use_cache, resume=resume,
+                          progress=progress,
+                          retain_runs=retain_runs).run()

@@ -16,9 +16,17 @@ function of (seed, plan, intensity) -- the per-cell digests in the
 report prove byte-for-byte identical injection across worker counts.
 
 Execution mirrors :class:`~repro.experiments.campaign.CampaignRunner`:
-deterministic job expansion, a fork pool with ``chunksize=1``, and
-reassembly in expansion order, so ``--workers 1`` and ``--workers 4``
-produce identical JSON.
+deterministic job expansion, a fork pool streaming unordered results,
+and reassembly in expansion order, so ``--workers 1`` and
+``--workers 4`` produce identical JSON.
+
+The ladder also shares the campaign's content-addressed result store:
+each cell is keyed by its full :class:`ScenarioSpec` (which carries
+the plan, intensity and shield wiring), so shielded/unshielded twins,
+repeated ladder invocations, overlapping intensity ladders, and plain
+campaign/storm runs of the same spec all reuse one cached run.  Cells
+that stall (interference too heavy to finish) are cached as stalled
+markers and reported as unbounded without re-running.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.experiments.scenario import (
+    ScenarioResult,
     ScenarioSpec,
     ShieldSpec,
     run_scenario,
@@ -35,6 +44,8 @@ from repro.experiments.scenario import (
 )
 from repro.sim.errors import SimulationStalledError
 from repro.sim.simtime import MSEC
+from repro.store import job_key, open_store
+from repro.store.keys import code_version
 
 #: Default intensity ladder (multiples of the plan's baseline).
 DEFAULT_INTENSITIES = (0.25, 0.5, 1.0, 2.0, 4.0)
@@ -82,18 +93,25 @@ class MarginJob:
     spec: ScenarioSpec
 
 
-def _run_margin_job(job: MarginJob) -> Tuple[int, Dict[str, Any]]:
+def _run_margin_job(job: MarginJob
+                    ) -> Tuple[int, Optional[ScenarioResult],
+                               Optional[str]]:
     """Worker entry point (module-level: must pickle under spawn).
 
     A stalled simulation -- interference so heavy the measurement
     never finishes inside its budget -- counts as an unbounded cell,
     not an error: that is exactly the degradation the margin measures.
+    Returns ``(index, result, None)`` or ``(index, None, error)`` so
+    the parent can both build the cell and persist the full run.
     """
     try:
         result = run_scenario(job.spec)
     except SimulationStalledError as exc:
-        return job.index, {"stalled": True, "max_ns": None,
-                           "error": str(exc), "faults": None}
+        return job.index, None, str(exc)
+    return job.index, result, None
+
+
+def _cell_from_result(result: ScenarioResult) -> Dict[str, Any]:
     faults = result.faults
     cell: Dict[str, Any] = {
         "stalled": False,
@@ -104,7 +122,12 @@ def _run_margin_job(job: MarginJob) -> Tuple[int, Dict[str, Any]]:
         cell["faults"] = {"injections": faults["injections"],
                           "digest": faults["digest"],
                           "by_injector": faults["by_injector"]}
-    return job.index, cell
+    return cell
+
+
+def _stalled_cell(error: str) -> Dict[str, Any]:
+    return {"stalled": True, "max_ns": None, "error": error,
+            "faults": None}
 
 
 @dataclass
@@ -190,22 +213,63 @@ def _cell_str(cell: Dict[str, Any]) -> str:
     return f"max={cell['max_ns'] / 1e3:8.1f}us"
 
 
-def run_margin(spec: MarginSpec, workers: int = 1) -> MarginResult:
-    """Expand and execute the sweep (campaign-runner execution model)."""
+def run_margin(spec: MarginSpec, workers: int = 1,
+               store: Any = None, use_cache: bool = True
+               ) -> MarginResult:
+    """Expand and execute the sweep (campaign-runner execution model).
+
+    With a *store* attached, each cell is first looked up by its
+    spec's content key; hits (including cached stalled markers) are
+    loaded instead of re-run, and every computed cell is persisted --
+    so re-running a ladder, extending its intensity axis, or running
+    the shielded twin after a campaign already ran that spec costs
+    only the missing cells.
+    """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     jobs = spec.expand()
-    if workers == 1 or len(jobs) == 1:
-        cells = [_run_margin_job(job)[1] for job in jobs]
-    else:
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else "spawn")
-        with ctx.Pool(processes=min(workers, len(jobs))) as pool:
-            indexed = pool.map(_run_margin_job, jobs, chunksize=1)
-        ordered: List[Optional[Dict[str, Any]]] = [None] * len(jobs)
-        for index, cell in indexed:
-            ordered[index] = cell
-        cells = [c for c in ordered if c is not None]
-    return MarginResult(spec=spec, jobs=jobs, cells=cells,
+    result_store = open_store(store)
+    code = code_version() if result_store is not None else ""
+
+    cells: List[Optional[Dict[str, Any]]] = [None] * len(jobs)
+    pending: List[MarginJob] = []
+    for job in jobs:
+        if result_store is not None and use_cache:
+            entry = result_store.get(job_key(job.spec, code))
+            if entry is not None:
+                cells[job.index] = (_stalled_cell(entry.error)
+                                    if entry.stalled
+                                    else _cell_from_result(entry.result))
+                continue
+        pending.append(job)
+
+    def ingest(index: int, result: Optional[ScenarioResult],
+               error: Optional[str]) -> None:
+        job = jobs[index]
+        if result_store is not None:
+            key = job_key(job.spec, code)
+            if result is not None:
+                result_store.put(key, result, code)
+            else:
+                result_store.put_stalled(key, job.spec.name,
+                                         error or "", code)
+        cells[index] = (_cell_from_result(result) if result is not None
+                        else _stalled_cell(error or ""))
+
+    if pending:
+        if workers == 1 or len(pending) == 1:
+            for job in pending:
+                ingest(*_run_margin_job(job))
+        else:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn")
+            pool_workers = min(workers, len(pending))
+            chunksize = max(1, len(pending) // (pool_workers * 8))
+            with ctx.Pool(processes=pool_workers) as pool:
+                for index, result, error in pool.imap_unordered(
+                        _run_margin_job, pending, chunksize=chunksize):
+                    ingest(index, result, error)
+    return MarginResult(spec=spec, jobs=jobs,
+                        cells=[c for c in cells if c is not None],
                         workers=workers)

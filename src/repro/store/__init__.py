@@ -1,0 +1,45 @@
+"""repro.store: content-addressed, resumable result persistence.
+
+Every scenario run is keyed by a stable digest of *(ScenarioSpec
+fields, seed, config overrides, fault plan + intensity, code
+version)*; because the simulator is byte-deterministic (the golden
+suites pin it), a key hit can be loaded instead of recomputed with no
+observable difference -- exports are byte-identical cold, warm or
+resumed.  See :mod:`repro.store.keys` for the keying contract,
+:mod:`repro.store.entry` for the checksummed on-disk format, and
+:mod:`repro.store.store` for the store/journal API used by the
+campaign runner and the shield-margin ladder.
+"""
+
+from repro.store.entry import (
+    StoreCorruptError,
+    decode,
+    encode_result,
+    encode_stalled,
+    result_from_entry,
+)
+from repro.store.keys import canonical, code_version, digest_of, job_key
+from repro.store.store import (
+    DEFAULT_STORE_DIR,
+    JournalWriter,
+    ResultStore,
+    StoreEntry,
+    open_store,
+)
+
+__all__ = [
+    "DEFAULT_STORE_DIR",
+    "JournalWriter",
+    "ResultStore",
+    "StoreCorruptError",
+    "StoreEntry",
+    "canonical",
+    "code_version",
+    "decode",
+    "digest_of",
+    "encode_result",
+    "encode_stalled",
+    "job_key",
+    "open_store",
+    "result_from_entry",
+]

@@ -1,0 +1,295 @@
+"""The content-addressed result store and campaign journals.
+
+Layout under the store root::
+
+    objects/<k[:2]>/<key>.rrs     one entry per run (see entry.py)
+    campaigns/<ckey>.journal      completed-job checkpoint, one line
+                                  per finished job: "<index> <key>"
+
+Writes are atomic (tmp file + ``os.replace``), so a concurrent reader
+never sees a half-written entry and an interrupted writer leaves at
+worst an orphaned ``*.tmp`` (swept by ``gc``).  Reads validate the
+entry checksum; anything corrupt or truncated is reported as a miss
+(and counted on :attr:`ResultStore.corrupt_reads`), never an error --
+the runner simply recomputes and overwrites.
+
+The journal is the resume checkpoint: the campaign runner truncates it
+at start-up, appends a line the moment each job's result is safely in
+the store, and flushes per line, so a ``Ctrl-C``/``SIGKILL``/CI-timeout
+at any point leaves a prefix of completed work that the next
+``--resume`` invocation trusts (after re-checking each journaled key
+against the current job list -- a stale journal from different code or
+a different matrix is ignored line by line).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.store.entry import (
+    StoreCorruptError,
+    decode,
+    encode_result,
+    encode_stalled,
+    result_from_entry,
+)
+from repro.store.keys import code_version
+
+#: Default store location (relative to the working directory); the
+#: CLI and benchmarks use this unless told otherwise.
+DEFAULT_STORE_DIR = ".repro-store"
+
+
+@dataclass
+class StoreEntry:
+    """One validated entry: metadata plus the rebuilt result."""
+
+    key: str
+    meta: Dict[str, Any]
+    result: Any = None          # ScenarioResult, None when stalled
+
+    @property
+    def stalled(self) -> bool:
+        return bool(self.meta.get("stalled"))
+
+    @property
+    def error(self) -> Optional[str]:
+        return self.meta.get("error")
+
+
+class ResultStore:
+    """Content-addressed persistence for scenario runs."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        self.corrupt_reads = 0
+
+    # -- paths ----------------------------------------------------------
+    def _objects_dir(self) -> str:
+        return os.path.join(self.root, "objects")
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self._objects_dir(), key[:2], f"{key}.rrs")
+
+    def journal_path(self, campaign_key: str) -> str:
+        return os.path.join(self.root, "campaigns",
+                            f"{campaign_key}.journal")
+
+    # -- entries --------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        return os.path.exists(self.path_for(key))
+
+    def get(self, key: str) -> Optional[StoreEntry]:
+        """Load and validate one entry; None on miss *or* corruption."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except OSError:
+            return None
+        try:
+            meta, arr = decode(blob)
+            if meta.get("key") != key:
+                raise StoreCorruptError("entry key does not match path")
+            result = None if meta.get("stalled") \
+                else result_from_entry(meta, arr)
+        except StoreCorruptError:
+            self.corrupt_reads += 1
+            return None
+        return StoreEntry(key=key, meta=meta, result=result)
+
+    def _write(self, key: str, blob: bytes) -> str:
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.{os.getpid()}.tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+        os.replace(tmp, path)
+        return path
+
+    def put(self, key: str, result: Any,
+            code: Optional[str] = None) -> str:
+        """Store one completed ScenarioResult atomically."""
+        return self._write(key, encode_result(
+            result, key, code if code is not None else code_version()))
+
+    def put_stalled(self, key: str, scenario: str, error: str,
+                    code: Optional[str] = None) -> str:
+        """Store a stalled-run marker (margin ladder support)."""
+        return self._write(key, encode_stalled(
+            scenario, error, key, code if code is not None
+            else code_version()))
+
+    # -- maintenance ----------------------------------------------------
+    def _entry_paths(self) -> Iterator[str]:
+        objects = self._objects_dir()
+        if not os.path.isdir(objects):
+            return
+        for shard in sorted(os.listdir(objects)):
+            shard_dir = os.path.join(objects, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".rrs"):
+                    yield os.path.join(shard_dir, name)
+
+    def ls(self) -> Iterator[Tuple[str, Dict[str, Any], int]]:
+        """Yield (key, meta, size_bytes) for every readable entry.
+
+        Corrupt entries yield ``(key, {}, size)`` so callers can still
+        see and clean them.
+        """
+        for path in self._entry_paths():
+            key = os.path.basename(path)[:-len(".rrs")]
+            size = os.path.getsize(path)
+            try:
+                with open(path, "rb") as fh:
+                    meta, _ = decode(fh.read())
+            except (OSError, StoreCorruptError):
+                yield key, {}, size
+                continue
+            yield key, meta, size
+
+    def verify(self, delete: bool = False) -> Tuple[int, List[str]]:
+        """Fully decode every entry; returns (ok_count, corrupt_keys).
+
+        With *delete*, corrupt entries are removed so the next run
+        recomputes them.
+        """
+        ok = 0
+        corrupt: List[str] = []
+        for path in self._entry_paths():
+            key = os.path.basename(path)[:-len(".rrs")]
+            try:
+                with open(path, "rb") as fh:
+                    meta, arr = decode(fh.read())
+                if meta.get("key") != key:
+                    raise StoreCorruptError("entry key mismatch")
+                if not meta.get("stalled"):
+                    result_from_entry(meta, arr)
+                ok += 1
+            except (OSError, StoreCorruptError):
+                corrupt.append(key)
+                if delete:
+                    try:
+                        os.remove(path)
+                    except OSError:
+                        pass
+        return ok, corrupt
+
+    def gc(self, keep_code: Optional[str] = None,
+           max_age_s: Optional[float] = None,
+           now_s: Optional[float] = None,
+           dry_run: bool = False) -> List[str]:
+        """Collect entries from other code versions (and stale temps).
+
+        *keep_code* defaults to the current tree digest: entries whose
+        recorded code version differs can never be hit again (the key
+        embeds the digest), so they are pure disk waste.  *max_age_s*
+        additionally drops entries older than the given age relative
+        to *now_s* (callers supply the clock; the store itself stays
+        wall-clock-free).  Returns the removed (or, under *dry_run*,
+        removable) keys.
+        """
+        keep = keep_code if keep_code is not None else code_version()
+        removed: List[str] = []
+        for path in self._entry_paths():
+            key = os.path.basename(path)[:-len(".rrs")]
+            drop = False
+            try:
+                with open(path, "rb") as fh:
+                    meta, _ = decode(fh.read())
+                if meta.get("code") != keep:
+                    drop = True
+            except (OSError, StoreCorruptError):
+                drop = True
+            if not drop and max_age_s is not None and now_s is not None:
+                if now_s - os.path.getmtime(path) > max_age_s:
+                    drop = True
+            if drop:
+                removed.append(key)
+                if not dry_run:
+                    try:
+                        os.remove(path)
+                    except OSError:
+                        pass
+        # Sweep orphaned tmp files from interrupted writers.
+        if not dry_run:
+            for dirpath, _dirnames, filenames in os.walk(self.root):
+                for name in filenames:
+                    if name.endswith(".tmp"):
+                        try:
+                            os.remove(os.path.join(dirpath, name))
+                        except OSError:
+                            pass
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry count and total size (for ``store ls`` footers)."""
+        count = 0
+        size = 0
+        for path in self._entry_paths():
+            count += 1
+            size += os.path.getsize(path)
+        return {"entries": count, "bytes": size, "root": self.root}
+
+    # -- journals -------------------------------------------------------
+    def read_journal(self, campaign_key: str) -> Dict[int, str]:
+        """Completed job indices -> entry keys from a prior run.
+
+        Malformed lines (a torn final write) are skipped: the journal
+        is a checkpoint, not a ledger, and a lost tail line merely
+        recomputes one job.
+        """
+        path = self.journal_path(campaign_key)
+        done: Dict[int, str] = {}
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    parts = line.split()
+                    if len(parts) != 2:
+                        continue
+                    index, key = parts
+                    try:
+                        done[int(index)] = key
+                    except ValueError:
+                        continue
+        except OSError:
+            return {}
+        return done
+
+    def journal_writer(self, campaign_key: str) -> "JournalWriter":
+        return JournalWriter(self.journal_path(campaign_key))
+
+
+class JournalWriter:
+    """Append-per-completion checkpoint file, flushed per line."""
+
+    def __init__(self, path: str) -> None:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        self._fh = open(path, "w", encoding="utf-8")
+
+    def record(self, index: int, key: str) -> None:
+        self._fh.write(f"{index} {key}\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def open_store(store: Any) -> Optional[ResultStore]:
+    """Coerce a store argument: ResultStore | path | None."""
+    if store is None:
+        return None
+    if isinstance(store, ResultStore):
+        return store
+    return ResultStore(str(store))

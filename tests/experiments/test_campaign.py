@@ -27,6 +27,33 @@ class TestParseSeeds:
     def test_single(self):
         assert parse_seeds("7") == (7,)
 
+    def test_single_element_range(self):
+        assert parse_seeds("3..3") == (3,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty seed list"):
+            parse_seeds("")
+        with pytest.raises(ValueError, match="empty seed list"):
+            parse_seeds("   ")
+
+    def test_backwards_range_rejected(self):
+        with pytest.raises(ValueError, match="backwards seed range"):
+            parse_seeds("8..1")
+
+    def test_malformed_range_rejected(self):
+        with pytest.raises(ValueError, match="malformed seed range"):
+            parse_seeds("1..x")
+        with pytest.raises(ValueError, match="malformed seed range"):
+            parse_seeds("..")
+
+    def test_malformed_list_rejected(self):
+        with pytest.raises(ValueError, match="malformed seed list"):
+            parse_seeds("1,two,3")
+
+    def test_separators_only_rejected(self):
+        with pytest.raises(ValueError, match="names no seeds"):
+            parse_seeds(",,")
+
 
 class TestExpansion:
     def test_scenario_major_then_seed(self):

@@ -1,0 +1,89 @@
+"""Entry format: faithful roundtrips and loud corruption."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.export import scenario_to_dict, to_json
+from repro.experiments.scenario import run_scenario, scenario
+from repro.store import (
+    StoreCorruptError,
+    decode,
+    encode_result,
+    encode_stalled,
+    result_from_entry,
+)
+
+
+@pytest.fixture(scope="module")
+def latency_result():
+    return run_scenario(scenario("fig7").configured(samples=120, seed=3))
+
+
+@pytest.fixture(scope="module")
+def jitter_result():
+    return run_scenario(scenario("fig2").configured(iterations=3, seed=2))
+
+
+class TestRoundtrip:
+    def test_latency_export_identical(self, latency_result):
+        blob = encode_result(latency_result, key="k1", code="c1")
+        meta, arr = decode(blob)
+        loaded = result_from_entry(meta, arr)
+        assert (to_json(scenario_to_dict(loaded))
+                == to_json(scenario_to_dict(latency_result)))
+
+    def test_jitter_export_identical(self, jitter_result):
+        blob = encode_result(jitter_result, key="k2", code="c1")
+        meta, arr = decode(blob)
+        loaded = result_from_entry(meta, arr)
+        assert (to_json(scenario_to_dict(loaded))
+                == to_json(scenario_to_dict(jitter_result)))
+        assert loaded.recorder.ideal() == jitter_result.recorder.ideal()
+
+    def test_recorder_arrays_bitwise_equal(self, latency_result):
+        meta, arr = decode(encode_result(latency_result, "k", "c"))
+        loaded = result_from_entry(meta, arr)
+        assert np.array_equal(loaded.recorder.as_array(),
+                              latency_result.recorder.as_array())
+        assert (loaded.recorder.period_ns
+                == latency_result.recorder.period_ns)
+
+    def test_observational_fields_not_stored(self, latency_result):
+        meta, arr = decode(encode_result(latency_result, "k", "c"))
+        loaded = result_from_entry(meta, arr)
+        assert loaded.lockdep is None
+        assert loaded.trace is None
+
+    def test_stalled_marker(self):
+        meta, arr = decode(encode_stalled("fig6", "stalled at t=1", "k",
+                                          "c"))
+        assert meta["stalled"] is True
+        assert meta["error"] == "stalled at t=1"
+        assert arr.size == 0
+
+
+class TestCorruption:
+    def _blob(self, result):
+        return encode_result(result, key="k", code="c")
+
+    def test_bit_flip_detected(self, latency_result):
+        blob = bytearray(self._blob(latency_result))
+        for offset in (5, 30, len(blob) // 2, len(blob) - 6):
+            flipped = bytearray(blob)
+            flipped[offset] ^= 0x40
+            with pytest.raises(StoreCorruptError):
+                decode(bytes(flipped))
+
+    def test_truncation_detected(self, latency_result):
+        blob = self._blob(latency_result)
+        for cut in (4, 40, len(blob) - 1):
+            with pytest.raises(StoreCorruptError):
+                decode(blob[:cut])
+
+    def test_trailing_garbage_detected(self, latency_result):
+        with pytest.raises(StoreCorruptError):
+            decode(self._blob(latency_result) + b"\0")
+
+    def test_not_an_entry(self):
+        with pytest.raises(StoreCorruptError):
+            decode(b"definitely not a store entry, far too short?no")

@@ -1,0 +1,119 @@
+"""Keying contract: stability, sensitivity, code-version hashing."""
+
+import os
+
+import pytest
+
+from repro.experiments.scenario import scenario
+from repro.store import canonical, code_version, digest_of, job_key
+from repro.store.keys import _CODE_VERSIONS
+
+
+@pytest.fixture
+def fig7():
+    return scenario("fig7").configured(samples=100, seed=1)
+
+
+class TestCanonical:
+    def test_dict_ordering_insensitive(self):
+        assert (digest_of({"a": 1, "b": 2})
+                == digest_of({"b": 2, "a": 1}))
+
+    def test_scalars_roundtrip(self):
+        form = canonical({"x": (1, 2.5, "s", None, True)})
+        assert form == {"x": [1, 2.5, "s", None, True]}
+
+    def test_dataclass_fields_carried(self, fig7):
+        form = canonical(fig7)
+        assert form["__dataclass__"] == "ScenarioSpec"
+        assert form["seed"] == 1
+        assert form["measurement"]["samples"] == 100
+
+    def test_exotic_values_keyed_by_typed_repr(self):
+        class Odd:
+            def __repr__(self):
+                return "<odd>"
+
+        assert digest_of(Odd()) == digest_of(Odd())
+        assert canonical(Odd()) == {"__repr__": "Odd:<odd>"}
+
+
+class TestJobKey:
+    def test_stable_across_calls(self, fig7):
+        assert job_key(fig7) == job_key(fig7)
+
+    def test_seed_changes_key(self, fig7):
+        assert job_key(fig7) != job_key(fig7.configured(seed=2))
+
+    def test_samples_change_key(self, fig7):
+        assert job_key(fig7) != job_key(fig7.configured(samples=101))
+
+    def test_fault_plan_and_intensity_change_key(self, fig7):
+        stormed = fig7.configured(fault_plan="storm-fig6")
+        assert job_key(fig7) != job_key(stormed)
+        assert job_key(stormed) != job_key(
+            stormed.configured(fault_intensity=2.0))
+
+    def test_override_dict_order_insensitive(self, fig7):
+        a = fig7.configured(config_overrides={"preemptible": True,
+                                              "ksoftirqd": False})
+        b = fig7.configured(config_overrides={"ksoftirqd": False,
+                                              "preemptible": True})
+        assert job_key(a) == job_key(b)
+
+    def test_override_value_changes_key(self, fig7):
+        a = fig7.configured(config_overrides={"preemptible": True})
+        b = fig7.configured(config_overrides={"preemptible": False})
+        assert job_key(a) != job_key(b)
+
+    def test_code_version_changes_key(self, fig7):
+        assert (job_key(fig7, code="aaa")
+                != job_key(fig7, code="bbb"))
+
+
+class TestCodeVersion:
+    def _tree(self, root, **files):
+        for name, text in files.items():
+            path = os.path.join(root, name)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+
+    def test_single_byte_edit_changes_digest(self, tmp_path):
+        root = str(tmp_path)
+        self._tree(root, **{"pkg/a.py": "x = 1\n"})
+        before = code_version(root)
+        _CODE_VERSIONS.clear()
+        self._tree(root, **{"pkg/a.py": "x = 2\n"})
+        assert code_version(root) != before
+
+    def test_non_python_files_ignored(self, tmp_path):
+        root = str(tmp_path)
+        self._tree(root, **{"pkg/a.py": "x = 1\n"})
+        before = code_version(root)
+        _CODE_VERSIONS.clear()
+        self._tree(root, **{"notes.txt": "irrelevant\n"})
+        assert code_version(root) == before
+
+    def test_path_renames_change_digest(self, tmp_path):
+        root = str(tmp_path)
+        self._tree(root, **{"pkg/a.py": "x = 1\n"})
+        before = code_version(root)
+        _CODE_VERSIONS.clear()
+        os.rename(os.path.join(root, "pkg/a.py"),
+                  os.path.join(root, "pkg/b.py"))
+        assert code_version(root) != before
+
+    def test_cached_per_process(self, tmp_path):
+        root = str(tmp_path)
+        self._tree(root, **{"a.py": "x = 1\n"})
+        first = code_version(root)
+        # A second call must not re-walk: mutate behind the cache and
+        # observe the cached digest (callers rely on one hash/process).
+        self._tree(root, **{"a.py": "x = 3\n"})
+        assert code_version(root) == first
+
+    def test_repro_tree_hashes(self):
+        digest = code_version()
+        assert len(digest) == 64
+        assert digest == code_version()
