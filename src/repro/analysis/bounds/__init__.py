@@ -1,0 +1,82 @@
+"""simbound: static worst-case preemption-window certification.
+
+Walks every op program, driver critical section and syscall path a
+scenario composes, bounds each duration by the support upper bound of
+its timing distribution, and derives per-:class:`KernelConfig`
+worst-case irq-off / preempt-off / BKL-hold windows plus a predicted
+shield response bound -- the analytic counterpart of the runtime
+accounting maxima in :mod:`repro.observe.accounting`.
+
+Layers:
+
+- :mod:`.extract`  -- AST walk of op programs / drivers / syscalls
+  into symbolic critical-section :class:`Term` sums.
+- :mod:`.support`  -- terms and the distribution-support resolver.
+- :mod:`.model`    -- the window algebra (arrival curves, softirq
+  drain fixpoints, response composition) per scenario.
+- :mod:`.certificate` -- deterministic machine-readable certificates.
+- :mod:`.crosscheck`  -- runs scenarios and asserts observed maxima
+  never escape the static bounds.
+"""
+
+from repro.analysis.bounds.certificate import (
+    CERT_SCHEMA,
+    RESPONSE_GATE_NS,
+    BoundCertificate,
+    certificate_for,
+    load_certificate_dict,
+)
+from repro.analysis.bounds.crosscheck import (
+    BoundViolation,
+    BoundViolationError,
+    CrosscheckReport,
+    compare_result,
+    crosscheck_scenario,
+)
+from repro.analysis.bounds.extract import (
+    ExtractionError,
+    ModuleReport,
+    Section,
+    Stretch,
+    cached_extract,
+    clear_extraction_cache,
+)
+from repro.analysis.bounds.model import (
+    Assumptions,
+    BoundModelError,
+    CpuClassBounds,
+    ScenarioBounds,
+    compute_bounds,
+)
+from repro.analysis.bounds.support import (
+    Term,
+    TimingBounds,
+    UnboundedDistributionError,
+)
+
+__all__ = [
+    "CERT_SCHEMA",
+    "RESPONSE_GATE_NS",
+    "Assumptions",
+    "BoundCertificate",
+    "BoundModelError",
+    "BoundViolation",
+    "BoundViolationError",
+    "CpuClassBounds",
+    "CrosscheckReport",
+    "ExtractionError",
+    "ModuleReport",
+    "ScenarioBounds",
+    "Section",
+    "Stretch",
+    "Term",
+    "TimingBounds",
+    "UnboundedDistributionError",
+    "cached_extract",
+    "certificate_for",
+    "clear_extraction_cache",
+    "compare_result",
+    "compute_bounds",
+    "crosscheck_scenario",
+    "load_certificate_dict",
+]

@@ -1,0 +1,132 @@
+"""Machine-readable bound certificates.
+
+A :class:`BoundCertificate` is the serialisable artifact simbound
+emits per scenario: the scenario/kernel identity, the per-CPU-class
+worst-case windows, the predicted shield response bound, and every
+declared assumption the numbers rest on.  Certificates are
+*deterministic* -- same code, same scenario, same assumptions, same
+bytes -- so they can be diffed in review and golden-tested; they
+carry a content digest instead of a timestamp.
+
+The schema is versioned (``CERT_SCHEMA``).  Consumers (the CI gate,
+``faults/margin.py``'s analytic twin, external tooling) should reject
+certificates whose schema they do not understand rather than guess.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.bounds.model import (
+    Assumptions,
+    ScenarioBounds,
+    compute_bounds,
+)
+from repro.sim.simtime import MSEC
+
+__all__ = [
+    "CERT_SCHEMA",
+    "RESPONSE_GATE_NS",
+    "BoundCertificate",
+    "certificate_for",
+    "load_certificate_dict",
+]
+
+#: Bump on any change to the certificate dict layout.
+CERT_SCHEMA = 1
+
+#: The paper's headline guarantee: sub-millisecond response on a
+#: shielded CPU.  Certificates record whether their predicted response
+#: clears this gate so CI does not re-derive policy from raw numbers.
+RESPONSE_GATE_NS = 1 * MSEC
+
+
+@dataclass
+class BoundCertificate:
+    """A :class:`ScenarioBounds` plus identity + gate verdict."""
+
+    bounds: ScenarioBounds
+
+    @property
+    def scenario(self) -> str:
+        return self.bounds.scenario
+
+    @property
+    def gate_applicable(self) -> bool:
+        """The sub-ms response gate only binds on shielded latency
+        scenarios -- unshielded runs are the paper's *contrast*, and
+        determinism/fbs programs measure no interrupt response."""
+        return self.bounds.shielded and self.bounds.response_ns is not None
+
+    @property
+    def gate_passed(self) -> Optional[bool]:
+        if not self.gate_applicable:
+            return None
+        assert self.bounds.response_ns is not None
+        return self.bounds.response_ns <= RESPONSE_GATE_NS
+
+    def to_dict(self) -> Dict[str, object]:
+        b = self.bounds
+        body: Dict[str, object] = {
+            "schema": CERT_SCHEMA,
+            "kind": "simbound-certificate",
+            "scenario": b.scenario,
+            "kernel": b.kernel,
+            "shielded": b.shielded,
+            "measure_cpu": b.measure_cpu,
+            "fault_plan": b.fault_plan,
+            "fault_intensity": b.fault_intensity,
+            "cpu_classes": [cls.to_dict() for cls in b.cpu_classes],
+            "predicted_response_ns": b.response_ns,
+            "response_detail": b.response_detail,
+            "response_gate_ns": RESPONSE_GATE_NS,
+            "gate_applicable": self.gate_applicable,
+            "gate_passed": self.gate_passed,
+            "assumptions": list(b.assumptions),
+            "extraction_assumptions": list(b.extraction_assumptions),
+        }
+        body["digest"] = _digest(body)
+        return body
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def summary_line(self) -> str:
+        b = self.bounds
+        resp = ("-" if b.response_ns is None
+                else f"{b.response_ns / 1e6:.3f}ms")
+        gate = {True: "PASS", False: "FAIL", None: "n/a"}[self.gate_passed]
+        worst_pre = max((c.preempt_off_ns for c in b.cpu_classes), default=0)
+        worst_irq = max((c.irq_off_ns for c in b.cpu_classes), default=0)
+        return (f"{b.scenario:<22s} kernel={b.kernel:<8s} "
+                f"response<={resp:>11s} gate={gate:<4s} "
+                f"irqoff<={worst_irq / 1e6:.3f}ms "
+                f"preoff<={worst_pre / 1e6:.3f}ms")
+
+
+def _digest(body: Dict[str, object]) -> str:
+    canon = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return "sha256:" + hashlib.sha256(canon.encode()).hexdigest()
+
+
+def certificate_for(spec, assumptions: Optional[Assumptions] = None,
+                    ) -> BoundCertificate:
+    """Run the bound model for *spec* and wrap the result."""
+    return BoundCertificate(compute_bounds(spec, assumptions))
+
+
+def load_certificate_dict(data: Dict[str, object]) -> Dict[str, object]:
+    """Validate a parsed certificate dict (schema + digest)."""
+    if data.get("schema") != CERT_SCHEMA:
+        raise ValueError(
+            f"unsupported certificate schema {data.get('schema')!r} "
+            f"(expected {CERT_SCHEMA})")
+    body = {k: v for k, v in data.items() if k != "digest"}
+    expect = _digest(body)
+    if data.get("digest") != expect:
+        raise ValueError("certificate digest mismatch: content was "
+                         "edited after emission")
+    return data

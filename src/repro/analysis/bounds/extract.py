@@ -1,0 +1,861 @@
+"""AST extraction of critical sections and kernel stretches.
+
+Walks the *op programs* of the simulated kernel -- workload bodies,
+driver read/ioctl paths, and the :class:`~repro.kernel.syscalls.UserApi`
+helpers they compose -- and produces, per generator function:
+
+* :class:`Section` records: every spinlock hold window, either an
+  explicit ``yield op.Acquire(L) ... op.Release(L)`` pair (drivers)
+  or an ``api.kernel_section(total, lock=L)`` site (workloads, where
+  the low-latency patches may chunk the hold);
+* :class:`Stretch` records: maximal runs of kernel-mode computation
+  with no scheduling boundary (``Block``/``Sleep``/``PreemptPoint``/
+  ``ExitSyscall``/user compute) -- the stretches that delay a
+  reschedule on a non-preemptible kernel;
+* :class:`ExtractionError` records: unmatched acquire/release on a
+  path, a blocking op inside a spinlock hold, kernel cost that grows
+  across loop iterations with no boundary, or cost expressions no
+  bound covers.  The window algebra refuses to certify a scenario
+  whose relevant modules carry errors.
+
+Costs stay symbolic (:class:`~repro.analysis.bounds.support.Term`)
+so one extraction serves every kernel config; the model resolves the
+terms against a concrete timing table.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import inspect
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.bounds.support import (
+    Term,
+    const_term,
+    key_term,
+    unbounded_term,
+)
+
+#: Canonical kernel lock names the analyzer recognises in source text.
+KNOWN_LOCKS = ("bkl", "dcache_lock", "file_lock", "io_request_lock",
+               "runqueue_lock")
+
+#: ``yield from`` attribute calls that block or reschedule; their own
+#: sections are extracted from the modules that define them.
+BOUNDARY_ATTRS = frozenset({
+    "read", "ioctl", "submit_and_wait", "pipe_wait", "nanosleep",
+    "sem_down", "sem_up", "sched_yield", "sched_setscheduler",
+    "sched_setaffinity", "mlockall", "compute", "wait",
+})
+
+#: Primitive ops that end a kernel stretch (a reschedule can happen).
+BOUNDARY_OPS = frozenset({
+    "Block", "Sleep", "PreemptPoint", "YieldCpu", "SemDown",
+    "ExitSyscall",
+})
+
+#: Primitive ops with no duration and no control effect.
+ZERO_OPS = frozenset({
+    "Wake", "Call", "SetScheduler", "SetAffinity", "MlockAll",
+    "EnterSyscall", "SemUp",
+})
+
+#: Fallback bounds for names the expression bounder cannot resolve.
+#: Every use is recorded on the certificate as a declared assumption.
+NAME_ASSUMPTIONS: Dict[str, Tuple[int, str]] = {
+    # ttcp loopback receiver: packets drained per recvmsg.  The sender
+    # emits 16-packet bursts and sleeps 50-150us between them; the
+    # receiver is woken per burst, so the drained batch is bounded by
+    # a few coalesced bursts.  256 packets (16 bursts) is generous.
+    "packets": (256, "ttcp recv batch <= 256 packets per wakeup"),
+    # fs_stress submit sizes: rng.integers(8, 128).
+    "sectors": (128, "disk submissions bounded at 128 sectors"),
+}
+
+_MAX_PATHS = 256
+
+
+# ----------------------------------------------------------------------
+# Records
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class Section:
+    """One spinlock hold window in the source."""
+
+    module: str
+    qualname: str
+    line: int
+    lock: str
+    total: Term
+    label: str = ""
+    #: ``kernel_section`` sites are chunked by the low-latency patches
+    #: (hold <= LOWLAT_CHUNK_NS); explicit driver holds never are.
+    chunked: bool = False
+    #: Config guard: section only runs when the named flag-ish local
+    #: is true ("needs_bkl") / false ("not needs_bkl").
+    guard: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class Stretch:
+    """A maximal kernel-mode run with no scheduling boundary."""
+
+    module: str
+    qualname: str
+    line: int
+    #: (term, chunked) components; chunked components shrink to one
+    #: LOWLAT_CHUNK_NS chunk under the low-latency patches.
+    components: Tuple[Tuple[Term, bool], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ExtractionError:
+    """A hard analysis error: the path cannot be certified."""
+
+    module: str
+    qualname: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.module}:{self.line} [{self.qualname}] {self.message}"
+
+
+@dataclass
+class ModuleReport:
+    """Everything extracted from one module."""
+
+    module: str
+    sections: List[Section] = field(default_factory=list)
+    stretches: List[Stretch] = field(default_factory=list)
+    errors: List[ExtractionError] = field(default_factory=list)
+    assumptions: List[str] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Expression bounding
+# ----------------------------------------------------------------------
+def _numeric(node: ast.AST) -> Optional[float]:
+    if isinstance(node, ast.Constant) and isinstance(node.value,
+                                                    (int, float)):
+        return float(node.value)
+    if (isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub)):
+        inner = _numeric(node.operand)
+        return -inner if inner is not None else None
+    return None
+
+
+def _sample_key(call: ast.Call) -> Optional[str]:
+    """The literal key of a ``*.sample("key", ...)`` call, if any."""
+    if (isinstance(call.func, ast.Attribute) and call.func.attr == "sample"
+            and call.args and isinstance(call.args[0], ast.Constant)
+            and isinstance(call.args[0].value, str)):
+        return call.args[0].value
+    return None
+
+
+class _Bounder:
+    """Bounds cost expressions to :class:`Term` under a local env."""
+
+    def __init__(self, env: Dict[str, Term],
+                 report: ModuleReport) -> None:
+        self.env = env
+        self.report = report
+
+    def bound(self, node: ast.AST) -> Term:
+        num = _numeric(node)
+        if num is not None:
+            return const_term(int(num))
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            if node.id in NAME_ASSUMPTIONS:
+                value, why = NAME_ASSUMPTIONS[node.id]
+                note = f"assume {node.id} <= {value} ({why})"
+                if note not in self.report.assumptions:
+                    self.report.assumptions.append(note)
+                return const_term(value)
+            return unbounded_term(f"name {node.id!r}")
+        if isinstance(node, ast.Call):
+            return self._bound_call(node)
+        if isinstance(node, ast.BinOp):
+            return self._bound_binop(node)
+        if isinstance(node, ast.Attribute):
+            return unbounded_term(f"attribute {node.attr!r}")
+        if isinstance(node, ast.IfExp):
+            body = self.bound(node.body)
+            orelse = self.bound(node.orelse)
+            # Upper bound of either branch: the sum is sound.
+            return body.plus(orelse)
+        return unbounded_term(type(node).__name__)
+
+    def _bound_call(self, node: ast.Call) -> Term:
+        key = _sample_key(node)
+        if key is not None:
+            return key_term(key)
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in ("int", "float", "abs") and node.args:
+                return self.bound(node.args[0])
+            if func.id == "min" and node.args:
+                # min's bound is the least resolvable argument bound;
+                # a numeric argument always caps it.
+                nums = [_numeric(a) for a in node.args]
+                numeric = [n for n in nums if n is not None]
+                if numeric:
+                    return const_term(int(min(numeric)))
+                return self.bound(node.args[0])
+            if func.id == "max" and node.args:
+                # Sum of argument bounds >= max of them: sound.
+                total = const_term(0)
+                for arg in node.args:
+                    total = total.plus(self.bound(arg))
+                return total
+        if isinstance(func, ast.Attribute):
+            if func.attr in ("uniform", "integers") and len(node.args) >= 2:
+                return self.bound(node.args[1])
+            if func.attr == "random":
+                return const_term(1)
+        return unbounded_term(ast.dump(node)[:60])
+
+    def _bound_binop(self, node: ast.BinOp) -> Term:
+        left, right = node.left, node.right
+        if isinstance(node.op, ast.Add):
+            return self.bound(left).plus(self.bound(right))
+        if isinstance(node.op, ast.Sub):
+            return self.bound(left)  # rhs is non-negative work here
+        if isinstance(node.op, ast.Mult):
+            for a, b in ((left, right), (right, left)):
+                num = _numeric(a)
+                if num is None:
+                    term_a = self.bound(a)
+                    if not term_a.unbounded and not term_a.atoms:
+                        num = float(term_a.const)
+                if num is not None:
+                    return self.bound(b).times(num)
+            return unbounded_term("symbolic product")
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+            num = _numeric(right)
+            if num:
+                return self.bound(left).times(1.0 / num)
+        return unbounded_term(f"binop {type(node.op).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Path state
+# ----------------------------------------------------------------------
+@dataclass
+class _Path:
+    """One control-flow path's interpreter state."""
+
+    locks: List[Tuple[str, Term, int]] = field(default_factory=list)
+    run: List[Tuple[Term, bool]] = field(default_factory=list)
+    run_line: int = 0
+    boundary_seen: bool = False
+    guard: str = ""
+    dead: bool = False
+
+    def fork(self) -> "_Path":
+        return _Path(locks=list(self.locks), run=list(self.run),
+                     run_line=self.run_line,
+                     boundary_seen=self.boundary_seen,
+                     guard=self.guard, dead=self.dead)
+
+
+def _lock_name(node: ast.AST) -> Optional[str]:
+    """Canonical lock name from an expression mentioning one."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr in KNOWN_LOCKS:
+            return sub.attr
+        if isinstance(sub, ast.Name) and sub.id in KNOWN_LOCKS:
+            return sub.id
+    return None
+
+
+def _op_name(call: ast.Call) -> Optional[str]:
+    """``op.X(...)`` -> "X" (also bare ``X(...)`` for known op names)."""
+    func = call.func
+    if (isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name)
+            and func.value.id == "op"):
+        return func.attr
+    return None
+
+
+def _kwarg(call: ast.Call, name: str) -> Optional[ast.AST]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _label_of(call: ast.Call) -> str:
+    node = _kwarg(call, "label")
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return ""
+
+
+class _FunctionWalker:
+    """Interprets one generator function, inlining local helpers."""
+
+    def __init__(self, module: str, qualname: str,
+                 scopes: Sequence[Dict[str, ast.FunctionDef]],
+                 env: Dict[str, Term], report: ModuleReport) -> None:
+        self.module = module
+        self.qualname = qualname
+        self.scopes = list(scopes)
+        self.env = dict(env)
+        self.report = report
+        self.bounder = _Bounder(self.env, report)
+        self._seen_stretch: set = set()
+        self._inline_stack: List[str] = []
+
+    # -- emission ------------------------------------------------------
+    def _error(self, line: int, message: str) -> None:
+        self.report.errors.append(ExtractionError(
+            module=self.module, qualname=self.qualname, line=line,
+            message=message))
+
+    def _emit_section(self, path: _Path, line: int, lock: str,
+                      total: Term, label: str, chunked: bool) -> None:
+        if total.unbounded:
+            self._error(line, f"unbounded cost inside {lock} hold: "
+                              f"{total.why_unbounded}")
+        self.report.sections.append(Section(
+            module=self.module, qualname=self.qualname, line=line,
+            lock=lock, total=total, label=label, chunked=chunked,
+            guard=path.guard))
+
+    def _flush_stretch(self, path: _Path) -> None:
+        if not path.run:
+            return
+        key = (self.qualname, tuple(path.run))
+        if key not in self._seen_stretch:
+            self._seen_stretch.add(key)
+            self.report.stretches.append(Stretch(
+                module=self.module, qualname=self.qualname,
+                line=path.run_line, components=tuple(path.run)))
+        path.run = []
+        path.run_line = 0
+
+    def _boundary(self, path: _Path, line: int, kind: str) -> None:
+        if path.locks:
+            lock, _, acq_line = path.locks[-1]
+            self._error(line, f"{kind} while holding {lock} "
+                              f"(acquired line {acq_line})")
+        self._flush_stretch(path)
+        path.boundary_seen = True
+
+    def _kernel_cost(self, path: _Path, line: int, term: Term,
+                     chunked: bool = False) -> None:
+        if path.locks:
+            name, hold, acq_line = path.locks[-1]
+            path.locks[-1] = (name, hold.plus(term), acq_line)
+        if not path.run:
+            path.run_line = line
+        path.run.append((term, chunked))
+
+    # -- op handling ---------------------------------------------------
+    def _do_op(self, path: _Path, call: ast.Call, opname: str,
+               line: int) -> None:
+        if opname == "Compute":
+            kernel_kw = _kwarg(call, "kernel")
+            kernel = (isinstance(kernel_kw, ast.Constant)
+                      and kernel_kw.value is True)
+            if not kernel and len(call.args) >= 2:
+                kernel = (isinstance(call.args[1], ast.Constant)
+                          and call.args[1].value is True)
+            term = self.bounder.bound(call.args[0]) if call.args \
+                else const_term(0)
+            if kernel:
+                self._kernel_cost(path, line, term)
+            else:
+                self._boundary(path, line, "user-mode compute")
+        elif opname == "Acquire":
+            lock = _lock_name(call.args[0]) if call.args else None
+            if lock is None:
+                self._error(line, "Acquire of unrecognised lock")
+                lock = "?"
+            path.locks.append((lock, const_term(0), line))
+        elif opname == "Release":
+            lock = _lock_name(call.args[0]) if call.args else None
+            if not path.locks:
+                self._error(line, f"Release({lock}) with no lock held")
+                return
+            held, hold, acq_line = path.locks.pop()
+            if lock is not None and lock != held:
+                self._error(line, f"Release({lock}) but top of stack "
+                                  f"is {held} (acquired line {acq_line})")
+            self._emit_section(path, acq_line, held, hold, "", False)
+        elif opname in BOUNDARY_OPS:
+            self._boundary(path, line, f"op.{opname}")
+        elif opname in ZERO_OPS:
+            pass
+        else:
+            self._error(line, f"unknown op.{opname}")
+
+    # -- api helper handling -------------------------------------------
+    def _resolve_local(self, name: str) -> Optional[ast.FunctionDef]:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def _inline(self, path: _Path, func: ast.FunctionDef,
+                paths: List[_Path]) -> List[_Path]:
+        if func.name in self._inline_stack:
+            self._error(func.lineno,
+                        f"recursive helper {func.name!r}; cannot bound")
+            return paths
+        self._inline_stack.append(func.name)
+        # Defaults of the helper's own params join the env.
+        _bind_defaults(func, self.env, self.bounder)
+        try:
+            return self._exec(func.body, paths)
+        finally:
+            self._inline_stack.pop()
+
+    def _do_yield_from(self, path: _Path, call: ast.Call,
+                       paths: List[_Path]) -> List[_Path]:
+        line = call.lineno
+        func = call.func
+        if isinstance(func, ast.Name):
+            local = self._resolve_local(func.id)
+            if local is not None:
+                return self._inline(path, local, paths)
+            self._error(line, f"yield from unknown helper {func.id!r}")
+            return paths
+        if not isinstance(func, ast.Attribute):
+            self._error(line, "yield from unrecognised callee")
+            return paths
+        attr = func.attr
+        if attr == "syscall":
+            self._kernel_cost(path, line, key_term("syscall.entry"))
+            out = paths
+            if len(call.args) >= 2:
+                body = call.args[1]
+                if (isinstance(body, ast.Call)
+                        and isinstance(body.func, ast.Name)):
+                    local = self._resolve_local(body.func.id)
+                    if local is not None:
+                        out = self._inline(path, local, out)
+                    else:
+                        self._error(line, f"syscall body "
+                                          f"{body.func.id!r} not found")
+                elif not (isinstance(body, ast.Constant)
+                          and body.value is None):
+                    self._error(line, "syscall body is not a local "
+                                      "generator call")
+            for p in out:
+                if not p.dead:
+                    self._kernel_cost(p, line, key_term("syscall.exit"))
+                    self._boundary(p, line, "syscall exit")
+            return out
+        if attr == "kernel_section":
+            total = self.bounder.bound(call.args[0]) if call.args \
+                else const_term(0)
+            lock_node = _kwarg(call, "lock")
+            lock = _lock_name(lock_node) if lock_node is not None else None
+            if total.unbounded:
+                self._error(line, f"unbounded kernel_section: "
+                                  f"{total.why_unbounded}")
+            if lock is not None:
+                self._emit_section(path, line, lock, total,
+                                   _label_of(call), chunked=True)
+            self._kernel_cost(path, line, total, chunked=True)
+            return paths
+        if attr == "pipe_transfer":
+            self._kernel_cost(path, line, key_term("syscall.entry")
+                              .plus(key_term("pipe.copy"))
+                              .plus(key_term("syscall.exit")))
+            self._boundary(path, line, "syscall exit")
+            return paths
+        if attr == "loopback_send":
+            packets = self.bounder.bound(call.args[0]) if call.args \
+                else unbounded_term("loopback packets")
+            cost = key_term("syscall.entry").plus(
+                key_term("syscall.exit"))
+            if packets.unbounded or packets.atoms:
+                self._error(line, "loopback_send packet count "
+                                  "not a static bound")
+            else:
+                cost = cost.plus(
+                    key_term("net.tx_per_packet",
+                             coeff=float(packets.const)))
+            self._kernel_cost(path, line, cost)
+            self._boundary(path, line, "syscall exit")
+            return paths
+        if attr in BOUNDARY_ATTRS:
+            self._boundary(path, line, f"api.{attr}")
+            return paths
+        self._error(line, f"yield from unrecognised helper .{attr}()")
+        return paths
+
+    # -- statement execution -------------------------------------------
+    def _exec_yield(self, path: _Path, node: ast.AST,
+                    paths: List[_Path]) -> List[_Path]:
+        if isinstance(node, ast.YieldFrom):
+            if isinstance(node.value, ast.Call):
+                return self._do_yield_from(path, node.value, paths)
+            self._error(node.lineno, "yield from non-call expression")
+            return paths
+        if isinstance(node, ast.Yield) and node.value is not None:
+            value = node.value
+            if isinstance(value, ast.Call):
+                opname = _op_name(value)
+                if opname is not None:
+                    self._do_op(path, value, opname, value.lineno)
+                    return paths
+                func = value.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in ("tsc", "call")):
+                    return paths
+            self._error(node.lineno, "yield of unrecognised value")
+        return paths
+
+    def _guard_name(self, test: ast.AST) -> Tuple[str, str]:
+        """("needs_bkl", "not needs_bkl") style guards, else ("","")."""
+        if isinstance(test, ast.Name):
+            return test.id, f"not {test.id}"
+        if (isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not)
+                and isinstance(test.operand, ast.Name)):
+            return f"not {test.operand.id}", test.operand.id
+        return "", ""
+
+    def _exec(self, stmts: Sequence[ast.stmt],
+              paths: List[_Path]) -> List[_Path]:
+        for stmt in stmts:
+            live = [p for p in paths if not p.dead]
+            if not live:
+                return paths
+            if isinstance(stmt, ast.FunctionDef):
+                self.scopes[-1][stmt.name] = stmt
+                continue
+            if isinstance(stmt, ast.Expr):
+                new_paths: List[_Path] = []
+                for p in paths:
+                    if p.dead:
+                        new_paths.append(p)
+                        continue
+                    result = self._exec_yield(p, stmt.value, [p])
+                    new_paths.extend(result)
+                paths = _dedup(new_paths)
+            elif isinstance(stmt, ast.Assign) or isinstance(
+                    stmt, ast.AnnAssign):
+                targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                           else [stmt.target])
+                value = stmt.value
+                if value is None:
+                    continue
+                if isinstance(value, (ast.Yield, ast.YieldFrom)):
+                    new_paths = []
+                    for p in paths:
+                        if p.dead:
+                            new_paths.append(p)
+                            continue
+                        new_paths.extend(self._exec_yield(p, value, [p]))
+                    paths = _dedup(new_paths)
+                elif (len(targets) == 1
+                      and isinstance(targets[0], ast.Name)):
+                    self.env[targets[0].id] = self.bounder.bound(value)
+            elif isinstance(stmt, ast.AugAssign):
+                # ``packets += sock.take()``-style accumulators: the
+                # final value is data-dependent, so only a declared
+                # assumption can bound it soundly.
+                if isinstance(stmt.target, ast.Name):
+                    name = stmt.target.id
+                    if name in NAME_ASSUMPTIONS:
+                        value, why = NAME_ASSUMPTIONS[name]
+                        note = f"assume {name} <= {value} ({why})"
+                        if note not in self.report.assumptions:
+                            self.report.assumptions.append(note)
+                        self.env[name] = const_term(value)
+                    else:
+                        self.env[name] = unbounded_term(
+                            f"augmented assignment to {name!r}")
+            elif isinstance(stmt, ast.If):
+                guard_true, guard_false = self._guard_name(stmt.test)
+                new_paths = []
+                for p in paths:
+                    if p.dead:
+                        new_paths.append(p)
+                        continue
+                    p_true = p.fork()
+                    if guard_true and not p_true.guard:
+                        p_true.guard = guard_true
+                    p_false = p.fork()
+                    if guard_false and not p_false.guard:
+                        p_false.guard = guard_false
+                    true_out = self._exec(stmt.body, [p_true])
+                    false_out = self._exec(stmt.orelse, [p_false]) \
+                        if stmt.orelse else [p_false]
+                    for q in true_out + false_out:
+                        q.guard = p.guard
+                        new_paths.append(q)
+                paths = _dedup(new_paths)
+            elif isinstance(stmt, (ast.While, ast.For)):
+                paths = self._exec_loop(stmt, paths)
+            elif isinstance(stmt, (ast.Return, ast.Break, ast.Continue)):
+                for p in paths:
+                    if not p.dead:
+                        self._flush_stretch(p)
+                        p.dead = True
+            elif isinstance(stmt, ast.Try):
+                paths = self._exec(stmt.body, paths)
+                paths = self._exec(stmt.finalbody, paths)
+            elif isinstance(stmt, ast.With):
+                paths = self._exec(stmt.body, paths)
+            # other statements (pass, docstrings, raises) are inert
+            if len(paths) > _MAX_PATHS:
+                self._error(stmt.lineno,
+                            f"path explosion (> {_MAX_PATHS}); "
+                            f"refusing to certify")
+                paths = paths[:_MAX_PATHS]
+        return paths
+
+    def _exec_loop(self, stmt: ast.stmt,
+                   paths: List[_Path]) -> List[_Path]:
+        body = stmt.body  # type: ignore[attr-defined]
+        out: List[_Path] = []
+        for p in paths:
+            if p.dead:
+                out.append(p)
+                continue
+            # First pass discovers the body's sections/stretches.
+            first = self._exec(body, [p.fork()])
+            # Second pass from the first's end state catches the
+            # tail+head stretch join across iterations.
+            second: List[_Path] = []
+            for q in first:
+                if q.dead:
+                    q.dead = False  # break/continue: loop may go on
+                    second.append(q)
+                    continue
+                if not q.boundary_seen and q.run:
+                    self._error(
+                        stmt.lineno,
+                        "kernel stretch grows across loop iterations "
+                        "with no scheduling boundary")
+                second.extend(self._exec(body, [q.fork()]))
+            for q in second:
+                q.dead = False
+                if q.locks and q.locks != p.locks:
+                    lock, _, line = q.locks[-1]
+                    self._error(stmt.lineno,
+                                f"{lock} (acquired line {line}) still "
+                                f"held at loop back-edge")
+                    q.locks = list(p.locks)
+                self._flush_stretch(q)
+                out.append(q)
+        return _dedup(out)
+
+    # -- entry ---------------------------------------------------------
+    def walk(self, func: ast.FunctionDef) -> None:
+        _bind_defaults(func, self.env, self.bounder)
+        self.scopes.append({})
+        try:
+            paths = self._exec(func.body, [_Path()])
+        finally:
+            self.scopes.pop()
+        for p in paths:
+            if p.dead:
+                continue
+            for lock, _, line in p.locks:
+                self._error(func.lineno,
+                            f"function exits holding {lock} "
+                            f"(acquired line {line})")
+            self._flush_stretch(p)
+
+
+def _dedup(paths: List[_Path]) -> List[_Path]:
+    """Merge paths with identical (locks, run, guard) state."""
+    seen: Dict[tuple, _Path] = {}
+    for p in paths:
+        key = (tuple(p.locks), tuple(p.run), p.guard, p.dead)
+        if key not in seen:
+            seen[key] = p
+    return list(seen.values())
+
+
+def _bind_defaults(func: ast.FunctionDef, env: Dict[str, Term],
+                   bounder: "_Bounder") -> None:
+    args = func.args
+    positional = args.posonlyargs + args.args
+    for arg, default in zip(positional[len(positional)
+                                       - len(args.defaults):],
+                            args.defaults):
+        if arg.arg not in env:
+            term = bounder.bound(default)
+            if not term.unbounded:
+                env[arg.arg] = term
+    for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+        if kw_default is not None and arg.arg not in env:
+            term = bounder.bound(kw_default)
+            if not term.unbounded:
+                env[arg.arg] = term
+
+
+# ----------------------------------------------------------------------
+# Module-level extraction
+# ----------------------------------------------------------------------
+def _module_constants(tree: ast.Module) -> Dict[str, Term]:
+    env: Dict[str, Term] = {}
+    for stmt in tree.body:
+        if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)):
+            num = _numeric(stmt.value)
+            if num is None and isinstance(stmt.value, ast.BinOp):
+                left = _numeric(stmt.value.left)
+                right = _numeric(stmt.value.right)
+                if (left is not None and right is not None
+                        and isinstance(stmt.value.op, ast.Mult)):
+                    num = left * right
+            if num is not None:
+                env[stmt.targets[0].id] = const_term(int(num))
+    return env
+
+
+def _is_generator(func: ast.FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.FunctionDef) and node is not func:
+            continue
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+def _own_yields(func: ast.FunctionDef) -> bool:
+    """Yields directly in *func*'s frame (not in nested defs)."""
+    class Finder(ast.NodeVisitor):
+        found = False
+
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            if node is func:
+                self.generic_visit(node)
+
+        visit_AsyncFunctionDef = visit_FunctionDef
+
+        def visit_Yield(self, node: ast.Yield) -> None:
+            self.found = True
+
+        def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+            self.found = True
+
+    finder = Finder()
+    finder.visit(func)
+    return finder.found
+
+
+def extract_module(module_name: str) -> ModuleReport:
+    """Extract sections, stretches and errors from one module."""
+    module = importlib.import_module(module_name)
+    source = inspect.getsource(module)
+    tree = ast.parse(source, filename=module_name)
+    report = ModuleReport(module=module_name)
+    constants = _module_constants(tree)
+
+    # Parent chain so nested helpers resolve outward.
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+
+    def scope_chain(func: ast.FunctionDef) -> List[Dict[str,
+                                                        ast.FunctionDef]]:
+        chain: List[Dict[str, ast.FunctionDef]] = []
+        node: ast.AST = func
+        while node in parents:
+            node = parents[node]
+            if isinstance(node, (ast.FunctionDef, ast.Module,
+                                 ast.ClassDef)):
+                scope = {
+                    child.name: child
+                    for child in ast.iter_child_nodes(node)
+                    if isinstance(child, ast.FunctionDef)
+                }
+                chain.append(scope)
+        chain.reverse()
+        return chain
+
+    def enclosing_env(func: ast.FunctionDef) -> Dict[str, Term]:
+        env = dict(constants)
+        chain: List[ast.FunctionDef] = []
+        node: ast.AST = func
+        while node in parents:
+            node = parents[node]
+            if isinstance(node, ast.FunctionDef):
+                chain.append(node)
+        bounder = _Bounder(env, report)
+        for outer in reversed(chain):
+            _bind_defaults(outer, env, bounder)
+            for stmt in outer.body:
+                if (isinstance(stmt, ast.Assign)
+                        and len(stmt.targets) == 1
+                        and isinstance(stmt.targets[0], ast.Name)):
+                    term = bounder.bound(stmt.value)
+                    if not term.unbounded:
+                        env[stmt.targets[0].id] = term
+        return env
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if not _is_generator(node) or not _own_yields(node):
+            continue
+        parent = parents.get(node)
+        qual = node.name
+        if isinstance(parent, ast.ClassDef):
+            qual = f"{parent.name}.{node.name}"
+        walker = _FunctionWalker(module_name, qual, scope_chain(node),
+                                 enclosing_env(node), report)
+        walker.walk(node)
+
+    # One report per distinct section site/guard: collapse duplicates
+    # introduced by standalone-plus-inlined walks of nested helpers.
+    unique: Dict[tuple, Section] = {}
+    for section in report.sections:
+        key = (section.module, section.line, section.lock,
+               section.guard, section.total)
+        if key not in unique:
+            unique[key] = section
+        elif unique[key].qualname.count(".") > section.qualname.count("."):
+            unique[key] = section
+    report.sections = sorted(unique.values(),
+                             key=lambda s: (s.module, s.line, s.lock))
+    dedup_errors: Dict[tuple, ExtractionError] = {}
+    for error in report.errors:
+        dedup_errors.setdefault((error.module, error.line,
+                                 error.message), error)
+    report.errors = sorted(dedup_errors.values(),
+                           key=lambda e: (e.module, e.line))
+    return report
+
+
+_EXTRACTION_CACHE: Dict[str, ModuleReport] = {}
+
+
+def cached_extract(module_name: str) -> ModuleReport:
+    if module_name not in _EXTRACTION_CACHE:
+        _EXTRACTION_CACHE[module_name] = extract_module(module_name)
+    return _EXTRACTION_CACHE[module_name]
+
+
+def clear_extraction_cache() -> None:
+    _EXTRACTION_CACHE.clear()
+
+
+__all__ = [
+    "BOUNDARY_ATTRS",
+    "ExtractionError",
+    "ModuleReport",
+    "Section",
+    "Stretch",
+    "cached_extract",
+    "clear_extraction_cache",
+    "extract_module",
+]
+
+# keep dataclasses.replace import meaningful for callers
+_ = replace

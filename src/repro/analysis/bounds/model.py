@@ -1,0 +1,956 @@
+"""The simbound window algebra: per-scenario worst-case bounds.
+
+Composes the extractor's critical-section inventory
+(:mod:`repro.analysis.bounds.extract`) with the timing table's support
+upper bounds (:mod:`repro.analysis.bounds.support`) into the four
+window families the paper's argument rests on -- worst-case irq-off,
+preempt-off, BKL-hold and per-lock hold windows -- and, for the
+interrupt-response scenarios, a predicted shield response bound.
+
+The model is *config sensitive* exactly the way the paper's patches
+are: ``low_latency`` shrinks chunked critical sections to one 250 us
+chunk (Morton's lock-break rewrites), ``preemptible`` turns the
+reschedule-delay term from "longest syscall stretch" into "longest
+preempt-off window" (MontaVista), ``bkl_ioctl_flag`` removes the
+guarded BKL sections from the RCIM ioctl path, and the RedHawk softirq
+budget bounds how much bottom-half work an interrupt exit may drain
+inside someone else's critical section.
+
+Interference model
+------------------
+A critical section of work ``H`` on one CPU is inflated by interrupt
+arrivals and the softirq work they drain at interrupt exit.  The
+window is the least fixed point of::
+
+    W = slowdown * H  +  sum_i n_i(W) * frame_i  +  drain(W)
+
+where ``n_i(W) = floor(b_i + r_i * W) * burst_i`` is a declared
+leaky-bucket arrival curve for interrupt line *i* (exact for periodic
+pacers, a declared assumption for Poisson devices), ``frame_i`` is the
+line's hardirq frame (entry + handler), and ``drain(W)`` bounds the
+softirq work drained inside the window::
+
+    drain(W) = min(B_start + raised(W),  n_exits(W) * (budget + gran))
+
+``B_start`` is the declared softirq backlog at window start (the
+steady-state assumption; capped by the hard per-vector backlog caps),
+``raised(W)`` the softirq work raised by in-window interrupts, and the
+second argument the structural per-exit budget+granularity cap.
+Fixpoint divergence (a window that feeds itself past the iteration
+cap) is reported as unbounded rather than truncated.
+
+irq-off windows are different: an interrupt-disabling spinlock
+(io_request_lock) masks interference entirely, so its window is just
+spin + hold; plain hardirq frames add a *co-push allowance* -- the
+event engine can begin a same-timestamp softirq item or task frame on
+top of a hardirq frame (observed in trace rings as ksoftirqd items
+riding resched IPIs), extending the irq-off window by at most one such
+frame.
+
+Everything the model assumes beyond the code it extracted is a named
+constant in :class:`Assumptions` and is emitted into the certificate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.bounds.extract import (
+    ExtractionError,
+    ModuleReport,
+    Section,
+    Stretch,
+    cached_extract,
+)
+from repro.analysis.bounds.support import Term, TimingBounds
+from repro.kernel.config import KernelConfig
+from repro.kernel.drivers.net import NetDriver
+from repro.kernel.irqflow.softirq import SoftirqQueue
+from repro.kernel.syscalls import LOWLAT_CHUNK_NS
+from repro.sim.simtime import MSEC, SEC, USEC
+
+__all__ = [
+    "Assumptions",
+    "ArrivalLine",
+    "BoundModelError",
+    "CpuClassBounds",
+    "ScenarioBounds",
+    "compute_bounds",
+]
+
+#: Softirq item granularity (one drain-budget overrun unit).
+GRANULARITY_NS = SoftirqQueue.ITEM_GRANULARITY_NS
+
+#: Hard per-CPU network backlog cap (excess netif_rx traffic drops).
+NET_BACKLOG_CAP_NS = NetDriver.MAX_BACKLOG_NS
+
+
+class BoundModelError(RuntimeError):
+    """The scenario could not be certified (unbounded window)."""
+
+
+# ----------------------------------------------------------------------
+# Declared assumptions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Assumptions:
+    """Every constant the bound model assumes beyond extracted code.
+
+    These are the arrival curves and environment bounds a WCET analysis
+    must *declare* -- they cannot be derived from the kernel paths
+    themselves.  Each one is emitted into the certificate, and the
+    runtime cross-check is what validates them against reality.
+    """
+
+    #: Poisson interrupt sources are bounded by a leaky bucket
+    #: ``floor(b + rate*W)`` with this bucket depth ``b``.
+    poisson_bucket: float = 1.0
+    #: A NIC burst carries at most ``ceil(factor * weighted_mean)``
+    #: frames (the device draws geometric burst sizes, unbounded).
+    nic_burst_factor: float = 4.0
+    #: Consecutive disk completion interrupts are spaced by at least
+    #: this much (single-spindle FIFO disk; sub-median back-to-back
+    #: services are rare).
+    disk_completion_spacing_ns: int = 500 * USEC
+    #: Reschedule-IPI arrival curve (wake traffic between CPUs).
+    ipi_rate_hz: float = 3000.0
+    ipi_bucket: float = 2.0
+    #: On a fully shielded CPU (procs + irqs) the only IPIs are the
+    #: measurement task's own preemption wakes: a much sparser curve.
+    ipi_shielded_rate_hz: float = 200.0
+    ipi_shielded_bucket: float = 1.0
+    #: Softirq backlog already queued when a *response-path* window
+    #: opens, as a multiple of the interrupt-exit drain budget.  This
+    #: is the model's strongest declared assumption: transient deep
+    #: backlogs (loopback RPC bursts filling the 2.5 ms netdev cap)
+    #: are assumed not to coincide with the measurement task's lock
+    #: acquisitions.  Accounting windows do NOT use it -- they assume
+    #: the full per-vector backlog caps ("deep" regime) -- so the
+    #: observed<=predicted cross-check on window maxima stays sound
+    #: even when deep backlogs occur.
+    response_backlog_budget_factor: float = 1.0
+    #: Residual backlog caps for the non-network vectors (items).
+    timer_backlog_items: int = 2
+    block_backlog_items: int = 4
+    gfx_backlog_items: int = 4
+    #: Same-timestamp co-push allowance on hardirq frames includes one
+    #: softirq item (granularity) when the CPU has softirq sources.
+    copush_softirq_item: bool = True
+    #: Largest single ``loopback_send`` (packets): ttcp bursts 16,
+    #: NFS RPCs up to 23, nfsd replies up to 15.  Loopback NET_RX work
+    #: is raised by *tasks* on their own CPU, so it adds no arrival
+    #: line, but it does fill the per-CPU netdev backlog cap -- and
+    #: the drop check runs before the enqueue, so the queue can
+    #: overshoot the cap by one send of this size.
+    loopback_burst_packets: int = 32
+    #: Fixpoint iteration cap before declaring divergence.
+    max_fixpoint_iters: int = 64
+
+    def notes(self) -> List[str]:
+        out = []
+        for f in fields(self):
+            out.append(f"{f.name} = {getattr(self, f.name)}")
+        return out
+
+
+#: The modules each registered background load executes op programs
+#: from (workload bodies plus the driver critical-section paths they
+#: enter).  ``broadcast`` is pure device traffic: no task-side paths.
+WORKLOAD_MODULES: Dict[str, Tuple[str, ...]] = {
+    "broadcast": (),
+    "stress-kernel": (
+        "repro.workloads.stress_kernel.fs",
+        "repro.workloads.stress_kernel.nfs_compile",
+        "repro.workloads.stress_kernel.crashme",
+        "repro.workloads.stress_kernel.p3_fpu",
+        "repro.workloads.stress_kernel.ttcp",
+        "repro.workloads.stress_kernel.fifos_mmap",
+        "repro.kernel.drivers.blockdev",
+    ),
+    "scp-copy": ("repro.workloads.netload", "repro.kernel.drivers.blockdev"),
+    "ttcp": ("repro.workloads.netload",),
+    "disknoise": ("repro.workloads.disknoise",
+                  "repro.kernel.drivers.blockdev"),
+    "x11perf": ("repro.workloads.x11perf",),
+}
+
+#: The modules each measurement program's response path runs through.
+MEASUREMENT_MODULES: Dict[str, Tuple[str, ...]] = {
+    "realfeel": ("repro.workloads.realfeel", "repro.kernel.drivers.rtc_dev"),
+    "rcim": ("repro.workloads.rcim_response",
+             "repro.kernel.drivers.rcim_dev"),
+    "cyclictest": ("repro.workloads.cyclictest",),
+    "determinism": ("repro.workloads.determinism",),
+    "fbs-cycle": ("repro.workloads.fbs_cycle",
+                  "repro.kernel.drivers.rcim_dev"),
+}
+
+#: NIC traffic flows each load adds: (packets_per_sec, burst_mean).
+#: Mirrors harness.add_background_broadcast and workloads/netload.py.
+NIC_FLOWS: Dict[str, Tuple[float, float]] = {
+    "broadcast": (40.0, 1.5),
+    "scp-copy": (9500.0, 6.0),
+    "ttcp": (800.0, 4.0),
+}
+
+#: Loads that submit block I/O (disk completion interrupts follow).
+DISK_LOADS = ("stress-kernel", "scp-copy", "disknoise")
+
+#: Loads whose tasks send over the loopback device (ttcp pair, NFS
+#: RPC traffic): NET_RX softirq work raised on the sender's own CPU,
+#: bounded by the netdev backlog cap rather than a device rate.
+LOOPBACK_LOADS = ("stress-kernel",)
+
+#: x11perf's GPU completion-interrupt rate (workloads/x11perf.py).
+GPU_IRQS_PER_SEC = 900.0
+
+
+# ----------------------------------------------------------------------
+# Arrival lines
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ArrivalLine:
+    """One interrupt source hitting a CPU class.
+
+    ``count(W) = floor(bucket + rate_hz * W) * burst`` interrupts may
+    arrive in any window of length ``W``; each pushes a hardirq frame
+    of ``frame_ns`` and raises ``raised_ns`` of softirq work.
+    Deterministic pacers use ``bucket=1`` exactly; Poisson devices use
+    the declared bucket.
+    """
+
+    name: str
+    frame_ns: int
+    raised_ns: int = 0
+    bucket: float = 1.0
+    rate_hz: float = 0.0
+    burst: int = 1
+
+    def count(self, window_ns: int) -> int:
+        return int(math.floor(
+            self.bucket + self.rate_hz * window_ns / SEC)) * self.burst
+
+
+@dataclass
+class WindowBreakdown:
+    """One certified window with its composition trail."""
+
+    ns: int
+    parts: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return " + ".join(self.parts) if self.parts else str(self.ns)
+
+
+@dataclass
+class CpuClassBounds:
+    """Worst-case windows for one CPU equivalence class."""
+
+    label: str
+    cpus: Tuple[int, ...]
+    irq_off_ns: int = 0
+    preempt_off_ns: int = 0
+    bkl_hold_ns: int = 0
+    lock_hold_ns: Dict[str, int] = field(default_factory=dict)
+    detail: Dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "cpus": list(self.cpus),
+            "max_irq_off_ns": self.irq_off_ns,
+            "max_preempt_off_ns": self.preempt_off_ns,
+            "max_bkl_hold_ns": self.bkl_hold_ns,
+            "lock_hold_ns": dict(sorted(self.lock_hold_ns.items())),
+            "detail": dict(sorted(self.detail.items())),
+        }
+
+
+@dataclass
+class ScenarioBounds:
+    """The bound model's output for one scenario."""
+
+    scenario: str
+    kernel: str
+    shielded: bool
+    measure_cpu: Optional[int]
+    cpu_classes: List[CpuClassBounds]
+    response_ns: Optional[int]
+    response_detail: str
+    assumptions: List[str]
+    extraction_assumptions: List[str]
+    fault_plan: Optional[str]
+    fault_intensity: float
+
+    def class_for_cpu(self, cpu: int) -> CpuClassBounds:
+        for cls in self.cpu_classes:
+            if cpu in cls.cpus:
+                return cls
+        raise KeyError(f"cpu {cpu} not covered by {self.scenario} bounds")
+
+
+# ----------------------------------------------------------------------
+# The model
+# ----------------------------------------------------------------------
+class _ScenarioModel:
+    def __init__(self, spec, assumptions: Assumptions) -> None:
+        self.spec = spec
+        self.a = assumptions
+        self.config: KernelConfig = spec.build_config()
+        self.tb = TimingBounds(self.config.timing)
+        machine = spec.machine
+        self.ncpus = machine.ncpus()
+        # Worst sustained execution dilation: hyperthread contention
+        # (speed floor mean - jitter) times memory-bus coupling.
+        ht = ((machine.ht_speed_mean - machine.ht_speed_jitter)
+              if machine.hyperthreading else 1.0)
+        mem = 1.0 - machine.membus_coupling
+        self.slowdown = 1.0 / (ht * mem)
+        self.notes: List[str] = []
+        self.extraction_notes: List[str] = []
+
+        shield = spec.shield
+        self.shielded = bool(shield.procs or shield.irqs or shield.ltmr)
+        self.measure_cpu = (spec.measurement.pin_cpu
+                            if spec.measurement.pin_cpu is not None
+                            else (shield.cpu if self.shielded else None))
+
+        self._load_sections()
+        self._build_lines()
+
+    # -- helpers -------------------------------------------------------
+    def _wall(self, ns: float) -> int:
+        return int(math.ceil(ns * self.slowdown))
+
+    def _resolve(self, term: Term, where: str) -> int:
+        value = self.tb.resolve(term)
+        if value is None:
+            raise BoundModelError(
+                f"{self.spec.name}: unbounded cost in {where}: "
+                f"{term.describe()}")
+        return value
+
+    def _upper(self, key: str, where: str) -> int:
+        value = self.tb.upper(key)
+        if value is None:
+            raise BoundModelError(
+                f"{self.spec.name}: timing key {key!r} has no finite "
+                f"support upper bound ({where})")
+        return value
+
+    # -- extraction ----------------------------------------------------
+    def _guard_active(self, guard: Optional[str]) -> bool:
+        if guard is None:
+            return True
+        if guard == "needs_bkl":
+            return not self.config.bkl_ioctl_flag
+        if guard == "not needs_bkl":
+            return self.config.bkl_ioctl_flag
+        # Unknown guard: include both ways (conservative).
+        return True
+
+    def _load_sections(self) -> None:
+        spec = self.spec
+        self.workload_reports: List[ModuleReport] = []
+        self.measure_reports: List[ModuleReport] = []
+        seen = set()
+        for load in spec.workloads:
+            try:
+                mods = WORKLOAD_MODULES[load]
+            except KeyError:
+                raise BoundModelError(
+                    f"{spec.name}: load {load!r} has no module map; "
+                    f"simbound cannot certify it") from None
+            for mod in mods:
+                if mod not in seen:
+                    seen.add(mod)
+                    self.workload_reports.append(cached_extract(mod))
+        program = spec.measurement.program
+        try:
+            mmods = MEASUREMENT_MODULES[program]
+        except KeyError:
+            raise BoundModelError(
+                f"{spec.name}: measurement program {program!r} has no "
+                f"module map; simbound cannot certify it") from None
+        for mod in mmods:
+            self.measure_reports.append(cached_extract(mod))
+
+        errors: List[ExtractionError] = []
+        for report in self.workload_reports + self.measure_reports:
+            errors.extend(report.errors)
+            self.extraction_notes.extend(report.assumptions)
+        if errors:
+            raise BoundModelError(
+                f"{spec.name}: extraction errors:\n" +
+                "\n".join(e.render() for e in errors))
+
+        def holds(reports: Sequence[ModuleReport]) -> Dict[str, List[int]]:
+            by_lock: Dict[str, List[int]] = {}
+            for report in reports:
+                for sec in report.sections:
+                    if not self._guard_active(sec.guard):
+                        continue
+                    work = self._resolve(
+                        sec.total, f"{sec.qualname} ({sec.module}:{sec.line})")
+                    if sec.chunked and self.config.low_latency:
+                        # Morton lock-break: drop/retake per 250us chunk.
+                        work = min(work, LOWLAT_CHUNK_NS)
+                    by_lock.setdefault(sec.lock, []).append(work)
+            return by_lock
+
+        self.workload_holds = holds(self.workload_reports)
+        self.measure_holds = holds(self.measure_reports)
+        self.workload_stretches = [
+            s for r in self.workload_reports for s in r.stretches]
+        self.measure_stretches = [
+            s for r in self.measure_reports for s in r.stretches]
+
+        # Rogue lock-campers from the fault plan are additional holders.
+        self.rogue_holds: Dict[str, int] = {}
+        self.storm_lines: List[Tuple[float, int, int]] = []  # rate, burst, frame
+        self.spurious_disk_hz = 0.0
+        self.tick_drift = 0.0
+        if spec.fault_plan:
+            from repro.faults.plan import fault_plan
+            intensity = spec.fault_intensity
+            plan = fault_plan(spec.fault_plan)
+            default_frame = (self._upper("irq.entry", "storm line")
+                             + self._upper("irq.handler.default", "storm"))
+            for inj in plan.injectors:
+                if inj.kind == "rogue-task":
+                    lock = inj.param("lock", "bkl")
+                    hold = max(1000, int(inj.param("hold_ns", 0) * intensity))
+                    self.rogue_holds[lock] = max(
+                        self.rogue_holds.get(lock, 0), hold)
+                elif inj.kind == "irq-storm":
+                    rate = float(inj.param("rate_hz", 0.0)) * intensity
+                    burst = int(inj.param("burst_max", 1))
+                    self.storm_lines.append((rate, burst, default_frame))
+                elif inj.kind == "device-irq":
+                    if inj.param("mode") == "spurious":
+                        self.spurious_disk_hz += (
+                            float(inj.param("rate_hz", 0.0)) * intensity)
+                    elif inj.param("mode") == "stuck":
+                        extra = int(inj.param("extra", 1))
+                        self.notes.append(
+                            f"stuck device irqs replay {extra} extra "
+                            f"deliveries; folded into line burst")
+                elif inj.kind == "tick-jitter":
+                    self.tick_drift = max(
+                        self.tick_drift,
+                        float(inj.param("drift", 0.0)) * intensity)
+                elif inj.kind == "irq-misroute":
+                    self.notes.append(
+                        "irq-misroute window steers a device line onto "
+                        "the target CPU; lines are modelled on every "
+                        "unshielded CPU already")
+
+    # -- arrival lines -------------------------------------------------
+    def _build_lines(self) -> None:
+        """Partition CPUs into classes and attach interrupt lines."""
+        spec, cfg, a = self.spec, self.config, self.a
+        shield = spec.shield
+        all_cpus = tuple(range(self.ncpus))
+        if self.shielded and self.measure_cpu is not None and self.ncpus > 1:
+            measure_cpus = (self.measure_cpu,)
+            other_cpus = tuple(c for c in all_cpus if c != self.measure_cpu)
+        else:
+            measure_cpus = all_cpus
+            other_cpus = ()
+        self.measure_cpus = measure_cpus
+        self.other_cpus = other_cpus
+
+        def entry() -> int:
+            return self._upper("irq.entry", "irq entry")
+
+        def lines_for(cpus: Tuple[int, ...], is_measure: bool
+                      ) -> List[ArrivalLine]:
+            lines: List[ArrivalLine] = []
+            if not cpus:
+                return lines
+            has_cpu0 = 0 in cpus
+            # The irq shield steers floating device lines off the
+            # shielded CPU; pinned lines follow pin_irq regardless.
+            floating_here = not (self.shielded and shield.irqs and is_measure
+                                 and self.ncpus > 1)
+            tick_rate = (1.0 + self.tick_drift) * SEC / cfg.tick_ns
+            tick_off = (self.shielded and shield.ltmr and is_measure
+                        and self.ncpus > 1)
+            if not tick_off:
+                raised = (self._upper("tick.timer_softirq", "tick")
+                          if has_cpu0 else 0)
+                lines.append(ArrivalLine(
+                    "tick", entry() + self._upper("tick.cost", "tick"),
+                    raised_ns=raised, bucket=1.0, rate_hz=tick_rate))
+            elif has_cpu0:  # pragma: no cover - shield cpu is never 0 here
+                lines.append(ArrivalLine(
+                    "timer-softirq", 0,
+                    raised_ns=self._upper("tick.timer_softirq", "tick"),
+                    bucket=1.0, rate_hz=tick_rate))
+            if spec.rtc_periodic:
+                pinned_here = (shield.pin_irq == "rtc"
+                               and self.measure_cpu in cpus)
+                if pinned_here or (shield.pin_irq != "rtc" and floating_here):
+                    lines.append(ArrivalLine(
+                        "rtc", entry() + self._upper("irq.handler.rtc",
+                                                     "rtc"),
+                        bucket=1.0, rate_hz=float(spec.rtc_hz)))
+            # The rcim timer fires when the spec arms it (fig7) or
+            # when the FBS program drives it at its minor-cycle rate.
+            rcim_rate = 0.0
+            if spec.rcim_timer:
+                rcim_rate = SEC / max(1, spec.rcim_period_ns)
+            elif spec.measurement.program == "fbs-cycle":
+                rcim_rate = SEC / max(1, spec.measurement.fbs_cycle_ns)
+            if rcim_rate > 0:
+                pinned_here = (shield.pin_irq == "rcim"
+                               and self.measure_cpu in cpus)
+                if pinned_here or (shield.pin_irq != "rcim"
+                                   and floating_here):
+                    lines.append(ArrivalLine(
+                        "rcim", entry() + self._upper("irq.handler.rcim",
+                                                      "rcim"),
+                        bucket=1.0, rate_hz=rcim_rate))
+            flows = [NIC_FLOWS[w] for w in spec.workloads if w in NIC_FLOWS]
+            if flows and floating_here:
+                burst_rate = sum(p / max(1.0, b) for p, b in flows)
+                pkt_rate = sum(p for p, _ in flows)
+                wmean = (sum(b * (p / max(1.0, b)) for p, b in flows)
+                         / burst_rate)
+                pkt_cap = int(math.ceil(a.nic_burst_factor * wmean))
+                self.notes.append(
+                    f"nic burst <= {pkt_cap} frames "
+                    f"({a.nic_burst_factor} x weighted mean {wmean:.2f})")
+                # Hardirq frames occur per *burst*; receive softirq work
+                # accrues per *packet*.  Splitting the arrival curve keeps
+                # the long-run raised rate at the flow's true packet rate
+                # (a single pkt_cap-sized line at burst rate would claim
+                # nic_burst_factor times the real throughput and spuriously
+                # diverge the fixpoint on heavy flows like scp-copy).
+                lines.append(ArrivalLine(
+                    "nic", entry() + self._upper("irq.handler.net", "nic"),
+                    bucket=a.poisson_bucket, rate_hz=burst_rate))
+                lines.append(ArrivalLine(
+                    "nic-rx", 0,
+                    raised_ns=self._upper("softirq.net_rx_per_packet",
+                                          "nic rx"),
+                    bucket=float(pkt_cap), rate_hz=pkt_rate))
+            if (any(w in LOOPBACK_LOADS for w in spec.workloads)
+                    and not (is_measure and self.shielded
+                             and shield.procs)):
+                # Loopback senders are ordinary tasks: a process
+                # shield keeps them (and their NET_RX raises) off the
+                # measure CPU entirely.  Elsewhere their queued work
+                # is bounded by the netdev backlog cap; the zero-rate
+                # marker line contributes no arrivals to the fixpoint,
+                # only the backlog-cap term and the drain-item bound.
+                lines.append(ArrivalLine(
+                    "lo-rx", 0,
+                    raised_ns=(a.loopback_burst_packets
+                               * self._upper("softirq.net_rx_per_packet",
+                                             "loopback rx")),
+                    bucket=0.0, rate_hz=0.0))
+            disk_rate = 0.0
+            if any(w in DISK_LOADS for w in spec.workloads):
+                disk_rate += SEC / a.disk_completion_spacing_ns
+            disk_rate += self.spurious_disk_hz
+            if disk_rate > 0 and floating_here:
+                lines.append(ArrivalLine(
+                    "disk", entry() + self._upper("irq.handler.disk",
+                                                  "disk"),
+                    raised_ns=self._upper("softirq.block_complete", "disk"),
+                    bucket=a.poisson_bucket, rate_hz=disk_rate))
+            if "x11perf" in spec.workloads and floating_here:
+                lines.append(ArrivalLine(
+                    "gfx", entry() + self._upper("irq.handler.gfx", "gfx"),
+                    raised_ns=self._upper("softirq.gfx_tasklet", "gfx"),
+                    bucket=a.poisson_bucket, rate_hz=GPU_IRQS_PER_SEC))
+            if self.ncpus > 1:
+                fully_shielded = (is_measure and self.shielded
+                                  and shield.procs and shield.irqs)
+                lines.append(ArrivalLine(
+                    "ipi", entry() + self._upper("irq.ipi", "ipi"),
+                    bucket=(a.ipi_shielded_bucket if fully_shielded
+                            else a.ipi_bucket),
+                    rate_hz=(a.ipi_shielded_rate_hz if fully_shielded
+                             else a.ipi_rate_hz)))
+            for i, (rate, burst, frame) in enumerate(self.storm_lines):
+                if floating_here:
+                    lines.append(ArrivalLine(
+                        f"storm{i}", frame, bucket=1.0, rate_hz=rate,
+                        burst=burst))
+            return lines
+
+        self.lines_measure = lines_for(measure_cpus, True)
+        self.lines_other = lines_for(other_cpus, False)
+
+    # -- softirq backlog ----------------------------------------------
+    def _backlog_start(self, lines: List[ArrivalLine],
+                       deep: bool = True) -> int:
+        """Softirq backlog at window start for a CPU class.
+
+        ``deep`` (accounting windows) assumes the full per-vector
+        backlog caps -- the hard bounds the kernel's drop logic
+        enforces.  Shallow (response path) additionally applies the
+        declared steady-state assumption: queue near one exit budget.
+        """
+        a, cfg = self.a, self.config
+        caps = 0
+        names = {l.name for l in lines}
+        if "nic-rx" in names or "lo-rx" in names:
+            # One shared netdev backlog cap per CPU; the drop check
+            # precedes the enqueue, so the queue overshoots by at most
+            # the largest single enqueue (device burst or loopback
+            # send, whichever is bigger).
+            burst = max((int(l.bucket) * l.raised_ns for l in lines
+                         if l.name == "nic-rx"), default=0)
+            burst = max(burst, max((l.raised_ns for l in lines
+                                    if l.name == "lo-rx"), default=0))
+            caps += NET_BACKLOG_CAP_NS + burst
+        if any(l.raised_ns and l.name in ("tick", "timer-softirq")
+               for l in lines):
+            caps += a.timer_backlog_items * self._upper(
+                "tick.timer_softirq", "backlog")
+        if "disk" in names:
+            caps += a.block_backlog_items * self._upper(
+                "softirq.block_complete", "backlog")
+        if "gfx" in names:
+            caps += a.gfx_backlog_items * self._upper(
+                "softirq.gfx_tasklet", "backlog")
+        if caps == 0:
+            return 0
+        if not deep:
+            caps = min(caps, int(a.response_backlog_budget_factor
+                                 * cfg.softirq_exit_budget_ns))
+        return caps
+
+    # -- interference fixpoint ----------------------------------------
+    def _fixpoint(self, base_work_ns: int, lines: List[ArrivalLine],
+                  label: str, irqs_off: bool = False,
+                  extra_wall_ns: int = 0,
+                  deep: bool = True) -> WindowBreakdown:
+        """Least fixed point of the window equation for ``base_work_ns``
+        of critical-section work plus ``extra_wall_ns`` of already-wall
+        time (spin waits)."""
+        base_wall = self._wall(base_work_ns) + extra_wall_ns
+        if irqs_off or not lines:
+            return WindowBreakdown(base_wall, [f"{label}={base_wall}"])
+        cfg, a = self.config, self.a
+        backlog = self._backlog_start(lines, deep=deep)
+        per_exit = cfg.softirq_exit_budget_ns + GRANULARITY_NS
+        window = base_wall
+        for _ in range(a.max_fixpoint_iters):
+            frames = 0
+            raised = 0
+            exits = 0
+            for line in lines:
+                n = line.count(window)
+                frames += n * line.frame_ns
+                raised += n * line.raised_ns
+                exits += n
+            drain = min(backlog + raised, exits * per_exit)
+            new = base_wall + self._wall(frames) + self._wall(drain)
+            if new == window:
+                parts = [f"{label}={base_wall}",
+                         f"irq-frames={self._wall(frames)}",
+                         f"softirq-drain={self._wall(drain)}"]
+                return WindowBreakdown(window, parts)
+            if new < window:  # pragma: no cover - monotone by construction
+                window = new
+                continue
+            window = new
+        raise BoundModelError(
+            f"{self.spec.name}: window fixpoint for {label!r} diverged "
+            f"after {a.max_fixpoint_iters} iterations "
+            f"(last {window} ns); interference outruns the drain budget")
+
+    # -- window families -----------------------------------------------
+    def _max_task_frame(self, reports_holds: Dict[str, List[int]],
+                        stretches: List[Stretch]) -> int:
+        """Largest single frame a task can push at one timestamp."""
+        worst = 0
+        for holds in reports_holds.values():
+            worst = max(worst, max(holds, default=0))
+        for stretch in stretches:
+            for term, chunked in stretch.components:
+                value = self._resolve(term, "stretch component")
+                if chunked and self.config.low_latency:
+                    value = min(value, LOWLAT_CHUNK_NS)
+                worst = max(worst, value)
+        return worst
+
+    def _class_holds(self, is_measure: bool
+                     ) -> Tuple[Dict[str, List[int]], List[Stretch]]:
+        """Lock holds + stretches executed by tasks of one class.
+
+        With a procs shield the measurement program is alone on the
+        shielded CPU; otherwise everything (rogues included) runs
+        everywhere.
+        """
+        procs_shielded = (self.shielded and self.spec.shield.procs
+                          and self.ncpus > 1)
+        if is_measure and procs_shielded:
+            sources = [self.measure_holds]
+            rogues_here = False
+            stretches = self.measure_stretches
+        elif is_measure:  # unshielded: single class runs everything
+            sources = [self.workload_holds, self.measure_holds]
+            rogues_here = True
+            stretches = self.workload_stretches + self.measure_stretches
+        else:
+            sources = [self.workload_holds]
+            rogues_here = True
+            stretches = self.workload_stretches
+        holds: Dict[str, List[int]] = {}
+        for src in sources:
+            for lock, values in src.items():
+                holds.setdefault(lock, []).extend(values)
+        if rogues_here:
+            for lock, hold in self.rogue_holds.items():
+                holds.setdefault(lock, []).append(hold)
+        return holds, stretches
+
+    def _grant_windows(self, holds: Dict[str, List[int]],
+                       lines: List[ArrivalLine],
+                       deep: bool = True) -> Dict[str, int]:
+        """Acquire-to-release windows per lock for one class: hold
+        work inflated by that class's interference.  This is what a
+        remote spinner waits out per FIFO handoff."""
+        grants: Dict[str, int] = {}
+        for lock, values in holds.items():
+            worst = max(values)
+            if lock == "io_request_lock":
+                grants[lock] = self._wall(worst)  # irqs masked: no inflation
+            else:
+                grants[lock] = self._fixpoint(
+                    worst, lines, f"{lock}-grant", deep=deep).ns
+        return grants
+
+    def _class_bounds(self, label: str, cpus: Tuple[int, ...],
+                      lines: List[ArrivalLine], is_measure: bool,
+                      holds: Dict[str, List[int]],
+                      stretches: List[Stretch],
+                      remote_grants: Dict[str, int]) -> CpuClassBounds:
+        cls = CpuClassBounds(label=label, cpus=cpus)
+        if not cpus:
+            return cls
+        # Per-lock windows as the *accounting* sees them: preempt_count
+        # rises before the spin, so spin-in (each other CPU's full
+        # grant window, FIFO handoff) + own hold + interference.
+        preempt_candidates: List[Tuple[str, WindowBreakdown]] = []
+        io_window = 0
+        for lock, values in sorted(holds.items()):
+            worst = max(values)
+            spin = (self.ncpus - 1) * remote_grants.get(lock, 0)
+            if lock == "io_request_lock":
+                io_window = spin + self._wall(worst)
+                window = WindowBreakdown(
+                    io_window, ["io_request_lock spin+hold (irqs masked)"])
+            else:
+                window = self._fixpoint(worst, lines, f"{lock}-hold",
+                                        extra_wall_ns=spin)
+                if spin:
+                    window.parts.insert(0, f"spin-in={spin}")
+            cls.lock_hold_ns[lock] = window.ns
+            cls.detail[f"lock:{lock}"] = window.describe()
+            preempt_candidates.append((lock, window))
+            if lock == "bkl":
+                cls.bkl_hold_ns = max(cls.bkl_hold_ns, window.ns)
+
+        # A softirq drain outside any hold is itself a preempt-off
+        # window (do_softirq runs with preemption disabled).
+        backlog = self._backlog_start(lines)
+        if backlog:
+            biggest_raise = max((l.raised_ns for l in lines), default=0)
+            drain_alone = min(
+                self.config.softirq_exit_budget_ns + GRANULARITY_NS,
+                backlog + biggest_raise)
+            window = WindowBreakdown(self._wall(drain_alone),
+                                     ["standalone softirq drain"])
+            preempt_candidates.append(("softirq-drain", window))
+
+        for _name, window in preempt_candidates:
+            cls.preempt_off_ns = max(cls.preempt_off_ns, window.ns)
+        cls.detail["preempt_off"] = max(
+            preempt_candidates, key=lambda nw: nw[1].ns,
+            default=("none", WindowBreakdown(0)))[1].describe()
+
+        # irq-off: the widest hardirq frame plus the same-timestamp
+        # co-push allowance, or an interrupt-disabling lock window.
+        copush = self._max_task_frame(holds, stretches)
+        if self.a.copush_softirq_item and any(l.raised_ns for l in lines):
+            copush = max(copush, GRANULARITY_NS)
+        worst_frame = max((l.frame_ns for l in lines), default=0)
+        frame_based = self._wall(worst_frame + copush)
+        cls.irq_off_ns = max(frame_based, io_window)
+        cls.detail["irq_off"] = (
+            f"max-frame={self._wall(worst_frame)} + co-push={self._wall(copush)}"
+            if frame_based >= io_window else
+            "io_request_lock spin+hold (irqs masked)")
+        return cls
+
+    # -- response composition ------------------------------------------
+    def _resched_delay(self, lines: List[ArrivalLine],
+                       other_cls: Optional[CpuClassBounds],
+                       own_cls: CpuClassBounds) -> Tuple[int, str]:
+        """Worst delay until the woken measurement task gets its CPU."""
+        procs_shielded = (self.shielded and self.spec.shield.procs
+                          and self.ncpus > 1)
+        if procs_shielded:
+            return 0, "shielded: cpu is idle"
+        if self.config.preemptible:
+            return (own_cls.preempt_off_ns,
+                    "preempt kernel: worst preempt-off window")
+        # Non-preemptible: wait out the current task's longest
+        # uninterruptible syscall stretch (low-latency caps chunked
+        # components, but unchunked runs still execute whole).
+        worst = 0
+        for stretch in self.workload_stretches + self.measure_stretches:
+            run = 0
+            longest = 0
+            for term, chunked in stretch.components:
+                value = self._resolve(term, "stretch")
+                if chunked and self.config.low_latency:
+                    longest = max(longest, min(value, LOWLAT_CHUNK_NS))
+                    run = 0
+                else:
+                    run += value
+                    longest = max(longest, run)
+            worst = max(worst, longest)
+        window = self._fixpoint(worst, lines, "resched-stretch",
+                                deep=False)
+        return window.ns, "non-preempt stretch + interference"
+
+    def _response(self, measure_cls: CpuClassBounds,
+                  other_cls: Optional[CpuClassBounds]
+                  ) -> Tuple[Optional[int], str]:
+        program = self.spec.measurement.program
+        if program not in ("realfeel", "rcim", "cyclictest"):
+            return None, f"{program}: not an interrupt-response scenario"
+        lines = self.lines_measure
+        parts: List[Tuple[str, int]] = []
+
+        def add(name: str, ns: int) -> None:
+            parts.append((name, int(ns)))
+
+        # 1. The timer interrupt may land while the measure CPU has
+        #    interrupts masked or is finishing a frame.
+        add("in-flight", measure_cls.irq_off_ns)
+        # 2. The timer line's own hardirq frame.
+        if program == "realfeel":
+            frame = (self._upper("irq.entry", "rtc")
+                     + self._upper("irq.handler.rtc", "rtc"))
+        elif program == "rcim":
+            frame = (self._upper("irq.entry", "rcim")
+                     + self._upper("irq.handler.rcim", "rcim"))
+        else:
+            frame = (self._upper("irq.entry", "tick")
+                     + self._upper("tick.cost", "tick"))
+        add("timer-frame", self._wall(frame))
+        # 3. Softirq drain at that interrupt's exit (steady-state
+        #    backlog assumption; see Assumptions).
+        backlog = self._backlog_start(lines, deep=False)
+        if backlog:
+            add("exit-drain", self._wall(min(
+                self.config.softirq_exit_budget_ns + GRANULARITY_NS,
+                backlog)))
+        # 4. Reschedule delay + context switch.
+        resched, why = self._resched_delay(lines, other_cls, measure_cls)
+        add("resched", resched)
+        add("switch", self._wall(self._upper("sched.switch", "switch")))
+        # 5. The wake-side syscall-return path (driver wake stretch,
+        #    including its own lock holds).
+        wake = 0
+        for stretch in self.measure_stretches:
+            total = sum(self._resolve(t, "wake stretch")
+                        for t, _ in stretch.components)
+            wake = max(wake, total)
+        add("wake-path", self._wall(wake))
+        # 6. Spin-in on every lock the wake path takes, against the
+        #    worst remote holder's grant window (acquire-to-release,
+        #    interference-inflated), one FIFO handoff per other CPU.
+        for lock in sorted(self.measure_holds):
+            remote = self._remote_grants_measure.get(lock, 0)
+            if remote and self.ncpus > 1:
+                add(f"spin:{lock}", (self.ncpus - 1) * remote)
+        # 7. Vanilla cyclictest: nanosleep rounds up to jiffies.  The
+        #    expiry itself is a direct simulator event (kernel._sleep
+        #    arms sim.after, no cross-CPU timer-wheel softirq), so no
+        #    remote-CPU window enters the wake path beyond the IPI and
+        #    local terms already counted.
+        if program == "cyclictest" and not self.config.highres_timers:
+            add("jiffy-quantization", 2 * self.config.tick_ns)
+        # 8. Syscall exit (+ the stock handle_softirq drain).
+        add("syscall-exit", self._wall(self._upper("syscall.exit", "exit")))
+        if self.config.softirq_syscall_exit_drain and backlog:
+            add("syscall-exit-drain", self._wall(backlog))
+
+        base = sum(ns for _, ns in parts)
+        # 9. Interrupt frames + drains landing on the measure CPU while
+        #    the response is in progress (fixpoint over the total).
+        final = self._fixpoint(0, lines, "response", extra_wall_ns=base,
+                               deep=False)
+        detail = " + ".join(f"{name}={ns}" for name, ns in parts)
+        if final.ns > base:
+            detail += f" + local-irqs={final.ns - base}"
+        return final.ns, detail
+
+    # -- entry ---------------------------------------------------------
+    def compute(self) -> ScenarioBounds:
+        measure_holds, measure_stretches = self._class_holds(is_measure=True)
+        measure_grants = self._grant_windows(measure_holds,
+                                             self.lines_measure, deep=True)
+        classes: List[CpuClassBounds] = []
+        other_cls: Optional[CpuClassBounds] = None
+        if self.other_cpus:
+            other_holds, other_stretches = self._class_holds(
+                is_measure=False)
+            other_grants = self._grant_windows(other_holds,
+                                               self.lines_other, deep=True)
+            other_cls = self._class_bounds(
+                "interference cpus", self.other_cpus, self.lines_other,
+                is_measure=False, holds=other_holds,
+                stretches=other_stretches, remote_grants=measure_grants)
+            # The shielded task spins against the interference CPUs;
+            # the response path applies the steady-state (shallow
+            # backlog) assumption to the remote grant.
+            self._remote_grants_measure = self._grant_windows(
+                other_holds, self.lines_other, deep=False)
+            measure_remote = other_grants
+        else:
+            # Single class: the "remote" holder is the same population
+            # on another CPU.
+            self._remote_grants_measure = self._grant_windows(
+                measure_holds, self.lines_measure, deep=False)
+            measure_remote = measure_grants
+        measure_label = ("shielded cpu" if self.shielded and self.other_cpus
+                         else "all cpus")
+        measure_cls = self._class_bounds(
+            measure_label, self.measure_cpus, self.lines_measure,
+            is_measure=True, holds=measure_holds,
+            stretches=measure_stretches, remote_grants=measure_remote)
+        classes.append(measure_cls)
+        if other_cls is not None:
+            classes.append(other_cls)
+        response_ns, response_detail = self._response(measure_cls, other_cls)
+        return ScenarioBounds(
+            scenario=self.spec.name,
+            kernel=self.config.name,
+            shielded=self.shielded,
+            measure_cpu=self.measure_cpu,
+            cpu_classes=classes,
+            response_ns=response_ns,
+            response_detail=response_detail,
+            assumptions=self.a.notes() + self.notes,
+            extraction_assumptions=sorted(set(self.extraction_notes)),
+            fault_plan=self.spec.fault_plan,
+            fault_intensity=self.spec.fault_intensity,
+        )
+
+
+def compute_bounds(spec, assumptions: Optional[Assumptions] = None
+                   ) -> ScenarioBounds:
+    """Compute the static bound certificate inputs for one scenario."""
+    return _ScenarioModel(spec, assumptions or Assumptions()).compute()

@@ -1,0 +1,112 @@
+"""Support upper bounds of the timing model, plus bound *terms*.
+
+The extractor (:mod:`repro.analysis.bounds.extract`) cannot resolve a
+cost expression to a number at parse time: ``api.timing.sample("k",
+rng)`` bounds to a *different* number under the vanilla and RedHawk
+tables (``fs.lock_section`` is 40us vs 30us).  It therefore produces
+symbolic :class:`Term` objects -- sums of ``coeff * key`` atoms plus a
+constant -- and the model resolves them against a concrete
+:class:`~repro.kernel.timing.TimingModel` via :class:`TimingBounds`.
+
+An unbounded atom (uncapped distribution, or a name the extractor
+could not resolve and no declared assumption covers) resolves to
+``None``; the window algebra treats ``None`` inside a critical
+section as a hard certification error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.kernel.timing import TimingModel, UnboundedDistributionError
+
+__all__ = [
+    "Term",
+    "TimingBounds",
+    "UnboundedDistributionError",
+    "const_term",
+    "key_term",
+    "unbounded_term",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Term:
+    """A symbolic duration bound: ``const + sum(coeff_i * key_i)``.
+
+    ``unbounded`` marks a term the extractor could not bound; it stays
+    symbolic so the *site* (module/line) can be reported, rather than
+    failing at extraction time for paths the scenario never composes.
+    """
+
+    const: int = 0
+    atoms: Tuple[Tuple[float, str], ...] = ()
+    unbounded: bool = False
+    why_unbounded: str = ""
+
+    def plus(self, other: "Term") -> "Term":
+        return Term(
+            const=self.const + other.const,
+            atoms=self.atoms + other.atoms,
+            unbounded=self.unbounded or other.unbounded,
+            why_unbounded=self.why_unbounded or other.why_unbounded,
+        )
+
+    def times(self, factor: float) -> "Term":
+        return Term(
+            const=int(self.const * factor),
+            atoms=tuple((c * factor, k) for c, k in self.atoms),
+            unbounded=self.unbounded,
+            why_unbounded=self.why_unbounded,
+        )
+
+    def describe(self) -> str:
+        if self.unbounded:
+            return f"UNBOUNDED({self.why_unbounded})"
+        parts = [f"{c:g}*{k}" for c, k in self.atoms]
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+def const_term(value: int) -> Term:
+    return Term(const=int(value))
+
+
+def key_term(key: str, coeff: float = 1.0) -> Term:
+    return Term(atoms=((coeff, key),))
+
+
+def unbounded_term(why: str) -> Term:
+    return Term(unbounded=True, why_unbounded=why)
+
+
+@dataclass
+class TimingBounds:
+    """Cached support upper bounds over one concrete timing table."""
+
+    timing: TimingModel
+    _cache: Dict[str, Optional[int]] = field(default_factory=dict)
+
+    def upper(self, key: str) -> Optional[int]:
+        """Worst case of *key* in ns, or ``None`` when unbounded or
+        unknown (both are certification failures at composition)."""
+        if key not in self._cache:
+            try:
+                self._cache[key] = self.timing.support_upper_ns(key)
+            except (KeyError, UnboundedDistributionError):
+                self._cache[key] = None
+        return self._cache[key]
+
+    def resolve(self, term: Term) -> Optional[int]:
+        """Concrete upper bound of *term* under this table (ns)."""
+        if term.unbounded:
+            return None
+        total = term.const
+        for coeff, key in term.atoms:
+            upper = self.upper(key)
+            if upper is None:
+                return None
+            total += int(coeff * upper)
+        return total

@@ -1,7 +1,8 @@
-"""CLI: ``python -m repro.analysis.lint [paths...] [--json]``.
+"""CLI: ``python -m repro.analysis.lint [paths...] [--format ...]``.
 
 Exits 0 when the tree is clean, 1 when findings remain -- the CI lint
-job runs exactly this over ``src``.
+job runs exactly this over ``src`` and uploads the ``sarif`` output so
+findings annotate pull requests in code-scanning UIs.
 """
 
 from __future__ import annotations
@@ -9,9 +10,56 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.analysis.lint.engine import lint_paths
+from repro.analysis.lint.rules import ALL_RULES
+
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _as_json(findings) -> Dict[str, Any]:
+    return {"findings": [f.to_dict() for f in findings],
+            "count": len(findings)}
+
+
+def _as_sarif(findings) -> Dict[str, Any]:
+    """Render findings as a SARIF 2.1.0 log (one run, one result per
+    finding).  Columns are 1-based in SARIF; the engine reports the
+    0-based AST column offset."""
+    rules = [{
+        "id": rule.name,
+        "shortDescription": {
+            "text": (rule.__doc__ or rule.name).strip().splitlines()[0]},
+        "defaultConfiguration": {"level": "error"},
+    } for rule in ALL_RULES]
+    results = [{
+        "ruleId": f.rule,
+        "level": "error",
+        "message": {"text": f.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": f.path,
+                                     "uriBaseId": "ROOT"},
+                "region": {"startLine": f.line,
+                           "startColumn": f.col + 1},
+            },
+        }],
+    } for f in findings]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "informationUri":
+                    "https://example.invalid/repro/analysis/lint",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -20,19 +68,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Determinism linter for the simulation sources.")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories (default: src)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", help="output format")
     parser.add_argument("--json", action="store_true",
-                        help="machine-readable output")
+                        help="shorthand for --format json")
+    parser.add_argument("--output", metavar="FILE",
+                        help="write the report to FILE instead of stdout")
     args = parser.parse_args(argv)
+    fmt = "json" if args.json else args.format
 
     findings = lint_paths(args.paths or ["src"])
-    if args.json:
-        print(json.dumps({"findings": [f.to_dict() for f in findings],
-                          "count": len(findings)},
-                         indent=2, sort_keys=True))
+    if fmt == "json":
+        text = json.dumps(_as_json(findings), indent=2, sort_keys=True)
+    elif fmt == "sarif":
+        text = json.dumps(_as_sarif(findings), indent=2, sort_keys=True)
     else:
-        for finding in findings:
-            print(finding.render())
-        print(f"{len(findings)} finding{'s' if len(findings) != 1 else ''}")
+        lines = [finding.render() for finding in findings]
+        lines.append(
+            f"{len(findings)} finding{'s' if len(findings) != 1 else ''}")
+        text = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    else:
+        print(text)
     return 1 if findings else 0
 
 

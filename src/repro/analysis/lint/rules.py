@@ -306,6 +306,105 @@ class ScalarRngRule(Rule):
                 "or mark a cold path with '# lint: ok(scalar-rng)'")
 
 
+#: Critical-section openers and their matching closers.
+_SECTION_PAIRS = {"Acquire": "Release", "SemDown": "SemUp"}
+_SECTION_OPS = frozenset(_SECTION_PAIRS) | frozenset(_SECTION_PAIRS.values())
+
+
+class PairedAcquireReleaseRule(Rule):
+    """Op-program ``Acquire``/``SemDown`` must pair with a
+    ``Release``/``SemUp`` on the same lock in the same function.
+
+    An unmatched ``op.Acquire`` in a workload or driver op program is
+    a leaked critical section: the simulated task keeps the spinlock
+    (and its raised preempt count) forever, which lockdep reports only
+    at runtime and only on the paths a given seed happens to walk.
+    This rule catches the imbalance statically, per function body and
+    per lock expression (``kernel.locks.bkl`` pairs with
+    ``kernel.locks.bkl``, counted textually).  Deliberately unpaired
+    sites -- e.g. a helper that opens a section its caller closes --
+    carry an explicit ``# lint: ok(paired-acquire-release)`` escape.
+    """
+
+    name = "paired-acquire-release"
+
+    def applies_to(self, path: str) -> bool:
+        return _in_dirs(path, ("repro/kernel/", "repro/workloads/"))
+
+    @staticmethod
+    def _op_name(call: ast.Call) -> str:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        if isinstance(func, ast.Name):
+            return func.id
+        return ""
+
+    def _scan_body(self, body: List[ast.stmt], path: str
+                   ) -> Iterator[Finding]:
+        """Count openers/closers per lock key in one function body,
+        without descending into nested function definitions (those
+        are balanced -- or escaped -- on their own)."""
+        opens: dict = {}
+        closes: dict = {}
+        nested: List[ast.stmt] = []
+        todo: List[ast.AST] = list(body)
+        while todo:
+            node = todo.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                nested.append(node)
+                continue
+            todo.extend(ast.iter_child_nodes(node))
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._op_name(node)
+            if name not in _SECTION_OPS or not node.args:
+                continue
+            key = ast.unparse(node.args[0])
+            if name in _SECTION_PAIRS:
+                opens.setdefault((name, key), []).append(node)
+            else:
+                opener = next(k for k, v in _SECTION_PAIRS.items()
+                              if v == name)
+                closes.setdefault((opener, key), []).append(node)
+        for (name, key), sites in sorted(
+                opens.items(), key=lambda kv: kv[1][0].lineno):
+            missing = len(sites) - len(closes.get((name, key), []))
+            for site in sites[:max(0, missing)]:
+                yield self.finding(
+                    path, site,
+                    f"{name}({key}) has no matching "
+                    f"{_SECTION_PAIRS[name]} in this function; a "
+                    "leaked critical section pins the preempt count "
+                    "forever (pair it, or mark a split-phase section "
+                    "with '# lint: ok(paired-acquire-release)')")
+        for (name, key), sites in sorted(
+                closes.items(), key=lambda kv: kv[1][0].lineno):
+            extra = len(sites) - len(opens.get((name, key), []))
+            for site in sites[:max(0, extra)]:
+                yield self.finding(
+                    path, site,
+                    f"{_SECTION_PAIRS[name]}({key}) without a "
+                    f"matching {name} in this function (releasing a "
+                    "lock this path never took underflows the "
+                    "preempt count)")
+        for node in nested:
+            inner = getattr(node, "body", None)
+            if isinstance(inner, list):
+                yield from self._scan_body(inner, path)
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in tree.body if isinstance(tree, ast.Module) else []:
+            todo = [node]
+            while todo:
+                n = todo.pop()
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield from self._scan_body(n.body, path)
+                    continue
+                todo.extend(ast.iter_child_nodes(n))
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     WallClockRule(),
     GlobalRandomRule(),
@@ -314,4 +413,5 @@ ALL_RULES: Tuple[Rule, ...] = (
     UngatedLabelRule(),
     DirectTraceEmitRule(),
     ScalarRngRule(),
+    PairedAcquireReleaseRule(),
 )

@@ -47,6 +47,7 @@ or the fault/margin report.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.experiments.determinism import (
@@ -79,8 +80,8 @@ LATENCY = {
     "fig7": (run_fig7_rcim, "summary"),
 }
 
-SUBCOMMANDS = ("campaign", "faults", "list-scenarios", "run", "store",
-               "trace")
+SUBCOMMANDS = ("bounds", "campaign", "faults", "list-scenarios", "run",
+               "store", "trace")
 
 
 def run_one(name: str, iterations: int, samples: int, seed: int,
@@ -541,6 +542,11 @@ def _cmd_margin(argv) -> int:
                         help="write the margin report here "
                              "(byte-identical across --workers and "
                              "cache states)")
+    parser.add_argument("--bounds", action="store_true",
+                        help="annotate each rung with the simbound "
+                             "static prediction (the analytic twin of "
+                             "the measured ladder) and flag rungs "
+                             "whose observed max exceeds it")
     args = parser.parse_args(argv)
 
     from repro.faults import MarginSpec, run_margin
@@ -560,6 +566,10 @@ def _cmd_margin(argv) -> int:
     result = run_margin(margin_spec, workers=args.workers,
                         store=_store_arg(args.store),
                         use_cache=not args.no_cache)
+    if args.bounds:
+        from repro.faults.margin import predicted_ladder
+
+        result.attach_predictions(predicted_ladder(margin_spec))
     print(result.summary())
     if args.json:
         from repro.experiments.export import to_json
@@ -648,6 +658,80 @@ def _cmd_store(argv) -> int:
     return 0
 
 
+def _cmd_bounds(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments bounds",
+        description="simbound: emit static worst-case window "
+                    "certificates per scenario, optionally cross-check "
+                    "observed accounting maxima against them, and gate "
+                    "shielded scenarios on predicted response <= 1 ms.")
+    parser.add_argument("scenarios", nargs="*",
+                        help="scenario names (default: every registered "
+                             "scenario, storm plans included)")
+    parser.add_argument("--json-dir", default="",
+                        help="write one <scenario>.bounds.json "
+                             "certificate per scenario here")
+    parser.add_argument("--check", action="store_true",
+                        help="run each scenario and assert observed "
+                             "accounting maxima <= static bounds")
+    parser.add_argument("--samples", type=int, default=2_000,
+                        help="latency samples for --check runs")
+    parser.add_argument("--iterations", type=int, default=6,
+                        help="determinism iterations for --check runs")
+    parser.add_argument("--gate", action="store_true",
+                        help="fail when a shielded latency scenario's "
+                             "predicted response exceeds 1 ms")
+    args = parser.parse_args(argv)
+
+    from repro.analysis.bounds import (BoundModelError,
+                                       certificate_for,
+                                       crosscheck_scenario)
+    from repro.experiments.scenario import scenario_names
+
+    names = list(args.scenarios) or list(scenario_names())
+    failures = 0
+    if args.json_dir:
+        os.makedirs(args.json_dir, exist_ok=True)
+    for name in names:
+        try:
+            spec = scenario(name)
+        except UnknownScenarioError:
+            parser.error(f"unknown scenario {name!r} "
+                         f"(use 'list-scenarios')")
+        try:
+            cert = certificate_for(spec)
+        except BoundModelError as exc:
+            print(f"{name:<22s} MODEL ERROR: {exc}")
+            failures += 1
+            continue
+        line = cert.summary_line()
+        if args.gate and cert.gate_passed is False:
+            failures += 1
+        if args.json_dir:
+            path = os.path.join(args.json_dir, f"{name}.bounds.json")
+            with open(path, "w") as fh:
+                fh.write(cert.to_json())
+                fh.write("\n")
+        if args.check:
+            _progress(f"bounds: cross-checking {name} ...")
+            report = crosscheck_scenario(
+                spec, samples=args.samples,
+                iterations=args.iterations, bounds=cert.bounds)
+            if report.passed:
+                line += f"  check=OK({len(report.checks)})"
+            else:
+                failures += 1
+                line += "  check=VIOLATED"
+                print(line)
+                for violation in report.violations:
+                    print("  " + violation.describe())
+                continue
+        print(line)
+    if failures:
+        print(f"bounds: {failures} failure(s)", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_run(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments run",
@@ -692,6 +776,8 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] in SUBCOMMANDS:
         command, rest = argv[0], argv[1:]
+        if command == "bounds":
+            return _cmd_bounds(rest)
         if command == "campaign":
             return _cmd_campaign(rest)
         if command == "faults":

@@ -159,6 +159,35 @@ class MarginResult:
         return rungs
 
     # ------------------------------------------------------------------
+    def attach_predictions(self, ladder: List[Dict[str, Any]]) -> None:
+        """Annotate each rung with simbound's static prediction.
+
+        *ladder* comes from :func:`predicted_ladder` -- the analytic
+        twin of the measured sweep.  Each rung gains ``predicted_ns``
+        (worst-case shielded response at that intensity, or None when
+        the model found no finite bound) and
+        ``predicted_within_bound``; a measured cell exceeding its own
+        prediction is a model-soundness red flag surfaced in
+        :meth:`summary`.
+        """
+        by_intensity = {r["intensity"]: r for r in ladder}
+        for rung in self.rungs:
+            pred = by_intensity.get(rung["intensity"])
+            if pred is None:
+                continue
+            rung["predicted_ns"] = pred["predicted_ns"]
+            rung["predicted_within_bound"] = pred["within_bound"]
+
+    @property
+    def predicted_margin(self) -> Optional[float]:
+        """Max intensity whose *predicted* shielded response met the
+        bound (None when no rung carries a finite passing bound)."""
+        passing = [r["intensity"] for r in self.rungs
+                   if r.get("predicted_ns") is not None
+                   and r.get("predicted_within_bound")]
+        return max(passing) if passing else None
+
+    # ------------------------------------------------------------------
     @property
     def margin(self) -> Optional[float]:
         """Max intensity whose shielded cell met the bound (None if
@@ -173,7 +202,7 @@ class MarginResult:
         return any(not r["unshielded_within_bound"] for r in self.rungs)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "scenario": self.spec.scenario,
             "plan": self.spec.plan,
             "bound_ns": self.spec.bound_ns,
@@ -183,23 +212,75 @@ class MarginResult:
             "margin": self.margin,
             "unshielded_degraded": self.unshielded_degraded,
         }
+        if any("predicted_ns" in r for r in self.rungs):
+            data["predicted_margin"] = self.predicted_margin
+        return data
 
     def summary(self) -> str:
         bound_us = self.spec.bound_ns / 1e3
         lines = [f"shield margin: {self.spec.scenario} under "
                  f"{self.spec.plan} (bound {bound_us:.0f}us)"]
         for rung in self.rungs:
-            lines.append(
-                f"  x{rung['intensity']:<5g} "
-                f"shielded {_cell_str(rung['shielded'])}  "
-                f"unshielded {_cell_str(rung['unshielded'])}")
+            line = (f"  x{rung['intensity']:<5g} "
+                    f"shielded {_cell_str(rung['shielded'])}  "
+                    f"unshielded {_cell_str(rung['unshielded'])}")
+            if "predicted_ns" in rung:
+                pred = rung["predicted_ns"]
+                line += ("  predicted<=unbounded" if pred is None
+                         else f"  predicted<={pred / 1e3:8.1f}us")
+                cell = rung["shielded"]
+                if (pred is not None and not cell["stalled"]
+                        and cell["max_ns"] > pred):
+                    line += "  !! OBSERVED OVER PREDICTION"
+            lines.append(line)
         margin = self.margin
         lines.append(
             f"  margin: x{margin:g}" if margin is not None
             else "  margin: none (shield over bound at every rung)")
+        if any("predicted_ns" in r for r in self.rungs):
+            pmargin = self.predicted_margin
+            lines.append(
+                f"  predicted margin: x{pmargin:g}" if pmargin is not None
+                else "  predicted margin: none (static bound over 1 ms "
+                     "at every rung)")
         if self.unshielded_degraded:
             lines.append("  unshielded twin degraded past the bound")
         return "\n".join(lines)
+
+
+def predicted_ladder(spec: MarginSpec) -> List[Dict[str, Any]]:
+    """simbound's analytic twin of the measured intensity ladder.
+
+    For each rung, re-derives the static worst-case shielded response
+    with the fault plan scaled to that intensity (the bound model
+    scales injected IRQ rates and rogue hold times exactly as
+    :class:`~repro.faults.controller.FaultController` does).  A rung
+    where the window fixpoint diverges -- interference outrunning the
+    softirq drain budget -- reports ``predicted_ns: None``: the model
+    certifies no bound at that intensity, which is itself the margin.
+    """
+    from repro.analysis.bounds.model import BoundModelError, compute_bounds
+
+    base = scenario(spec.scenario).configured(
+        samples=spec.samples, seed=spec.seed, fault_plan=spec.plan)
+    ladder: List[Dict[str, Any]] = []
+    for intensity in spec.intensities:
+        rung = base.configured(fault_intensity=intensity)
+        try:
+            bounds = compute_bounds(rung)
+            predicted = bounds.response_ns
+            detail = bounds.response_detail
+        except BoundModelError as exc:
+            predicted = None
+            detail = f"no finite bound: {exc}"
+        ladder.append({
+            "intensity": intensity,
+            "predicted_ns": predicted,
+            "within_bound": (predicted is not None
+                             and predicted <= spec.bound_ns),
+            "detail": detail,
+        })
+    return ladder
 
 
 def _within(cell: Dict[str, Any], bound_ns: int) -> bool:

@@ -152,11 +152,11 @@ class UserApi:
         panics (and lockdep reports sleep-in-atomic) if a task tries
         to ``down()`` while holding a spinlock.
         """
-        yield op.SemDown(sem)
+        yield op.SemDown(sem)  # lint: ok(paired-acquire-release)
 
     def sem_up(self, sem) -> Generator:
         """``up()`` on a kernel semaphore; wakes the oldest waiter."""
-        yield op.SemUp(sem)
+        yield op.SemUp(sem)  # lint: ok(paired-acquire-release)
 
     # ------------------------------------------------------------------
     # Scheduling control

@@ -22,6 +22,16 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 
+class UnboundedDistributionError(ValueError):
+    """A support upper bound was requested from an unbounded
+    distribution (e.g. an uncapped :class:`Exponential`).
+
+    The static bound analyzer (:mod:`repro.analysis.bounds`) treats
+    this as a hard error when the duration feeds a critical section:
+    a window whose length has no finite support cannot be certified.
+    """
+
+
 class Dist:
     """Base class: a distribution over non-negative integer nanoseconds."""
 
@@ -30,6 +40,15 @@ class Dist:
 
     def mean(self) -> float:
         """Approximate mean (used by sanity checks and reports)."""
+        raise NotImplementedError
+
+    def support_upper_ns(self) -> int:
+        """The largest value :meth:`sample` can ever return.
+
+        Raises :class:`UnboundedDistributionError` when the support
+        has no finite upper end; the bound analyzer turns that into a
+        certification failure rather than guessing a percentile.
+        """
         raise NotImplementedError
 
 
@@ -44,6 +63,9 @@ class Const(Dist):
 
     def mean(self) -> float:
         return float(self.value)
+
+    def support_upper_ns(self) -> int:
+        return self.value
 
 
 @dataclass(frozen=True, slots=True)
@@ -63,6 +85,9 @@ class Uniform(Dist):
     def mean(self) -> float:
         return (self.lo + self.hi) / 2.0
 
+    def support_upper_ns(self) -> int:
+        return self.hi
+
 
 @dataclass(frozen=True, slots=True)
 class Exponential(Dist):
@@ -79,6 +104,12 @@ class Exponential(Dist):
 
     def mean(self) -> float:
         return float(self.mean_ns)
+
+    def support_upper_ns(self) -> int:
+        if self.cap is None:
+            raise UnboundedDistributionError(
+                f"Exponential(mean_ns={self.mean_ns}) has no cap")
+        return self.cap
 
 
 @dataclass(frozen=True, slots=True)
@@ -105,6 +136,12 @@ class LogNormal(Dist):
         if self.cap is not None:
             raw = min(raw, float(self.cap))
         return raw
+
+    def support_upper_ns(self) -> int:
+        if self.cap is None:
+            raise UnboundedDistributionError(
+                f"LogNormal(median_ns={self.median_ns}) has no cap")
+        return self.cap
 
 
 # cached_property needs __dict__, so Choice cannot be slotted.
@@ -148,6 +185,9 @@ class Choice(Dist):  # lint: ok(no-slots-dataclass)
         total = sum(w for w, _ in self.options)
         return sum(w * d.mean() for w, d in self.options) / total
 
+    def support_upper_ns(self) -> int:
+        return max(d.support_upper_ns() for _, d in self.options)
+
 
 @dataclass(frozen=True, slots=True)
 class Scaled(Dist):
@@ -161,6 +201,9 @@ class Scaled(Dist):
 
     def mean(self) -> float:
         return self.base.mean() * self.factor
+
+    def support_upper_ns(self) -> int:
+        return int(self.base.support_upper_ns() * self.factor)
 
 
 @dataclass(slots=True)
@@ -178,6 +221,10 @@ class TimingModel:
 
     def dist(self, key: str) -> Dist:
         return self.table[key]
+
+    def support_upper_ns(self, key: str) -> int:
+        """Worst-case duration of *key* (static-analysis entry point)."""
+        return self.table[key].support_upper_ns()
 
     def has(self, key: str) -> bool:
         return key in self.table

@@ -1,0 +1,234 @@
+"""Unit tests for simbound: extraction hard errors, the certificate
+format (schema, digest, gate verdict), the cross-check comparator, and
+determinism of the whole bound computation."""
+
+from __future__ import annotations
+
+import importlib
+import json
+import sys
+
+import pytest
+
+from repro.analysis.bounds import (
+    RESPONSE_GATE_NS,
+    BoundViolationError,
+    certificate_for,
+    compare_result,
+    compute_bounds,
+    load_certificate_dict,
+)
+from repro.analysis.bounds.extract import extract_module
+from repro.experiments.scenario import scenario
+
+
+# ----------------------------------------------------------------------
+# Extraction: hard analysis errors
+# ----------------------------------------------------------------------
+def _extract_snippet(tmp_path, code, name="simbound_snippet"):
+    (tmp_path / f"{name}.py").write_text(
+        "from repro.kernel import ops as op\n" + code, encoding="utf-8")
+    sys.path.insert(0, str(tmp_path))
+    try:
+        importlib.invalidate_caches()
+        report = extract_module(name)
+    finally:
+        sys.path.remove(str(tmp_path))
+        sys.modules.pop(name, None)
+    return report
+
+
+class TestExtractionErrors:
+    def test_balanced_section_is_certified(self, tmp_path):
+        report = _extract_snippet(
+            tmp_path,
+            "def body(kernel):\n"
+            "    yield op.Acquire(kernel.locks.bkl)\n"
+            "    yield op.Compute(5_000, kernel=True)\n"
+            "    yield op.Release(kernel.locks.bkl)\n")
+        assert report.errors == []
+        [section] = report.sections
+        assert section.lock == "bkl"
+        assert section.total.const >= 5_000
+
+    def test_unmatched_acquire_is_hard_error(self, tmp_path):
+        report = _extract_snippet(
+            tmp_path,
+            "def body(kernel):\n"
+            "    yield op.Acquire(kernel.locks.bkl)\n"
+            "    yield op.Compute(5_000, kernel=True)\n")
+        assert report.errors, "leaked critical section must not certify"
+
+    def test_release_without_acquire_is_hard_error(self, tmp_path):
+        report = _extract_snippet(
+            tmp_path,
+            "def body(kernel):\n"
+            "    yield op.Release(kernel.locks.bkl)\n")
+        assert report.errors
+
+    def test_unbounded_compute_in_section_is_hard_error(self, tmp_path):
+        report = _extract_snippet(
+            tmp_path,
+            "def body(kernel, n):\n"
+            "    yield op.Acquire(kernel.locks.bkl)\n"
+            "    yield op.Compute(n, kernel=True)\n"
+            "    yield op.Release(kernel.locks.bkl)\n")
+        assert report.errors, ("a critical section whose length the "
+                               "analyzer cannot bound must not certify")
+
+    def test_error_renders_site(self, tmp_path):
+        report = _extract_snippet(
+            tmp_path,
+            "def body(kernel):\n"
+            "    yield op.Acquire(kernel.locks.bkl)\n")
+        text = report.errors[0].render()
+        assert "body" in text
+
+
+# ----------------------------------------------------------------------
+# Certificates
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fig6_cert():
+    return certificate_for(scenario("fig6"))
+
+
+class TestCertificate:
+    def test_gate_applies_to_shielded_latency_scenario(self, fig6_cert):
+        assert fig6_cert.gate_applicable
+        assert fig6_cert.gate_passed is True
+        assert fig6_cert.bounds.response_ns <= RESPONSE_GATE_NS
+
+    def test_gate_not_applicable_unshielded(self):
+        cert = certificate_for(scenario("fig5"))
+        assert not cert.bounds.shielded
+        assert not cert.gate_applicable
+        assert cert.gate_passed is None
+        assert "gate=n/a" in cert.summary_line()
+
+    def test_certificate_is_deterministic(self, fig6_cert):
+        again = certificate_for(scenario("fig6"))
+        assert fig6_cert.to_json() == again.to_json()
+
+    def test_roundtrip_validates(self, fig6_cert):
+        data = json.loads(fig6_cert.to_json())
+        assert load_certificate_dict(data) == data
+
+    def test_tampered_digest_rejected(self, fig6_cert):
+        data = json.loads(fig6_cert.to_json())
+        data["predicted_response_ns"] = 1
+        with pytest.raises(ValueError, match="digest"):
+            load_certificate_dict(data)
+
+    def test_unknown_schema_rejected(self, fig6_cert):
+        data = json.loads(fig6_cert.to_json())
+        data["schema"] = 999
+        with pytest.raises(ValueError, match="schema"):
+            load_certificate_dict(data)
+
+    def test_summary_line_mentions_gate(self, fig6_cert):
+        line = fig6_cert.summary_line()
+        assert "fig6" in line and "gate=PASS" in line
+
+
+# ----------------------------------------------------------------------
+# The model itself
+# ----------------------------------------------------------------------
+class TestModelInvariants:
+    def test_irq_shield_tightens_the_irq_off_window(self, fig6_cert):
+        """Device irqs are steered away from the shielded CPU, so its
+        worst irq-off window must be far below the unshielded class's
+        (which still fields NIC/disk handlers under spinlock_irqsave)."""
+        bounds = fig6_cert.bounds
+        measure = bounds.class_for_cpu(bounds.measure_cpu)
+        others = [c for c in bounds.cpu_classes if c is not measure]
+        assert others
+        assert measure.irq_off_ns < min(c.irq_off_ns for c in others)
+
+    def test_vanilla_kernel_is_orders_worse(self):
+        vanilla = compute_bounds(scenario("fig5"))
+        shielded = compute_bounds(scenario("fig6"))
+        assert vanilla.response_ns > 100 * shielded.response_ns
+
+    def test_storm_raises_but_keeps_the_gate(self):
+        calm = compute_bounds(scenario("fig6"))
+        storm = compute_bounds(scenario("storm-fig6"))
+        assert storm.response_ns >= calm.response_ns
+        assert storm.response_ns <= RESPONSE_GATE_NS
+
+    def test_unknown_cpu_raises(self, fig6_cert):
+        with pytest.raises(KeyError):
+            fig6_cert.bounds.class_for_cpu(99)
+
+
+# ----------------------------------------------------------------------
+# Cross-check comparator (synthetic results)
+# ----------------------------------------------------------------------
+class _FakeRecorder:
+    def __init__(self, max_ns):
+        self._max = max_ns
+
+    def max(self):
+        return self._max
+
+
+class _FakeResult:
+    def __init__(self, cpus, response_ns=0, trace=True):
+        self.trace = ({"accounting": {"cpus": cpus}} if trace else None)
+        self.recorder = _FakeRecorder(response_ns)
+
+
+def _entries_under(bounds):
+    return [{"cpu": cpu,
+             "max_irq_off_ns": cls.irq_off_ns,
+             "max_preempt_off_ns": cls.preempt_off_ns,
+             "max_bkl_hold_ns": cls.bkl_hold_ns}
+            for cls in bounds.cpu_classes for cpu in cls.cpus]
+
+
+class TestCompareResult:
+    def test_at_the_bound_passes(self, fig6_cert):
+        bounds = fig6_cert.bounds
+        result = _FakeResult(_entries_under(bounds),
+                             response_ns=bounds.response_ns)
+        report = compare_result(bounds, result)
+        assert report.passed
+        assert len(report.checks) == 3 * sum(
+            len(c.cpus) for c in bounds.cpu_classes) + 1
+        report.raise_if_failed()    # no-op when clean
+
+    def test_escaped_window_is_violation(self, fig6_cert):
+        bounds = fig6_cert.bounds
+        entries = _entries_under(bounds)
+        entries[0]["max_preempt_off_ns"] += 1
+        report = compare_result(bounds, _FakeResult(entries))
+        assert not report.passed
+        [v] = report.violations
+        assert v.metric == "preempt_off"
+        assert v.observed_ns == v.predicted_ns + 1
+        assert "observed" in v.describe()
+        with pytest.raises(BoundViolationError, match="preempt_off"):
+            report.raise_if_failed()
+
+    def test_response_overrun_is_violation(self, fig6_cert):
+        bounds = fig6_cert.bounds
+        result = _FakeResult(_entries_under(bounds),
+                             response_ns=bounds.response_ns + 1)
+        report = compare_result(bounds, result)
+        [v] = report.violations
+        assert v.metric == "response"
+
+    def test_missing_accounting_is_loud(self, fig6_cert):
+        with pytest.raises(ValueError, match="accounting"):
+            compare_result(fig6_cert.bounds,
+                           _FakeResult([], trace=False))
+
+    def test_report_to_dict(self, fig6_cert):
+        bounds = fig6_cert.bounds
+        report = compare_result(bounds,
+                                _FakeResult(_entries_under(bounds),
+                                            response_ns=0))
+        data = report.to_dict()
+        assert data["scenario"] == "fig6"
+        assert data["passed"] is True
+        assert data["violations"] == []

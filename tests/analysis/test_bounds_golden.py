@@ -1,0 +1,54 @@
+"""simbound across the whole catalog: the cross-check is invisible
+and every observed maximum sits under its static bound.
+
+The bounds analogue of the lockdep/trace golden sweeps, proving two
+things per registered scenario in one run:
+
+* **Byte identity** -- a scenario run through the cross-check path
+  (typed tracing for the accounting maxima) exports exactly the golden
+  JSON captured from uninstrumented runs: the cross-check draws no
+  random numbers and shifts no simulated time.
+* **Soundness** -- the runtime accounting maxima (irq-off,
+  preempt-off, BKL hold, per-CPU) and the measured response never
+  exceed what the static model certified.  A violation here is a bug
+  in :mod:`repro.analysis.bounds.model`, not in the kernel under test.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.bounds import compare_result, compute_bounds
+from repro.experiments.export import scenario_to_dict, to_json
+from repro.experiments.scenario import run_scenario, scenario
+
+from tests.experiments.test_golden_outputs import (
+    GOLDEN_KNOBS,
+    GOLDEN_PATH,
+)
+
+
+def _load_goldens() -> dict:
+    with GOLDEN_PATH.open("r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+_GOLDEN = _load_goldens() if GOLDEN_PATH.exists() else {}
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(_GOLDEN) or ["<missing goldens>"])
+def test_crosschecked_run_matches_golden_and_stays_bounded(name: str
+                                                           ) -> None:
+    if not _GOLDEN:
+        pytest.fail(f"golden file missing: {GOLDEN_PATH}")
+    spec = scenario(name).configured(**GOLDEN_KNOBS)
+    bounds = compute_bounds(spec)
+    result = run_scenario(spec, trace=True)
+    assert to_json(scenario_to_dict(result)) == to_json(_GOLDEN[name]), (
+        f"scenario {name!r} diverged under the bounds cross-check; "
+        "the check must not perturb the simulation")
+    report = compare_result(bounds, result)
+    report.raise_if_failed()

@@ -215,6 +215,95 @@ class TestScalarRng:
         assert findings == []
 
 
+class TestPairedAcquireRelease:
+    def test_unmatched_acquire_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path, "def body(self, kernel):\n"
+                      "    yield op.Acquire(kernel.locks.bkl)\n"
+                      "    yield op.Compute(10)\n")
+        assert _rules(findings) == ["paired-acquire-release"]
+        assert "no matching Release" in findings[0].message
+
+    def test_paired_section_is_fine(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path, "def body(self, kernel):\n"
+                      "    yield op.Acquire(kernel.locks.bkl)\n"
+                      "    yield op.Compute(10)\n"
+                      "    yield op.Release(kernel.locks.bkl)\n")
+        assert findings == []
+
+    def test_release_without_acquire_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path, "def body(self, kernel):\n"
+                      "    yield op.Release(kernel.locks.bkl)\n")
+        assert _rules(findings) == ["paired-acquire-release"]
+        assert "underflows" in findings[0].message
+
+    def test_pairing_is_per_lock_expression(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path, "def body(self, kernel):\n"
+                      "    yield op.Acquire(kernel.locks.bkl)\n"
+                      "    yield op.Release(kernel.locks.dcache)\n")
+        assert _rules(findings) == ["paired-acquire-release"]
+        assert len(findings) == 2
+
+    def test_semaphore_pairing_checked(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path, "def body(self, kernel, sem):\n"
+                      "    yield op.SemDown(sem)\n")
+        assert _rules(findings) == ["paired-acquire-release"]
+
+    def test_balanced_semaphore_is_fine(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path, "def body(self, kernel, sem):\n"
+                      "    yield op.SemDown(sem)\n"
+                      "    yield op.Compute(5)\n"
+                      "    yield op.SemUp(sem)\n")
+        assert findings == []
+
+    def test_nested_function_counted_separately(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path, "def outer(self, kernel):\n"
+                      "    def inner():\n"
+                      "        yield op.Acquire(kernel.locks.bkl)\n"
+                      "    yield op.Release(kernel.locks.bkl)\n")
+        assert len(findings) == 2
+        assert _rules(findings) == ["paired-acquire-release"]
+
+    def test_branchy_but_balanced_is_fine(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path, "def body(self, kernel, fast):\n"
+                      "    yield op.Acquire(kernel.locks.bkl)\n"
+                      "    if fast:\n"
+                      "        yield op.Compute(1)\n"
+                      "    else:\n"
+                      "        yield op.Compute(9)\n"
+                      "    yield op.Release(kernel.locks.bkl)\n")
+        assert findings == []
+
+    def test_escape_comment_for_split_phase_helper(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "def sem_down(self, sem):\n"
+            "    yield op.SemDown(sem)"
+            "  # lint: ok(paired-acquire-release)\n")
+        assert findings == []
+
+    def test_workloads_dir_in_scope(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path, "def body(self, kernel):\n"
+                      "    yield op.Acquire(kernel.locks.bkl)\n",
+            name="repro/workloads/snippet.py")
+        assert _rules(findings) == ["paired-acquire-release"]
+
+    def test_experiment_layer_not_in_scope(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path, "def body(self, kernel):\n"
+                      "    yield op.Acquire(kernel.locks.bkl)\n",
+            name="repro/experiments/snippet.py")
+        assert findings == []
+
+
 class TestSuppression:
     def test_inline_ok_comment(self, tmp_path):
         findings = _lint_snippet(
@@ -257,3 +346,39 @@ class TestTreeAndCli:
             capture_output=True, text=True,
             env={"PYTHONPATH": str(REPO_SRC), "PATH": "/usr/bin:/bin"})
         assert proc.returncode == 0
+
+    def test_cli_sarif_output(self, tmp_path):
+        dirty = tmp_path / "repro" / "kernel"
+        dirty.mkdir(parents=True)
+        (dirty / "bad.py").write_text("import time\n", encoding="utf-8")
+        out = tmp_path / "lint.sarif"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.lint", str(tmp_path),
+             "--format", "sarif", "--output", str(out)],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO_SRC), "PATH": "/usr/bin:/bin"})
+        assert proc.returncode == 1
+        sarif = json.loads(out.read_text(encoding="utf-8"))
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "paired-acquire-release" in rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "wall-clock"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 1
+        assert region["startColumn"] >= 1
+
+    def test_cli_sarif_clean_tree_is_empty_run(self, tmp_path):
+        clean = tmp_path / "repro" / "kernel"
+        clean.mkdir(parents=True)
+        (clean / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.lint", str(tmp_path),
+             "--format", "sarif"],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO_SRC), "PATH": "/usr/bin:/bin"})
+        assert proc.returncode == 0
+        sarif = json.loads(proc.stdout)
+        assert sarif["runs"][0]["results"] == []

@@ -380,3 +380,90 @@ class TestScenarioIntegration:
         text = validator.report()
         assert "0 violations" in text
         assert "r: 1 acquisitions" in text
+
+
+class TestBudgetBoundaries:
+    """Direct on_drop coverage of the budget edges: exactly-at-budget
+    is legal, each lock flavour resolves its own threshold, disabled
+    budgets never fire, and panic-recovery force_release() leaves the
+    validator's books consistent."""
+
+    def _validator(self, sim, machine, **cfg):
+        kernel = boot_kernel(sim, machine)
+        validator = LockdepValidator(kernel, LockdepConfig(**cfg))
+        task = kernel.create_task("t", iter(()))
+        return kernel, validator, task
+
+    def test_hold_exactly_at_budget_is_legal(self, sim, machine):
+        _, validator, task = self._validator(sim, machine,
+                                             hold_budget_ns=10_000)
+        lock = SpinLock("edge")
+        validator.on_take(lock, task, 0)
+        validator.on_drop(lock, task, 10_000, hold_ns=10_000)
+        assert validator.clean
+        validator.on_take(lock, task, 20_000)
+        validator.on_drop(lock, task, 30_001, hold_ns=10_001)
+        assert not validator.clean
+
+    def test_irq_disabling_lock_uses_irq_off_budget(self, sim, machine):
+        _, validator, task = self._validator(
+            sim, machine, irq_off_budget_ns=5_000, hold_budget_ns=None)
+        lock = SpinLock("blk", irq_disabling=True)
+        validator.on_take(lock, task, 0)
+        validator.on_drop(lock, task, 8_000, hold_ns=8_000)
+        [v] = validator.violations
+        assert v.kind == "hold-budget"
+        assert "irq-off window" in v.detail
+
+    def test_disabled_budgets_never_fire(self, sim, machine):
+        _, validator, task = self._validator(sim, machine)
+        lock = SpinLock("any")
+        validator.on_take(lock, task, 0)
+        validator.on_drop(lock, task, 10**9, hold_ns=10**9)
+        assert validator.clean
+        assert validator.class_stats["any"].max_hold_ns == 10**9
+
+    def test_violation_to_dict(self, sim, machine):
+        _, validator, task = self._validator(sim, machine,
+                                             hold_budget_ns=1)
+        lock = SpinLock("d")
+        validator.on_take(lock, task, 0)
+        validator.on_drop(lock, task, 50, hold_ns=50)
+        [v] = validator.violations
+        data = v.to_dict()
+        assert data["kind"] == "hold-budget"
+        assert data["task"] == "t"
+        assert "budget 1 ns" in data["detail"]
+
+    def test_force_release_skips_stats_and_lockdep(self, sim, machine):
+        """drop() after force_release() repairs ownership without a
+        hold window: lockdep sees no on_drop, budgets cannot misfire
+        on the phantom span, and the class books stay clean."""
+        _, validator, task = self._validator(sim, machine,
+                                             hold_budget_ns=1_000)
+        lock = SpinLock("panicky")
+        validator.attach_lock(lock)
+        lock.take(task, 100)
+        lock.held_since = None          # what an unwound panic leaves
+        assert lock.drop(task, 10**9) is None
+        assert validator.clean          # no phantom budget violation
+        assert validator.class_stats["panicky"].max_hold_ns == 0
+        # The lock is reusable and fully observed again afterwards.
+        lock.take(task, 200)
+        lock.drop(task, 2_000)
+        assert not validator.clean      # real 1800ns hold > 1000ns budget
+
+    def test_force_release_clears_waiters_for_reuse(self, sim, machine):
+        kernel, validator, task = self._validator(sim, machine,
+                                                  hold_budget_ns=None)
+        other = kernel.create_task("w", iter(()))
+        lock = SpinLock("recycled")
+        validator.attach_lock(lock)
+        lock.take(task, 0)
+        lock.enqueue_waiter(other)
+        lock.force_release()
+        assert not lock.held and not lock.waiters
+        lock.take(other, 5_000)
+        lock.drop(other, 5_700)
+        assert validator.clean
+        assert validator.class_stats["recycled"].max_hold_ns == 700

@@ -85,3 +85,77 @@ class TestProbe:
         probe = WakeLatencyProbe(kernel, "x")
         snaps = probe._snapshot()
         assert all(s.describe() == "idle" for s in snaps)
+
+
+class TestSnapshotDescribe:
+    """Unit coverage of the attribution strings (what report() prints)."""
+
+    def _snap(self, **kw):
+        from repro.analysis.probe import CpuSnapshot
+        base = dict(cpu=0, task_name=None, in_syscall=False,
+                    syscall_name=None, frame_kinds=(), label=None)
+        base.update(kw)
+        return CpuSnapshot(**base)
+
+    def test_idle(self):
+        assert self._snap().describe() == "idle"
+
+    def test_kernel_mode_with_label(self):
+        snap = self._snap(task_name="hog", in_syscall=True,
+                          syscall_name="truncate",
+                          frame_kinds=("syscall",), label="memcpy")
+        assert snap.describe() == "hog/kernel[syscall]:memcpy"
+
+    def test_user_mode_without_frames(self):
+        snap = self._snap(task_name="rt")
+        assert snap.describe() == "rt/user[boundary]"
+
+    def test_fat_bh_backlog_is_annotated(self):
+        snap = self._snap(task_name="rt", pending_softirq_ns=120_000)
+        assert snap.describe().endswith("+120us-bh-backlog")
+
+    def test_thin_bh_backlog_is_silent(self):
+        snap = self._snap(task_name="rt", pending_softirq_ns=50_000)
+        assert "backlog" not in snap.describe()
+
+    def test_wake_sample_delay(self):
+        from repro.analysis.probe import WakeSample
+        assert WakeSample(woke_at=100, ran_at=350,
+                          snapshots=()).delay_ns == 250
+
+
+class TestProbeLifecycle:
+    def test_double_install_does_not_stack(self, sim, machine):
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        probe = WakeLatencyProbe(kernel, "rt")
+        assert probe.install() is probe
+        wrapped = kernel._make_runnable
+        probe.install()                       # idempotent, same wrapper
+        assert kernel._make_runnable is wrapped
+
+    def test_attribute_slow_respects_threshold(self):
+        from repro.analysis.probe import CpuSnapshot, WakeSample
+        snap = CpuSnapshot(cpu=0, task_name="hog", in_syscall=True,
+                           syscall_name="truncate",
+                           frame_kinds=("syscall",), label=None)
+        probe = WakeLatencyProbe.__new__(WakeLatencyProbe)
+        probe.samples = [WakeSample(0, 40_000, (snap,)),
+                         WakeSample(0, 250_000, (snap,))]
+        assert sum(probe.attribute_slow(100_000).values()) == 1
+        assert sum(probe.attribute_slow(10_000).values()) == 2
+
+    def test_unmatched_wakeup_is_not_booked(self, sim, machine):
+        """A wakeup of a different task between our wake and our install
+        must not consume the pending snapshot."""
+        kernel = boot_kernel(sim, machine, redhawk_1_4())
+        wq = WaitQueue("dev")
+        kernel.create_task("rt", _rt_waiter(wq, cycles=3),
+                           policy=SchedPolicy.FIFO, rt_prio=90,
+                           affinity=CpuMask([0]))
+        kernel.create_task("other", _rt_waiter(WaitQueue("x"), cycles=1),
+                           affinity=CpuMask([1]))
+        probe = WakeLatencyProbe(kernel, "rt").install()
+        sim.after(1_000_000, lambda: kernel.wake_up(wq, from_cpu=None))
+        sim.run_until(5_000_000)
+        assert probe.delays().size == 1
+        assert all(s.delay_ns >= 0 for s in probe.samples)
