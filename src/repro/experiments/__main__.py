@@ -38,6 +38,15 @@ Fault injection (simfault: storms, rogue tasks, shield margin)::
     python -m repro.experiments faults storm fig6 --unshielded --lockdep
     python -m repro.experiments faults margin fig6 --workers 4
 
+Trace diffing (simdiff: recordings, cross-run attribution diffs,
+semantic goldens)::
+
+    python -m repro.experiments diff record fig6 --out fig6.rtrace
+    python -m repro.experiments diff against fig6.rtrace --gate
+    python -m repro.experiments diff twin storm-fig6 \\
+        --expect-buckets fault,irq_off
+    python -m repro.experiments diff golden --check
+
 Prints the paper-format report for the requested figure(s), the
 campaign summary, the trace report (per-CPU accounting + latency
 attribution; ``--trace-out`` writes a Perfetto-loadable JSON trace),
@@ -80,8 +89,8 @@ LATENCY = {
     "fig7": (run_fig7_rcim, "summary"),
 }
 
-SUBCOMMANDS = ("bounds", "campaign", "faults", "list-scenarios", "run",
-               "store", "trace")
+SUBCOMMANDS = ("bounds", "campaign", "diff", "faults", "list-scenarios",
+               "run", "store", "trace")
 
 
 def run_one(name: str, iterations: int, samples: int, seed: int,
@@ -323,9 +332,13 @@ def _cmd_trace(argv) -> int:
     parser.add_argument("--check-sums", action="store_true",
                         help="fail unless every sample's attribution "
                              "components sum to its latency within 1%%")
+    parser.add_argument("--summary-table", action="store_true",
+                        help="also render the attribution bucket "
+                             "breakdown as an aligned text table (the "
+                             "same renderer the diff report uses)")
     args = parser.parse_args(argv)
 
-    from repro.metrics.report import trace_summary
+    from repro.metrics.report import attribution_bucket_table, trace_summary
     from repro.observe.tracer import TraceConfig
 
     try:
@@ -342,6 +355,10 @@ def _cmd_trace(argv) -> int:
     print(result.report())
     print()
     print(trace_summary(result.trace, top=args.top))
+    if args.summary_table:
+        print()
+        print(attribution_bucket_table(
+            {"total": result.trace["attribution"]["aggregate"]}))
     if args.trace_out:
         print(f"(wrote {args.trace_out})")
     if args.check_sums:
@@ -579,6 +596,318 @@ def _cmd_margin(argv) -> int:
     return 0
 
 
+def _cmd_diff(argv) -> int:
+    """simdiff: record | against | compare | twin | golden."""
+    actions = ("record", "against", "compare", "twin", "golden")
+    if not argv or argv[0] not in actions:
+        print(f"usage: python -m repro.experiments diff "
+              f"{{{'|'.join(actions)}}} ...", file=sys.stderr)
+        return 2
+    action, rest = argv[0], argv[1:]
+    if action == "record":
+        return _cmd_diff_record(rest)
+    if action == "against":
+        return _cmd_diff_against(rest)
+    if action == "compare":
+        return _cmd_diff_compare(rest)
+    if action == "twin":
+        return _cmd_diff_twin(rest)
+    return _cmd_diff_golden(rest)
+
+
+def _load_recording(parser, path: str):
+    from repro.observe.diff import RecordingError, TraceRecording
+
+    try:
+        return TraceRecording.load(path)
+    except RecordingError as exc:
+        parser.error(str(exc))
+
+
+def _emit_diff(diff, args) -> None:
+    """Shared diff output: report to stdout, optional file sinks."""
+    text = diff.render(top_spans=args.top_spans)
+    print(text)
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(text)
+            fh.write("\n")
+        _progress(f"(wrote {args.report})")
+    if args.json:
+        from repro.experiments.export import to_json
+
+        to_json(diff.to_dict(), path=args.json)
+        _progress(f"(wrote {args.json})")
+
+
+def _diff_output_args(parser) -> None:
+    parser.add_argument("--report", default="", metavar="FILE",
+                        help="also write the rendered report here")
+    parser.add_argument("--json", default="", metavar="FILE",
+                        help="also write the diff as JSON here")
+    parser.add_argument("--top-spans", type=int, default=5,
+                        help="span changes to itemise per divergence "
+                             "(default 5)")
+
+
+def _cmd_diff_record(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments diff record",
+        description="Run one scenario traced and persist the trace "
+                    "recording as an RTRACE1 entry (standalone file "
+                    "and/or the content-addressed store).")
+    parser.add_argument("scenario")
+    parser.add_argument("--samples", type=int, default=None)
+    parser.add_argument("--iterations", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--capacity", type=int, default=65536,
+                        help="per-CPU trace ring capacity (events)")
+    parser.add_argument("--plan", default="",
+                        help="fault plan to run under (default: the "
+                             "scenario's own, if any)")
+    parser.add_argument("--intensity", type=float, default=None,
+                        help="fault intensity multiplier")
+    parser.add_argument("--unshielded", action="store_true",
+                        help="record the unshielded twin (shield "
+                             "components stripped, same shield CPU)")
+    parser.add_argument("--out", default="", metavar="FILE",
+                        help="write the recording to this file")
+    parser.add_argument("--store", nargs="?", const="", default=None,
+                        metavar="DIR",
+                        help="put the recording in the store (default "
+                             "directory when DIR is omitted)")
+    args = parser.parse_args(argv)
+
+    from repro.experiments.scenario import ShieldSpec
+    from repro.observe.diff import record_scenario
+
+    if not args.out and args.store is None:
+        parser.error("nothing to persist: give --out FILE and/or "
+                     "--store [DIR]")
+    try:
+        spec = scenario(args.scenario)
+    except UnknownScenarioError:
+        parser.error(f"unknown scenario {args.scenario!r} "
+                     f"(use 'list-scenarios')")
+    spec = spec.configured(samples=args.samples,
+                           iterations=args.iterations, seed=args.seed,
+                           fault_plan=args.plan or None,
+                           fault_intensity=args.intensity)
+    if args.unshielded:
+        if not spec.shield.any_component:
+            parser.error(f"scenario {args.scenario!r} already runs "
+                         f"unshielded")
+        spec = spec.with_overrides(
+            shield=ShieldSpec(cpu=spec.shield.cpu))
+
+    _progress(f"diff: recording {spec.name} ...")
+    rec, _result = record_scenario(spec, capacity=args.capacity)
+    print(f"recorded {rec.describe()}")
+    print(f"  events={len(rec.events)} dropped={rec.dropped} "
+          f"max={rec.max_latency_ns() / 1e3:.1f} us")
+    if args.out:
+        rec.save(args.out)
+        print(f"(wrote {args.out})")
+    if args.store is not None:
+        from repro.store import (DEFAULT_STORE_DIR, ResultStore,
+                                 recording_key)
+
+        store = ResultStore(args.store or DEFAULT_STORE_DIR)
+        key = recording_key(spec, args.capacity, code=rec.code)
+        store.put_recording(key, rec.to_body(), code=rec.code)
+        print(f"(stored {key[:16]}... in {store.root})")
+    return 0
+
+
+def _cmd_diff_against(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments diff against",
+        description="Re-record a baseline recording's run under the "
+                    "current code tree and diff current against "
+                    "baseline (the semantic-golden check, for one "
+                    "file).")
+    parser.add_argument("baseline", help="baseline .rtrace file")
+    parser.add_argument("--gate", action="store_true",
+                        help="exit 1 unless the diff is empty")
+    _diff_output_args(parser)
+    args = parser.parse_args(argv)
+
+    from repro.observe.diff import diff_recordings, rerecord
+
+    baseline = _load_recording(parser, args.baseline)
+    _progress(f"diff: re-recording {baseline.describe()} ...")
+    fresh = rerecord(baseline)
+    diff = diff_recordings(baseline, fresh,
+                           a_label="baseline", b_label="current")
+    _emit_diff(diff, args)
+    if args.gate and not diff.identical:
+        print("gate: diff is not empty", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_diff_compare(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments diff compare",
+        description="Diff two saved recordings of the same "
+                    "scenario/seed (e.g. recorded under two code "
+                    "trees or configs).")
+    parser.add_argument("a", help="recording A (.rtrace file)")
+    parser.add_argument("b", help="recording B (.rtrace file)")
+    parser.add_argument("--gate", action="store_true",
+                        help="exit 1 unless the diff is empty")
+    _diff_output_args(parser)
+    args = parser.parse_args(argv)
+
+    from repro.observe.diff import TraceDiffError, diff_recordings
+
+    rec_a = _load_recording(parser, args.a)
+    rec_b = _load_recording(parser, args.b)
+    label_a = os.path.splitext(os.path.basename(args.a))[0] or "A"
+    label_b = os.path.splitext(os.path.basename(args.b))[0] or "B"
+    if label_a == label_b:
+        label_a, label_b = f"A:{label_a}", f"B:{label_b}"
+    try:
+        diff = diff_recordings(rec_a, rec_b,
+                               a_label=label_a, b_label=label_b)
+    except TraceDiffError as exc:
+        parser.error(str(exc))
+    _emit_diff(diff, args)
+    if args.gate and not diff.identical:
+        print("gate: diff is not empty", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_diff_twin(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments diff twin",
+        description="Record both twins of one storm scenario "
+                    "(shielded and unshielded, same workload and "
+                    "interference) and report exactly where the "
+                    "unshielded run's extra response time went.")
+    parser.add_argument("scenario",
+                        help="shielded scenario name (fig6, "
+                             "storm-fig6, ...)")
+    parser.add_argument("--plan", default="",
+                        help="fault plan (default: the scenario's "
+                             "own / storm-<base>)")
+    parser.add_argument("--intensity", type=float, default=1.0)
+    parser.add_argument("--samples", type=int, default=None)
+    parser.add_argument("--iterations", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--capacity", type=int, default=65536)
+    parser.add_argument("--expect-buckets", default="",
+                        metavar="B1,B2,...",
+                        help="fail unless each listed mechanism is "
+                             "among the diff's named mechanisms "
+                             "(divergent attribution buckets plus "
+                             "accounting-drift mechanisms)")
+    _diff_output_args(parser)
+    args = parser.parse_args(argv)
+
+    from repro.faults import (TwinDiffSpec, UnknownFaultPlanError,
+                              run_twin_diff)
+
+    twin = TwinDiffSpec(scenario=args.scenario, plan=args.plan,
+                        intensity=args.intensity,
+                        samples=args.samples,
+                        iterations=args.iterations, seed=args.seed,
+                        capacity=args.capacity)
+    _progress(f"diff: recording {args.scenario} twins ...")
+    try:
+        result = run_twin_diff(twin)
+    except (UnknownScenarioError, UnknownFaultPlanError,
+            ValueError) as exc:
+        parser.error(str(exc))
+    print(result.headline())
+    print()
+    print(result.diff.render(top_spans=args.top_spans))
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(result.summary(top_spans=args.top_spans))
+            fh.write("\n")
+        _progress(f"(wrote {args.report})")
+    if args.json:
+        from repro.experiments.export import to_json
+
+        to_json(result.to_dict(), path=args.json)
+        _progress(f"(wrote {args.json})")
+    if not result.shielded_within_bound:
+        print("twin: shielded run EXCEEDS the paper bound",
+              file=sys.stderr)
+        return 1
+    expected = [b.strip() for b in args.expect_buckets.split(",")
+                if b.strip()]
+    if expected:
+        named = result.diff.named_mechanisms()
+        missing = [b for b in expected if b not in named]
+        if missing:
+            print(f"expect-buckets: missing {', '.join(missing)} "
+                  f"(named: {', '.join(named) or 'none'})",
+                  file=sys.stderr)
+            return 1
+        print(f"expect-buckets ok: {', '.join(expected)} all named "
+              f"(full set: {', '.join(named)})")
+    return 0
+
+
+def _cmd_diff_golden(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments diff golden",
+        description="Semantic goldens: re-record the committed "
+                    "baseline recordings and diff; an intentional "
+                    "change fails with a mechanism-level report "
+                    "instead of a CRC mismatch.")
+    parser.add_argument("names", nargs="*",
+                        help="golden names (default: all)")
+    parser.add_argument("--record", action="store_true",
+                        help="(re-)record the baselines instead of "
+                             "checking them")
+    parser.add_argument("--dir", default="", metavar="DIR",
+                        help="goldens directory (default: the "
+                             "committed goldens/recordings)")
+    parser.add_argument("--top-spans", type=int, default=5)
+    args = parser.parse_args(argv)
+
+    from repro.observe.diff import (GOLDEN_SPECS, RecordingError,
+                                    check_golden, golden_names,
+                                    golden_path, record_golden)
+
+    names = args.names or golden_names()
+    unknown = [n for n in names if n not in GOLDEN_SPECS]
+    if unknown:
+        parser.error(f"unknown golden(s): {', '.join(unknown)} "
+                     f"(have: {', '.join(golden_names())})")
+    if args.record:
+        target = args.dir or os.path.dirname(golden_path(names[0]))
+        os.makedirs(target, exist_ok=True)
+        for name in names:
+            _progress(f"golden: recording {name} ...")
+            path = record_golden(name).save(golden_path(name, args.dir))
+            print(f"recorded {name} -> {path}")
+        return 0
+    failures = 0
+    for name in names:
+        _progress(f"golden: checking {name} ...")
+        try:
+            diff = check_golden(name, args.dir)
+        except RecordingError as exc:
+            print(f"golden {name}: ERROR {exc}")
+            failures += 1
+            continue
+        if diff.identical:
+            print(f"golden {name}: ok ({diff.paired} samples, "
+                  f"{diff.a['events']} events)")
+        else:
+            failures += 1
+            print(f"golden {name}: DIVERGED")
+            print(diff.render(top_spans=args.top_spans))
+    if failures:
+        print(f"golden: {failures} failure(s)", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_store(argv) -> int:
     """Result-store maintenance: ls | verify | gc."""
     actions = ("ls", "verify", "gc")
@@ -603,6 +932,10 @@ def _cmd_store(argv) -> int:
                         metavar="DIR",
                         help=f"store directory (default "
                              f"{DEFAULT_STORE_DIR})")
+    if action == "ls":
+        parser.add_argument("--kind", default="",
+                            choices=("", "result", "stalled", "rtrace"),
+                            help="only list entries of this kind")
     if action == "verify":
         parser.add_argument("--delete", action="store_true",
                             help="remove corrupt entries so the next "
@@ -619,13 +952,16 @@ def _cmd_store(argv) -> int:
     if action == "ls":
         count = 0
         total = 0
-        for key, meta, size in store.ls():
+        for key, meta, size in store.ls(kind=args.kind or None):
             count += 1
             total += size
             if not meta:
                 print(f"{key[:16]}  CORRUPT  {size:>10} B")
                 continue
-            if meta.get("stalled"):
+            if meta.get("entry_kind") == "rtrace":
+                detail = (f"rtrace       "
+                          f"n={meta.get('samples_target', 0)}")
+            elif meta.get("stalled"):
                 detail = f"stalled: {meta.get('error', '')[:40]}"
             else:
                 detail = (f"{meta.get('kind', '?'):<12} "
@@ -650,11 +986,19 @@ def _cmd_store(argv) -> int:
 
         now_s = time.time()
         max_age_s = args.keep_days * 86_400.0
-    removed = store.gc(max_age_s=max_age_s, now_s=now_s,
-                       dry_run=args.dry_run)
+    report = store.gc(max_age_s=max_age_s, now_s=now_s,
+                      dry_run=args.dry_run)
+    n = len(report.removed)
     verb = "would remove" if args.dry_run else "removed"
-    print(f"gc: {verb} {len(removed)} entr"
-          f"{'y' if len(removed) == 1 else 'ies'}")
+    kinds = ", ".join(f"{kind}={count}"
+                      for kind, count in sorted(report.by_kind.items()))
+    print(f"gc: {verb} {n} entr{'y' if n == 1 else 'ies'}"
+          f" ({kinds or 'none'}), "
+          f"{report.reclaimed_bytes / 1e6:.2f} MB"
+          f"{' reclaimable' if args.dry_run else ' reclaimed'}")
+    if report.tmp_swept:
+        print(f"gc: swept {report.tmp_swept} stale tmp file"
+              f"{'' if report.tmp_swept == 1 else 's'}")
     return 0
 
 
@@ -780,6 +1124,8 @@ def main(argv=None) -> int:
             return _cmd_bounds(rest)
         if command == "campaign":
             return _cmd_campaign(rest)
+        if command == "diff":
+            return _cmd_diff(rest)
         if command == "faults":
             return _cmd_faults(rest)
         if command == "list-scenarios":

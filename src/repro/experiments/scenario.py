@@ -500,7 +500,7 @@ def run_scenario(spec: ScenarioSpec,
         details["cycles"] = cycle_stats.cycles
         details["overruns"] = cycle_stats.overruns
 
-    return ScenarioResult(
+    result = ScenarioResult(
         scenario=spec.name,
         title=spec.title,
         kind=spec.kind,
@@ -514,6 +514,10 @@ def run_scenario(spec: ScenarioSpec,
         trace=trace_report,
         faults=fault_ctl.report() if fault_ctl is not None else None,
     )
+    if tracer is not None and getattr(tracer.config, "record", False):
+        from repro.observe.diff.recording import attach_recording
+        attach_recording(tracer, spec, result)
+    return result
 
 
 def run_named(name: str, **configured: Any) -> ScenarioResult:

@@ -33,6 +33,11 @@ from repro.faults.plan import (
     injector,
     register_fault_plan,
 )
+from repro.faults.twindiff import (
+    TwinDiffResult,
+    TwinDiffSpec,
+    run_twin_diff,
+)
 
 __all__ = [
     "DEFAULT_INTENSITIES",
@@ -44,6 +49,8 @@ __all__ = [
     "MarginJob",
     "MarginResult",
     "MarginSpec",
+    "TwinDiffResult",
+    "TwinDiffSpec",
     "UnknownFaultPlanError",
     "UnknownInjectorError",
     "all_fault_plans",
@@ -53,4 +60,5 @@ __all__ = [
     "injector",
     "register_fault_plan",
     "run_margin",
+    "run_twin_diff",
 ]

@@ -200,6 +200,41 @@ def attribution_table(attribution: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def attribution_bucket_table(columns: Dict[str, Dict[str, int]],
+                             signed: Sequence[str] = (),
+                             total_label: str = "total") -> str:
+    """Aligned bucket-breakdown table shared by ``trace
+    --summary-table`` and the simdiff report renderer.
+
+    *columns* maps column header -> ``{bucket: ns}``; buckets render
+    in the attribution engine's report order (unknown buckets last),
+    values in microseconds.  Columns named in *signed* render with an
+    explicit sign (delta columns).  A ``total`` row closes the table.
+    """
+    from repro.observe.attribution import BUCKETS
+
+    present = set()
+    for values in columns.values():
+        present.update(values)
+    buckets = [b for b in BUCKETS if b in present]
+    buckets += sorted(b for b in present if b not in BUCKETS)
+
+    def fmt(header: str, ns: int) -> str:
+        if header in signed:
+            return f"{ns / 1e3:+.1f}"
+        return f"{ns / 1e3:.1f}"
+
+    headers = ["bucket"] + [f"{name} (us)" for name in columns]
+    rows: List[tuple] = []
+    for bucket in buckets:
+        rows.append(tuple([bucket] + [fmt(name, values.get(bucket, 0))
+                                      for name, values in columns.items()]))
+    rows.append(tuple([total_label]
+                      + [fmt(name, sum(values.values()))
+                         for name, values in columns.items()]))
+    return comparison_table(rows, headers)
+
+
 def trace_summary(trace: Dict[str, Any], top: int = 10) -> str:
     """The full observability block for one traced run."""
     lines = ["tracepoint hits:",

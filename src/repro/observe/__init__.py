@@ -11,7 +11,10 @@ The package is linsim's analogue of the kernel's ftrace/perf stack:
 * :mod:`repro.observe.chrometrace` -- Chrome trace-event (Perfetto)
   JSON export with CPUs as tracks,
 * :mod:`repro.observe.tracer` -- the :class:`SimTracer` orchestration
-  that installs all of the above on a bench for one run.
+  that installs all of the above on a bench for one run,
+* :mod:`repro.observe.diff` -- simdiff: trace recordings persisted as
+  ``RTRACE1`` store entries, cross-run attribution diffing with
+  first-divergence reports, and the semantic-golden CI mode.
 
 Everything here is observational: enabling tracing must never add
 simulated time, consume RNG draws, or otherwise perturb the run (the

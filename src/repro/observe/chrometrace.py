@@ -3,8 +3,13 @@
 Converts the typed tracepoint rings into the Trace Event Format that
 ``chrome://tracing`` and https://ui.perfetto.dev consume: one process
 ("linsim"), one thread track per CPU, duration events (``ph: B``/``E``)
-from execution-frame push/pop, and instant events (``ph: i``) for
-wakes, irq raises, softirq raises, shield updates and latency samples.
+from execution-frame push/pop, instant events (``ph: i``) for wakes,
+irq raises, softirq raises, shield updates and latency samples, and
+counter tracks (``ph: C``) mirroring the per-CPU accounting: an
+irq-off / preempt-off / BKL-held 0/1 state series plus the running
+max-window series (microseconds) for each -- the same maxima
+``/proc``-style accounting reports, but positioned on the timeline so
+the window that set the max is visible.
 
 Timestamps are microseconds (float), converted from simulated
 nanoseconds.  The builder is ring-wrap tolerant: a ``frame_pop`` whose
@@ -43,6 +48,68 @@ def _frame_name(kind: str, label: str, owner: str) -> str:
     if label:
         return f"{kind}:{label}"
     return kind
+
+
+#: Counter series: state tracepoints -> (track, on?).  BKL tracking
+#: keys off the ``is_bkl`` flag instead (lock events carry it).
+_COUNTER_TOGGLES = {
+    TP.IRQS_OFF: ("irq-off", True),
+    TP.IRQS_ON: ("irq-off", False),
+    TP.PREEMPT_OFF: ("preempt-off", True),
+    TP.PREEMPT_ON: ("preempt-off", False),
+}
+
+
+def _counter_events(cpu: int, snapshot: List[Any]) -> List[Dict[str, Any]]:
+    """Per-CPU accounting counter tracks (``ph: C``) for one ring.
+
+    Ring-wrap tolerant the same way the duration builder is: an ON
+    whose OFF was evicted measures its window from the surviving
+    window's start (an under-estimate, never an invention).  BKL max
+    windows use the ``hold_ns`` the release event carries, so they
+    stay exact even when the acquire was evicted.
+    """
+    events: List[Dict[str, Any]] = []
+    window_start = snapshot[0].time
+    since: Dict[str, int] = {}
+    max_ns: Dict[str, int] = {"irq-off": 0, "preempt-off": 0, "bkl": 0}
+
+    def emit(ts_ns: int, track: str, series: str, value: float) -> None:
+        events.append({"ph": "C", "pid": _PID, "tid": cpu,
+                       "ts": ts_ns / 1000.0,
+                       "name": f"cpu{cpu} {track}",
+                       "args": {series: value}})
+
+    def toggle(ts_ns: int, track: str, on: bool,
+               window_ns: int = -1) -> None:
+        emit(ts_ns, track, "on", 1 if on else 0)
+        if on:
+            since[track] = ts_ns
+            return
+        if window_ns < 0:
+            window_ns = ts_ns - since.pop(track, window_start)
+        else:
+            since.pop(track, None)
+        if window_ns > max_ns[track]:
+            max_ns[track] = window_ns
+            emit(ts_ns, f"max {track} (us)", "us", window_ns / 1000.0)
+
+    for track in max_ns:
+        emit(window_start, track, "on", 0)
+        emit(window_start, f"max {track} (us)", "us", 0.0)
+    for ev in snapshot:
+        code = ev.tp
+        state = _COUNTER_TOGGLES.get(code)
+        if state is not None:
+            toggle(ev.time, state[0], state[1])
+        elif code is TP.LOCK_ACQUIRE and ev.args[2]:
+            toggle(ev.time, "bkl", True)
+        elif code is TP.LOCK_RELEASE and ev.args[3]:
+            toggle(ev.time, "bkl", False, window_ns=int(ev.args[2]))
+    last = snapshot[-1].time
+    for track in [t for t in since]:
+        toggle(last, track, False)
+    return events
 
 
 def build_trace_events(tp: Tracepoints) -> List[Dict[str, Any]]:
@@ -101,6 +168,7 @@ def build_trace_events(tp: Tracepoints) -> List[Dict[str, Any]]:
         for _ in range(open_depth):
             events.append({"ph": "E", "pid": _PID, "tid": cpu,
                            "ts": last_us})
+        events.extend(_counter_events(cpu, snapshot))
     return events
 
 

@@ -1,0 +1,70 @@
+"""simdiff: trace record/replay store with cross-run diffing.
+
+The observability stack (simtrace) inspects one run; simdiff compares
+two.  A :class:`TraceRecording` freezes a traced run -- tracepoint
+stream, per-CPU accounting, attribution timeline -- into plain data
+persisted as ``RTRACE1`` entries (standalone files or the content-
+addressed store); :func:`diff_recordings` pairs two recordings of the
+same scenario/seed and explains the *first divergence* in mechanism
+terms: which bucket's contribution changed, which tracepoint span
+introduced or lost the time, at what simulated-time coordinates,
+plus a per-bucket delta table that sums exactly to the end-to-end
+latency delta.  :mod:`~repro.observe.diff.goldens` turns this into
+the semantic-golden CI mode.
+"""
+
+from repro.observe.diff.align import (
+    Span,
+    SpanAlignment,
+    align_spans,
+    extract_spans,
+    spans_in_window,
+)
+from repro.observe.diff.engine import (
+    TraceDiff,
+    TraceDiffError,
+    diff_recordings,
+)
+from repro.observe.diff.goldens import (
+    GOLDEN_SPECS,
+    check_golden,
+    golden_dir,
+    golden_names,
+    golden_path,
+    record_golden,
+)
+from repro.observe.diff.recording import (
+    RecordingError,
+    TraceRecording,
+    attach_recording,
+    record_scenario,
+    recording_from_run,
+    rerecord,
+    spec_for_recording,
+)
+from repro.observe.diff.render import render_diff
+
+__all__ = [
+    "GOLDEN_SPECS",
+    "RecordingError",
+    "Span",
+    "SpanAlignment",
+    "TraceDiff",
+    "TraceDiffError",
+    "TraceRecording",
+    "align_spans",
+    "attach_recording",
+    "check_golden",
+    "diff_recordings",
+    "extract_spans",
+    "golden_dir",
+    "golden_names",
+    "golden_path",
+    "record_golden",
+    "record_scenario",
+    "recording_from_run",
+    "render_diff",
+    "rerecord",
+    "spans_in_window",
+    "spec_for_recording",
+]

@@ -1,0 +1,154 @@
+"""Human-readable rendering of a :class:`TraceDiff`.
+
+The renderer is what CI shows when a semantic golden breaks: instead
+of a CRC mismatch it prints *what changed and why* -- the bucket
+delta table (closing exactly against the end-to-end latency delta),
+the first divergent sample with its changed buckets, the span that
+introduced or lost the time (with simulated-time coordinates), and
+any per-CPU accounting drift.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.metrics.report import attribution_bucket_table
+
+
+def _us(ns: int) -> str:
+    return f"{ns / 1e3:.1f} us"
+
+
+def _us_signed(ns: int) -> str:
+    return f"{ns / 1e3:+.1f} us"
+
+
+def _span_line(span: Dict[str, Any]) -> str:
+    name = span.get("name") or "?"
+    tail = " (edge synthesised: ring wrap)" if span.get("synthetic") else ""
+    return (f"{span['kind']} '{name}' on cpu{span['cpu']} at "
+            f"t={span['start_ns']} ns for {_us(span['dur_ns'])}{tail}")
+
+
+def _render_first(first: Dict[str, Any], top_spans: int) -> List[str]:
+    lines = [f"first divergence: sample #{first['sample_index']} "
+             f"(window [{first['window_ns'][0]}, "
+             f"{first['window_ns'][1]}) ns)",
+             f"  latency: {_us(first['a']['latency_ns'])} -> "
+             f"{_us(first['b']['latency_ns'])} "
+             f"({_us_signed(first['latency_delta_ns'])})"]
+    if first["buckets"]:
+        parts = ", ".join(f"{row['bucket']} "
+                          f"{_us_signed(row['delta_ns'])}"
+                          for row in first["buckets"])
+        lines.append(f"  changed buckets: {parts}")
+    spans = first.get("spans", {})
+    first_span = spans.get("first")
+    if first_span is not None:
+        if first_span["change"] == "changed":
+            a, b = first_span["a"], first_span["b"]
+            lines.append(
+                f"  first divergent span: {a['kind']} "
+                f"'{a['name'] or '?'}' on cpu{a['cpu']} changed "
+                f"{_us(a['dur_ns'])} -> {_us(b['dur_ns'])} "
+                f"({_us_signed(first_span['delta_ns'])}) at "
+                f"t={b['start_ns']} ns")
+        else:
+            lines.append(f"  first divergent span: "
+                         f"{first_span['change']} "
+                         f"{_span_line(first_span['span'])}")
+    for label, key in (("introduced", "introduced"), ("lost", "lost")):
+        entries = spans.get(key, [])
+        count = spans.get(f"{key}_count", len(entries))
+        if count:
+            lines.append(f"  {label} spans ({count}):")
+            for span in entries[:top_spans]:
+                lines.append(f"    + {_span_line(span)}" if key ==
+                             "introduced" else f"    - {_span_line(span)}")
+    changed = spans.get("changed", [])
+    if spans.get("changed_count"):
+        lines.append(f"  duration-changed spans "
+                     f"({spans['changed_count']}):")
+        for pair in changed[:top_spans]:
+            a, b = pair["a"], pair["b"]
+            lines.append(f"    ~ {a['kind']} '{a['name'] or '?'}' "
+                         f"cpu{a['cpu']}: {_us(a['dur_ns'])} -> "
+                         f"{_us(b['dur_ns'])} "
+                         f"({_us_signed(pair['delta_ns'])})")
+    return lines
+
+
+def _render_accounting(deltas: List[Dict[str, Any]]) -> List[str]:
+    lines = ["per-CPU accounting drift:"]
+    for row in deltas:
+        parts = []
+        for fld, pair in sorted(row.items()):
+            if fld == "cpu":
+                continue
+            parts.append(f"{fld} {pair[0]} -> {pair[1]}")
+        lines.append(f"  cpu{row['cpu']}: " + ", ".join(parts))
+    return lines
+
+
+def render_diff(diff: Any, top_spans: int = 5) -> str:
+    """Render one :class:`~repro.observe.diff.engine.TraceDiff`."""
+    a, b = diff.a, diff.b
+    lines = [f"simdiff: {a['scenario']} (seed {a['seed']}, "
+             f"{diff.paired} paired samples)",
+             f"  {diff.a_label}: {_describe(a)}",
+             f"  {diff.b_label}: {_describe(b)}"]
+    if diff.code_changed:
+        lines.append(f"  code tree changed: {a['code'][:12]} -> "
+                     f"{b['code'][:12]}")
+    if diff.config_changed:
+        lines.append("  config changed (kernel/shield/faults differ)")
+    lines.append("")
+
+    if diff.identical:
+        lines.append("verdict: IDENTICAL -- empty diff (same samples, "
+                     "accounting and event stream)")
+        return "\n".join(lines)
+
+    lines.append("verdict: DIVERGED")
+    lines.append(
+        f"end-to-end latency: {diff.a_label} {_us(diff.total_a_ns)} "
+        f"(max {_us(a['max_latency_ns'])}), {diff.b_label} "
+        f"{_us(diff.total_b_ns)} (max {_us(b['max_latency_ns'])}), "
+        f"delta {_us_signed(diff.latency_delta_ns)}")
+    if diff.unpaired_a or diff.unpaired_b:
+        lines.append(f"  sample-count mismatch: {diff.unpaired_a} "
+                     f"unpaired in {diff.a_label}, {diff.unpaired_b} "
+                     f"in {diff.b_label}")
+    lines.append("")
+    lines.append("per-bucket delta (closes exactly against the "
+                 "latency delta):")
+    columns = {
+        diff.a_label: {bkt: a_ns for bkt, a_ns, _ in diff.bucket_rows},
+        diff.b_label: {bkt: b_ns for bkt, _, b_ns in diff.bucket_rows},
+        "delta": {bkt: b_ns - a_ns
+                  for bkt, a_ns, b_ns in diff.bucket_rows},
+    }
+    table = attribution_bucket_table(columns, signed=("delta",))
+    lines.extend("  " + line for line in table.splitlines())
+    lines.append("")
+
+    if diff.first is not None:
+        lines.extend(_render_first(diff.first, top_spans))
+    elif not diff.events_equal:
+        lines.append("samples agree; divergence is outside every "
+                     "sample window (event streams differ)")
+    if diff.accounting_deltas:
+        lines.append("")
+        lines.extend(_render_accounting(diff.accounting_deltas))
+    return "\n".join(lines)
+
+
+def _describe(summary: Dict[str, Any]) -> str:
+    shield = "shielded" if summary["shielded"] else "unshielded"
+    fault = ""
+    if summary["fault_plan"]:
+        fault = (f", faults={summary['fault_plan']}"
+                 f"@{summary['fault_intensity']:g}")
+    return (f"{summary['kernel_name']} ({shield}{fault}), "
+            f"{summary['samples']} samples, {summary['events']} events, "
+            f"code {summary['code'][:12]}")

@@ -35,6 +35,10 @@ class TraceConfig:
     top: int = 10
     #: Chrome trace-event JSON output path ("" = no export).
     out: str = ""
+    #: Attach a full trace recording (events + accounting + per-sample
+    #: attribution) to ``ScenarioResult.trace["recording"]`` for
+    #: simdiff (:mod:`repro.observe.diff`).
+    record: bool = False
 
 
 class SimTracer:

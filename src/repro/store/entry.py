@@ -23,8 +23,17 @@ a run that raised :class:`~repro.sim.errors.SimulationStalledError`;
 the margin ladder caches those as unbounded cells instead of re-running
 interference heavy enough to stall the simulation.
 
+A second entry kind shares the frame: **trace recordings** (magic
+``b"RTRACE1\\0"``, suffix ``.rts``) persist a traced run's typed
+tracepoint stream, per-CPU accounting snapshot and attribution
+timeline for ``repro.observe.diff`` (simdiff).  The payload is the
+zlib-compressed canonical-JSON recording body; the metadata carries
+``entry_kind: "rtrace"`` plus the identity fields (scenario, seed,
+knobs, code digest) and the exact compressed/raw byte counts, so a
+flipped bit anywhere fails either the CRC or the length checks.
+
 Any mismatch -- bad magic, short file, trailing garbage, CRC failure,
-meta/array length disagreement -- raises :class:`StoreCorruptError`;
+meta/payload length disagreement -- raises :class:`StoreCorruptError`;
 callers treat corrupt entries as cache misses.
 """
 
@@ -40,6 +49,7 @@ import numpy as np
 from repro.metrics.recorder import JitterRecorder, LatencyRecorder
 
 MAGIC = b"RRSTORE1"
+TRACE_MAGIC = b"RTRACE1\x00"
 FORMAT_VERSION = 1
 
 
@@ -91,12 +101,37 @@ def _meta_for(result: Any, key: str, code: str) -> Dict[str, Any]:
     }
 
 
-def _frame(meta: Dict[str, Any], payload: bytes) -> bytes:
+def _frame(meta: Dict[str, Any], payload: bytes,
+           magic: bytes = MAGIC) -> bytes:
     meta_bytes = json.dumps(meta, sort_keys=True,
                             separators=(",", ":")).encode("utf-8")
-    body = b"".join((MAGIC, struct.pack("<I", len(meta_bytes)),
+    body = b"".join((magic, struct.pack("<I", len(meta_bytes)),
                      meta_bytes, payload))
     return body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+
+
+def _unframe(blob: bytes,
+             magic: bytes = MAGIC) -> Tuple[Dict[str, Any], bytes]:
+    """Validate the shared frame; returns (meta, payload bytes)."""
+    if len(blob) < len(magic) + 8:
+        raise StoreCorruptError("entry truncated (shorter than header)")
+    if blob[:len(magic)] != magic:
+        raise StoreCorruptError("bad magic (not a store entry)")
+    body, (crc,) = blob[:-4], struct.unpack("<I", blob[-4:])
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise StoreCorruptError("CRC mismatch (corrupted entry)")
+    (meta_len,) = struct.unpack_from("<I", blob, len(magic))
+    meta_start = len(magic) + 4
+    meta_end = meta_start + meta_len
+    if meta_end > len(body):
+        raise StoreCorruptError("meta length exceeds entry size")
+    try:
+        meta = json.loads(body[meta_start:meta_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StoreCorruptError(f"unreadable metadata: {exc}") from None
+    if not isinstance(meta, dict) or meta.get("format") != FORMAT_VERSION:
+        raise StoreCorruptError("unknown entry format")
+    return meta, body[meta_end:]
 
 
 def encode_result(result: Any, key: str, code: str) -> bytes:
@@ -124,29 +159,11 @@ def encode_stalled(scenario: str, error: str, key: str,
 
 
 def decode(blob: bytes) -> Tuple[Dict[str, Any], np.ndarray]:
-    """Validate and split an entry into (meta, samples array).
+    """Validate and split a result entry into (meta, samples array).
 
     Raises :class:`StoreCorruptError` on any inconsistency.
     """
-    if len(blob) < len(MAGIC) + 8:
-        raise StoreCorruptError("entry truncated (shorter than header)")
-    if blob[:len(MAGIC)] != MAGIC:
-        raise StoreCorruptError("bad magic (not a store entry)")
-    body, (crc,) = blob[:-4], struct.unpack("<I", blob[-4:])
-    if zlib.crc32(body) & 0xFFFFFFFF != crc:
-        raise StoreCorruptError("CRC mismatch (corrupted entry)")
-    (meta_len,) = struct.unpack_from("<I", blob, len(MAGIC))
-    meta_start = len(MAGIC) + 4
-    meta_end = meta_start + meta_len
-    if meta_end > len(body):
-        raise StoreCorruptError("meta length exceeds entry size")
-    try:
-        meta = json.loads(body[meta_start:meta_end].decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise StoreCorruptError(f"unreadable metadata: {exc}") from None
-    if not isinstance(meta, dict) or meta.get("format") != FORMAT_VERSION:
-        raise StoreCorruptError("unknown entry format")
-    payload = body[meta_end:]
+    meta, payload = _unframe(blob, MAGIC)
     count = meta.get("count", 0)
     if len(payload) != 8 * count:
         raise StoreCorruptError(
@@ -154,6 +171,77 @@ def decode(blob: bytes) -> Tuple[Dict[str, Any], np.ndarray]:
             f"meta promises {count}")
     arr = np.frombuffer(payload, dtype="<i8").astype(np.int64)
     return meta, arr
+
+
+#: Recording body fields lifted into the entry metadata so ``store
+#: ls``/``gc`` can identify a recording without decompressing it.
+_RECORDING_META_FIELDS = ("scenario", "kind", "kernel_name", "seed",
+                         "samples_target", "iterations", "capacity",
+                         "shielded", "fault_plan", "fault_intensity")
+
+
+def encode_recording(body: Dict[str, Any], key: str,
+                     code: str) -> bytes:
+    """Serialise a trace-recording body into one RTRACE1 entry.
+
+    *body* is the plain-dict recording produced by
+    :mod:`repro.observe.diff.recording`; it is stored as
+    zlib-compressed canonical JSON so an entry stays a few hundred KB
+    even with tens of thousands of tracepoint events.
+    """
+    raw = json.dumps(body, sort_keys=True,
+                     separators=(",", ":")).encode("utf-8")
+    payload = zlib.compress(raw, 9)
+    meta: Dict[str, Any] = {
+        "format": FORMAT_VERSION,
+        "entry_kind": "rtrace",
+        "key": key,
+        "code": code,
+        "payload_bytes": len(payload),
+        "raw_bytes": len(raw),
+    }
+    for field in _RECORDING_META_FIELDS:
+        if field in body:
+            meta[field] = body[field]
+    return _frame(meta, payload, magic=TRACE_MAGIC)
+
+
+def decode_recording(blob: bytes) -> Tuple[Dict[str, Any],
+                                           Dict[str, Any]]:
+    """Validate and split an RTRACE1 entry into (meta, body dict)."""
+    meta, payload = _unframe(blob, TRACE_MAGIC)
+    if meta.get("entry_kind") != "rtrace":
+        raise StoreCorruptError("RTRACE1 frame without rtrace meta")
+    if len(payload) != meta.get("payload_bytes"):
+        raise StoreCorruptError(
+            f"payload holds {len(payload)} bytes, "
+            f"meta promises {meta.get('payload_bytes')}")
+    try:
+        raw = zlib.decompress(payload)
+    except zlib.error as exc:
+        raise StoreCorruptError(
+            f"undecompressable recording: {exc}") from None
+    if len(raw) != meta.get("raw_bytes"):
+        raise StoreCorruptError(
+            f"recording inflates to {len(raw)} bytes, "
+            f"meta promises {meta.get('raw_bytes')}")
+    try:
+        body = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StoreCorruptError(
+            f"unreadable recording body: {exc}") from None
+    if not isinstance(body, dict):
+        raise StoreCorruptError("recording body is not an object")
+    return meta, body
+
+
+def entry_kind_of(meta: Dict[str, Any]) -> str:
+    """Classify an entry's metadata: result | stalled | rtrace."""
+    if meta.get("entry_kind") == "rtrace":
+        return "rtrace"
+    if meta.get("stalled"):
+        return "stalled"
+    return "result"
 
 
 def result_from_entry(meta: Dict[str, Any], arr: np.ndarray) -> Any:

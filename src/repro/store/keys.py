@@ -118,3 +118,20 @@ def job_key(spec: Any, code: Optional[str] = None) -> str:
         "spec": _canonical_spec(spec),
         "code": code if code is not None else code_version(),
     })
+
+
+def recording_key(spec: Any, capacity: int,
+                  code: Optional[str] = None) -> str:
+    """The store key for one trace recording (RTRACE1 entry).
+
+    Recordings key on the same (spec, code) identity as results plus
+    the ring *capacity* (a wrapped ring records a different event
+    window) and a kind marker so a recording can never collide with
+    the result of the same run.
+    """
+    return digest_of({
+        "kind": "rtrace",
+        "spec": _canonical_spec(spec),
+        "capacity": int(capacity),
+        "code": code if code is not None else code_version(),
+    })

@@ -3,6 +3,7 @@
 Layout under the store root::
 
     objects/<k[:2]>/<key>.rrs     one entry per run (see entry.py)
+    objects/<k[:2]>/<key>.rts     one RTRACE1 trace recording
     campaigns/<ckey>.journal      completed-job checkpoint, one line
                                   per finished job: "<index> <key>"
 
@@ -31,11 +32,18 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 from repro.store.entry import (
     StoreCorruptError,
     decode,
+    decode_recording,
+    encode_recording,
     encode_result,
     encode_stalled,
+    entry_kind_of,
     result_from_entry,
 )
 from repro.store.keys import code_version
+
+#: Entry-file suffix per kind: results and stalled markers share the
+#: RRSTORE1 frame (``.rrs``); trace recordings are RTRACE1 (``.rts``).
+ENTRY_SUFFIXES = (".rrs", ".rts")
 
 #: Default store location (relative to the working directory); the
 #: CLI and benchmarks use this unless told otherwise.
@@ -59,6 +67,28 @@ class StoreEntry:
         return self.meta.get("error")
 
 
+@dataclass
+class GcReport:
+    """What one ``gc`` pass removed (or, dry-run, would remove)."""
+
+    removed: List[str]                       # keys, path order
+    reclaimed_bytes: int = 0
+    by_kind: Dict[str, int] = None           # type: ignore[assignment]
+    tmp_swept: int = 0
+    dry_run: bool = False
+
+    def __post_init__(self) -> None:
+        if self.by_kind is None:
+            self.by_kind = {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"removed": list(self.removed),
+                "reclaimed_bytes": self.reclaimed_bytes,
+                "by_kind": dict(self.by_kind),
+                "tmp_swept": self.tmp_swept,
+                "dry_run": self.dry_run}
+
+
 class ResultStore:
     """Content-addressed persistence for scenario runs."""
 
@@ -72,6 +102,9 @@ class ResultStore:
 
     def path_for(self, key: str) -> str:
         return os.path.join(self._objects_dir(), key[:2], f"{key}.rrs")
+
+    def recording_path_for(self, key: str) -> str:
+        return os.path.join(self._objects_dir(), key[:2], f"{key}.rts")
 
     def journal_path(self, campaign_key: str) -> str:
         return os.path.join(self.root, "campaigns",
@@ -100,8 +133,10 @@ class ResultStore:
             return None
         return StoreEntry(key=key, meta=meta, result=result)
 
-    def _write(self, key: str, blob: bytes) -> str:
-        path = self.path_for(key)
+    def _write(self, key: str, blob: bytes,
+               path: Optional[str] = None) -> str:
+        if path is None:
+            path = self.path_for(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         tmp = f"{path}.{os.getpid()}.tmp"
         with open(tmp, "wb") as fh:
@@ -122,6 +157,31 @@ class ResultStore:
             scenario, error, key, code if code is not None
             else code_version()))
 
+    def put_recording(self, key: str, body: Dict[str, Any],
+                      code: Optional[str] = None) -> str:
+        """Store one trace-recording body (RTRACE1) atomically."""
+        blob = encode_recording(
+            body, key, code if code is not None else code_version())
+        return self._write(key, blob,
+                           path=self.recording_path_for(key))
+
+    def get_recording(self, key: str) -> Optional[Dict[str, Any]]:
+        """Load one recording body; None on miss *or* corruption."""
+        path = self.recording_path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except OSError:
+            return None
+        try:
+            meta, body = decode_recording(blob)
+            if meta.get("key") != key:
+                raise StoreCorruptError("entry key does not match path")
+        except StoreCorruptError:
+            self.corrupt_reads += 1
+            return None
+        return body
+
     # -- maintenance ----------------------------------------------------
     def _entry_paths(self) -> Iterator[str]:
         objects = self._objects_dir()
@@ -132,23 +192,50 @@ class ResultStore:
             if not os.path.isdir(shard_dir):
                 continue
             for name in sorted(os.listdir(shard_dir)):
-                if name.endswith(".rrs"):
+                if name.endswith(ENTRY_SUFFIXES):
                     yield os.path.join(shard_dir, name)
 
-    def ls(self) -> Iterator[Tuple[str, Dict[str, Any], int]]:
+    @staticmethod
+    def _key_of(path: str) -> str:
+        return os.path.splitext(os.path.basename(path))[0]
+
+    @staticmethod
+    def _read_entry(path: str) -> Dict[str, Any]:
+        """Decode whichever entry kind *path* holds; returns its meta.
+
+        Raises :class:`StoreCorruptError` (or ``OSError``) on any
+        failure, including a meta key that disagrees with the path.
+        """
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        if path.endswith(".rts"):
+            meta, _body = decode_recording(blob)
+        else:
+            meta, arr = decode(blob)
+            if not meta.get("stalled"):
+                result_from_entry(meta, arr)
+        if meta.get("key") != ResultStore._key_of(path):
+            raise StoreCorruptError("entry key does not match path")
+        return meta
+
+    def ls(self, kind: Optional[str] = None
+           ) -> Iterator[Tuple[str, Dict[str, Any], int]]:
         """Yield (key, meta, size_bytes) for every readable entry.
 
         Corrupt entries yield ``(key, {}, size)`` so callers can still
-        see and clean them.
+        see and clean them.  *kind* filters to one entry kind
+        (``result`` | ``stalled`` | ``rtrace``); corrupt entries are
+        always reported regardless of the filter.
         """
         for path in self._entry_paths():
-            key = os.path.basename(path)[:-len(".rrs")]
+            key = self._key_of(path)
             size = os.path.getsize(path)
             try:
-                with open(path, "rb") as fh:
-                    meta, _ = decode(fh.read())
+                meta = self._read_entry(path)
             except (OSError, StoreCorruptError):
                 yield key, {}, size
+                continue
+            if kind is not None and entry_kind_of(meta) != kind:
                 continue
             yield key, meta, size
 
@@ -161,17 +248,11 @@ class ResultStore:
         ok = 0
         corrupt: List[str] = []
         for path in self._entry_paths():
-            key = os.path.basename(path)[:-len(".rrs")]
             try:
-                with open(path, "rb") as fh:
-                    meta, arr = decode(fh.read())
-                if meta.get("key") != key:
-                    raise StoreCorruptError("entry key mismatch")
-                if not meta.get("stalled"):
-                    result_from_entry(meta, arr)
+                self._read_entry(path)
                 ok += 1
             except (OSError, StoreCorruptError):
-                corrupt.append(key)
+                corrupt.append(self._key_of(path))
                 if delete:
                     try:
                         os.remove(path)
@@ -182,7 +263,7 @@ class ResultStore:
     def gc(self, keep_code: Optional[str] = None,
            max_age_s: Optional[float] = None,
            now_s: Optional[float] = None,
-           dry_run: bool = False) -> List[str]:
+           dry_run: bool = False) -> GcReport:
         """Collect entries from other code versions (and stale temps).
 
         *keep_code* defaults to the current tree digest: entries whose
@@ -190,17 +271,19 @@ class ResultStore:
         embeds the digest), so they are pure disk waste.  *max_age_s*
         additionally drops entries older than the given age relative
         to *now_s* (callers supply the clock; the store itself stays
-        wall-clock-free).  Returns the removed (or, under *dry_run*,
-        removable) keys.
+        wall-clock-free).  Returns a :class:`GcReport` with the
+        removed (or, under *dry_run*, removable) keys, the bytes they
+        occupied and a per-entry-kind breakdown.
         """
         keep = keep_code if keep_code is not None else code_version()
-        removed: List[str] = []
+        report = GcReport(removed=[], dry_run=dry_run)
         for path in self._entry_paths():
-            key = os.path.basename(path)[:-len(".rrs")]
+            key = self._key_of(path)
+            kind = "corrupt"
             drop = False
             try:
-                with open(path, "rb") as fh:
-                    meta, _ = decode(fh.read())
+                meta = self._read_entry(path)
+                kind = entry_kind_of(meta)
                 if meta.get("code") != keep:
                     drop = True
             except (OSError, StoreCorruptError):
@@ -209,7 +292,12 @@ class ResultStore:
                 if now_s - os.path.getmtime(path) > max_age_s:
                     drop = True
             if drop:
-                removed.append(key)
+                report.removed.append(key)
+                try:
+                    report.reclaimed_bytes += os.path.getsize(path)
+                except OSError:
+                    pass
+                report.by_kind[kind] = report.by_kind.get(kind, 0) + 1
                 if not dry_run:
                     try:
                         os.remove(path)
@@ -220,20 +308,27 @@ class ResultStore:
             for dirpath, _dirnames, filenames in os.walk(self.root):
                 for name in filenames:
                     if name.endswith(".tmp"):
+                        tmp = os.path.join(dirpath, name)
                         try:
-                            os.remove(os.path.join(dirpath, name))
+                            report.reclaimed_bytes += os.path.getsize(tmp)
+                            os.remove(tmp)
+                            report.tmp_swept += 1
                         except OSError:
                             pass
-        return removed
+        return report
 
     def stats(self) -> Dict[str, Any]:
         """Entry count and total size (for ``store ls`` footers)."""
         count = 0
         size = 0
+        by_kind: Dict[str, int] = {}
         for path in self._entry_paths():
             count += 1
             size += os.path.getsize(path)
-        return {"entries": count, "bytes": size, "root": self.root}
+            kind = "rtrace" if path.endswith(".rts") else "result"
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        return {"entries": count, "bytes": size, "by_kind": by_kind,
+                "root": self.root}
 
     # -- journals -------------------------------------------------------
     def read_journal(self, campaign_key: str) -> Dict[int, str]:

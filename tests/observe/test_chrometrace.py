@@ -74,6 +74,43 @@ class TestBuilder:
         assert len(ends) == 1
         assert ends[0]["ts"] == 5.0
 
+    def test_counter_tracks_toggle_and_track_max(self):
+        tp = _tp()
+        tp.irqs_off(1000, 0)
+        tp.irqs_on(4000, 0)      # 3 us window
+        tp.irqs_off(5000, 0)
+        tp.irqs_on(5500, 0)      # 0.5 us window: max unchanged
+        events = build_trace_events(tp)
+        state = [e for e in events if e["ph"] == "C"
+                 and e["name"] == "cpu0 irq-off"]
+        # initial 0, then 1/0 per toggle pair
+        assert [e["args"]["on"] for e in state] == [0, 1, 0, 1, 0]
+        peaks = [e for e in events if e["ph"] == "C"
+                 and e["name"] == "cpu0 max irq-off (us)"]
+        assert [e["args"]["us"] for e in peaks] == [0.0, 3.0]
+        assert peaks[-1]["ts"] == 4.0  # stamped where the max closed
+
+    def test_bkl_counter_uses_release_hold_ns(self):
+        tp = _tp(capacity=2)
+        tp.lock_acquire(1000, 0, "bkl", "rt", True)
+        tp.timer_tick(2000, 0)
+        # acquire evicted by wrap; hold_ns keeps the max exact
+        tp.lock_release(9000, 0, "bkl", "rt", 8000, True)
+        events = build_trace_events(tp)
+        peaks = [e for e in events if e["ph"] == "C"
+                 and e["name"] == "cpu0 max bkl (us)"]
+        assert [e["args"]["us"] for e in peaks] == [0.0, 8.0]
+
+    def test_open_state_closes_at_window_end(self):
+        tp = _tp()
+        tp.preempt_off(1000, 0, "rt")
+        tp.timer_tick(6000, 0)
+        events = build_trace_events(tp)
+        state = [e for e in events if e["ph"] == "C"
+                 and e["name"] == "cpu0 preempt-off"]
+        assert [e["args"]["on"] for e in state] == [0, 1, 0]
+        assert state[-1]["ts"] == 6.0
+
     def test_document_shape(self):
         tp = _tp()
         tp.timer_tick(1000, 0)

@@ -1,0 +1,150 @@
+"""Trace recordings: capture, exact closure, persistence, ring wrap."""
+
+import json
+
+import pytest
+
+from repro.experiments.scenario import run_scenario, scenario
+from repro.observe.diff import (
+    RecordingError,
+    TraceRecording,
+    diff_recordings,
+    extract_spans,
+    record_scenario,
+    spec_for_recording,
+)
+from repro.observe.tracer import TraceConfig
+
+
+def _spec(samples=40, **kw):
+    return scenario("fig6").configured(samples=samples, seed=1, **kw)
+
+
+@pytest.fixture(scope="module")
+def fig6_rec():
+    rec, _result = record_scenario(_spec(), capacity=8192)
+    return rec
+
+
+class TestCapture:
+    def test_recording_rides_on_result(self):
+        result = run_scenario(
+            _spec(), trace=TraceConfig(capacity=4096, record=True))
+        body = result.trace["recording"]
+        assert body["scenario"] == "fig6"
+        rec = TraceRecording.from_body(body)
+        assert rec.seed == 1
+        assert rec.shielded
+        assert rec.capacity == 4096
+
+    def test_no_recording_without_the_flag(self):
+        result = run_scenario(_spec(), trace=TraceConfig(capacity=4096))
+        assert "recording" not in (result.trace or {})
+
+    def test_every_sample_closes_exactly(self, fig6_rec):
+        assert fig6_rec.samples
+        for _end, latency, breakdown in fig6_rec.samples:
+            assert sum(breakdown.values()) == latency
+            assert 0 not in breakdown.values()
+
+    def test_events_are_time_ordered(self, fig6_rec):
+        times = [row[0] for row in fig6_rec.events]
+        assert times == sorted(times)
+
+    def test_body_is_json_plain(self, fig6_rec):
+        body = fig6_rec.to_body()
+        assert json.loads(json.dumps(body)) == body
+
+    def test_faults_summary_rides_on_storm_recordings(self):
+        spec = scenario("storm-fig6").configured(samples=30, seed=1)
+        rec, _result = record_scenario(spec, capacity=4096)
+        assert rec.fault_plan == "storm-fig6"
+        assert rec.faults is not None
+        assert rec.faults["injections"] > 0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, fig6_rec, tmp_path):
+        path = str(tmp_path / "fig6.rtrace")
+        fig6_rec.save(path)
+        back = TraceRecording.load(path)
+        assert back.to_body() == fig6_rec.to_body()
+
+    def test_corrupt_file_raises_recording_error(self, fig6_rec,
+                                                 tmp_path):
+        path = str(tmp_path / "fig6.rtrace")
+        fig6_rec.save(path)
+        with open(path, "r+b") as fh:
+            fh.seek(40)
+            fh.write(b"\xff\xff")
+        with pytest.raises(RecordingError):
+            TraceRecording.load(path)
+
+    def test_missing_file_raises_recording_error(self, tmp_path):
+        with pytest.raises(RecordingError):
+            TraceRecording.load(str(tmp_path / "nope.rtrace"))
+
+    def test_unsupported_format_rejected(self, fig6_rec):
+        body = fig6_rec.to_body()
+        body["recording_format"] = 99
+        with pytest.raises(RecordingError):
+            TraceRecording.from_body(body)
+
+
+class TestReplay:
+    def test_spec_for_recording_rebuilds_the_run(self, fig6_rec):
+        spec = spec_for_recording(fig6_rec)
+        assert spec.name == "fig6"
+        assert spec.measurement.samples == 40
+        assert spec.seed == 1
+        assert spec.shield.any_component
+
+    def test_unshielded_twin_round_trips(self):
+        base = scenario("fig6").configured(samples=20, seed=1)
+        from repro.experiments.scenario import ShieldSpec
+
+        twin = base.with_overrides(
+            shield=ShieldSpec(cpu=base.shield.cpu))
+        rec, _result = record_scenario(twin, capacity=4096)
+        assert not rec.shielded
+        spec = spec_for_recording(rec)
+        assert not spec.shield.any_component
+        assert spec.shield.cpu == base.shield.cpu
+
+
+class TestRingWrap:
+    """The satellite case: recordings that wrapped the ring still
+    align, diff and report -- the window is truncated, never wrong."""
+
+    def test_wrapped_recording_is_marked_and_usable(self):
+        rec, _result = record_scenario(_spec(samples=60), capacity=256)
+        assert rec.dropped > 0          # the ring really wrapped
+        spans = extract_spans(rec.events)
+        assert spans
+        window_start = min(row[0] for row in rec.events)
+        for span in spans:
+            assert span.start >= window_start
+            assert span.end >= span.start
+
+    def test_wrap_boundary_orphan_pop_synthesizes_span(self):
+        # An orphan FRAME_POP right at the wrap boundary gets a
+        # synthetic span opened at the surviving window's start.
+        from repro.observe.tracepoints import TP
+
+        events = [
+            [1_000, 0, int(TP.TIMER_TICK), []],
+            [3_000, 0, int(TP.FRAME_POP), ["task", "rt", "rt"]],
+        ]
+        spans = extract_spans(events)
+        task = [s for s in spans if s.kind == "task"]
+        assert len(task) == 1
+        assert task[0].synthetic
+        assert task[0].start == 1_000
+        assert task[0].end == 3_000
+
+    def test_identical_wrapped_runs_diff_identical(self):
+        rec_a, _ = record_scenario(_spec(samples=60), capacity=256)
+        rec_b, _ = record_scenario(_spec(samples=60), capacity=256)
+        diff = diff_recordings(rec_a, rec_b)
+        assert diff.identical
+        assert diff.latency_delta_ns == 0

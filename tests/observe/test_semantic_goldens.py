@@ -1,0 +1,63 @@
+"""Semantic goldens: the committed baselines still describe HEAD.
+
+Each committed ``goldens/recordings/*.rtrace`` baseline is re-recorded
+under the current tree and diffed; any drift fails with the simdiff
+report (which bucket moved, which span appeared, at what simulated
+time) -- the human-readable counterpart of the byte-golden suites.
+An intentional behaviour change re-baselines with
+``python tools/record_goldens.py``.
+"""
+
+import os
+
+import pytest
+
+from repro.observe.diff import (
+    TraceRecording,
+    check_golden,
+    diff_recordings,
+    golden_names,
+    golden_path,
+)
+
+pytestmark = pytest.mark.slow
+
+
+def _require(name):
+    path = golden_path(name)
+    if not os.path.exists(path):
+        pytest.fail(f"missing committed golden {path}; regenerate "
+                    f"with tools/record_goldens.py")
+    return path
+
+
+@pytest.mark.parametrize("name", golden_names())
+def test_golden_matches_head(name):
+    _require(name)
+    diff = check_golden(name)
+    assert diff.identical, (
+        f"semantic golden {name!r} diverged from the committed "
+        f"baseline -- intentional? re-baseline with "
+        f"tools/record_goldens.py\n\n" + diff.render())
+
+
+def test_tampered_baseline_is_explained_not_crc_failed():
+    """The point of the mode: a behaviour change yields a mechanism
+    report (bucket + simulated-time coordinates), not a checksum."""
+    baseline = TraceRecording.load(_require("fig6"))
+    tampered = TraceRecording.from_body(baseline.to_body())
+    end, latency, breakdown = tampered.samples[7]
+    breakdown = dict(breakdown)
+    breakdown["irq_off"] = breakdown.get("irq_off", 0) + 5_000
+    tampered.samples[7] = [end, latency + 5_000, breakdown]
+
+    diff = diff_recordings(baseline, tampered,
+                           a_label="baseline", b_label="current")
+    assert not diff.identical
+    assert diff.latency_delta_ns == 5_000
+    assert diff.first["sample_index"] == 7
+    assert diff.divergent_buckets()[0] == "irq_off"
+    text = diff.render()
+    assert "DIVERGED" in text
+    assert "irq_off" in text
+    assert "first divergence: sample #7" in text

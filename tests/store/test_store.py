@@ -98,30 +98,41 @@ class TestGc:
         store.put(key, result, code="old-code")
         keep_key = "e" * 64
         store.put(keep_key, result, code="current")
-        removed = store.gc(keep_code="current")
-        assert removed == [key]
+        report = store.gc(keep_code="current")
+        assert report.removed == [key]
         assert store.contains(keep_key)
+
+    def test_gc_reports_bytes_and_kinds(self, store, key, result):
+        path = store.put(key, result, code="old-code")
+        size = os.path.getsize(path)
+        report = store.gc(keep_code="current")
+        assert report.reclaimed_bytes == size
+        assert report.by_kind == {"result": 1}
+        assert not report.dry_run
 
     def test_gc_dry_run_keeps_files(self, store, key, result):
         store.put(key, result, code="old-code")
-        removed = store.gc(keep_code="current", dry_run=True)
-        assert removed == [key]
+        report = store.gc(keep_code="current", dry_run=True)
+        assert report.removed == [key]
+        assert report.dry_run
+        assert report.reclaimed_bytes > 0
         assert store.contains(key)
 
     def test_gc_age_filter(self, store, key, result):
         path = store.put(key, result, code="current")
         os.utime(path, (1_000, 1_000))
-        removed = store.gc(keep_code="current", max_age_s=10.0,
-                           now_s=2_000.0)
-        assert removed == [key]
+        report = store.gc(keep_code="current", max_age_s=10.0,
+                          now_s=2_000.0)
+        assert report.removed == [key]
 
     def test_gc_sweeps_orphan_tmp(self, store, key, result):
         store.put(key, result, code="current")
         orphan = store.path_for(key) + ".999.tmp"
         with open(orphan, "wb") as fh:
             fh.write(b"half-written")
-        store.gc(keep_code="current")
+        report = store.gc(keep_code="current")
         assert not os.path.exists(orphan)
+        assert report.tmp_swept == 1
 
     def test_ls_and_stats(self, store, key, result):
         store.put(key, result, code="c")

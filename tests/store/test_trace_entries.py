@@ -1,0 +1,163 @@
+"""RTRACE1 store entries: codec, keying, kind-aware ls/gc/stats."""
+
+import os
+
+import pytest
+
+from repro.experiments.scenario import scenario
+from repro.observe.diff import TraceRecording
+from repro.store import (
+    ResultStore,
+    StoreCorruptError,
+    decode_recording,
+    encode_recording,
+    entry_kind_of,
+    recording_key,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(str(tmp_path / "store"))
+
+
+@pytest.fixture
+def rec():
+    return TraceRecording(
+        scenario="fig7", kind="latency", kernel_name="k", seed=3,
+        ncpus=2, watched="realfeel", shielded=True,
+        shield={"procs": True, "irqs": True, "ltmr": True, "cpu": 1,
+                "pin_irq": 8},
+        fault_plan="", fault_intensity=1.0, samples_target=2,
+        iterations=1, capacity=64, code="deadbeef",
+        events=[[1000, 0, 22, ["task", "rt", "rt"]],
+                [2000, 0, 23, ["task", "rt", "rt"]]],
+        dropped=0, accounting={"cpus": []},
+        samples=[[2000, 900, {"task": 900}],
+                 [4000, 1100, {"task": 800, "other": 300}]],
+        hits={"frame_push": 1, "frame_pop": 1})
+
+
+@pytest.fixture
+def key(rec):
+    spec = scenario("fig7").configured(samples=2, seed=3)
+    return recording_key(spec, capacity=64, code=rec.code)
+
+
+class TestCodec:
+    def test_roundtrip(self, rec, key):
+        blob = encode_recording(rec.to_body(), key, rec.code)
+        meta, body = decode_recording(blob)
+        assert body == rec.to_body()
+        assert meta["entry_kind"] == "rtrace"
+        assert meta["key"] == key
+        assert meta["scenario"] == "fig7"
+        assert meta["seed"] == 3
+        assert entry_kind_of(meta) == "rtrace"
+
+    def test_result_magic_rejected(self, rec, key):
+        blob = encode_recording(rec.to_body(), key, rec.code)
+        with pytest.raises(StoreCorruptError):
+            decode_recording(b"RRSTORE1" + blob[8:])
+
+    def test_flipped_payload_byte_rejected(self, rec, key):
+        blob = bytearray(encode_recording(rec.to_body(), key, rec.code))
+        blob[-10] ^= 0xFF
+        with pytest.raises(StoreCorruptError):
+            decode_recording(bytes(blob))
+
+    def test_truncation_rejected(self, rec, key):
+        blob = encode_recording(rec.to_body(), key, rec.code)
+        with pytest.raises(StoreCorruptError):
+            decode_recording(blob[:len(blob) // 2])
+
+
+class TestKeying:
+    def test_key_is_stable(self, rec):
+        spec = scenario("fig7").configured(samples=2, seed=3)
+        assert (recording_key(spec, 64, code="c")
+                == recording_key(spec, 64, code="c"))
+
+    def test_key_varies_with_inputs(self, rec):
+        spec = scenario("fig7").configured(samples=2, seed=3)
+        base = recording_key(spec, 64, code="c")
+        assert recording_key(spec, 128, code="c") != base
+        assert recording_key(spec, 64, code="other") != base
+        other = scenario("fig7").configured(samples=2, seed=4)
+        assert recording_key(other, 64, code="c") != base
+
+
+class TestStoreRoundtrip:
+    def test_put_get_recording(self, store, rec, key):
+        path = store.put_recording(key, rec.to_body(), code=rec.code)
+        assert path.endswith(".rts")
+        body = store.get_recording(key)
+        assert body == rec.to_body()
+        assert TraceRecording.from_body(body).seed == 3
+
+    def test_missing_recording_is_none(self, store, key):
+        assert store.get_recording(key) is None
+
+    def test_corrupt_recording_is_a_miss(self, store, rec, key):
+        path = store.put_recording(key, rec.to_body(), code=rec.code)
+        with open(path, "r+b") as fh:
+            fh.seek(-4, os.SEEK_END)
+            fh.write(b"\x00\x00\x00\x00")
+        assert store.get_recording(key) is None
+        assert store.corrupt_reads == 1
+
+
+@pytest.fixture(scope="module")
+def scenario_result():
+    from repro.experiments.scenario import run_scenario
+
+    return run_scenario(scenario("fig7").configured(samples=50, seed=3))
+
+
+class TestKindAwareMaintenance:
+    @staticmethod
+    def _mixed(store, rec, key, scenario_result):
+        from repro.store.keys import job_key
+
+        store.put_recording(key, rec.to_body(), code="c")
+        rkey = job_key(scenario("fig7").configured(samples=50, seed=3))
+        store.put(rkey, scenario_result, code="c")
+        return rkey
+
+    def test_ls_reports_and_filters_kinds(self, store, rec, key,
+                                          scenario_result):
+        self._mixed(store, rec, key, scenario_result)
+        kinds = {meta["entry_kind"] if "entry_kind" in meta
+                 else "result" for _k, meta, _s in store.ls()}
+        assert kinds == {"rtrace", "result"}
+        only = list(store.ls(kind="rtrace"))
+        assert len(only) == 1
+        assert only[0][0] == key
+        assert len(list(store.ls(kind="result"))) == 1
+
+    def test_stats_count_by_kind(self, store, rec, key,
+                                 scenario_result):
+        self._mixed(store, rec, key, scenario_result)
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert stats["by_kind"] == {"result": 1, "rtrace": 1}
+
+    def test_verify_covers_recordings(self, store, rec, key):
+        path = store.put_recording(key, rec.to_body(), code="c")
+        ok, corrupt = store.verify()
+        assert (ok, corrupt) == (1, [])
+        with open(path, "r+b") as fh:
+            fh.seek(-2, os.SEEK_END)
+            fh.write(b"\xff\xff")
+        ok, corrupt = store.verify(delete=True)
+        assert corrupt == [key]
+        assert not os.path.exists(path)
+
+    def test_gc_reports_rtrace_kind(self, store, rec, key,
+                                    scenario_result):
+        self._mixed(store, rec, key, scenario_result)
+        report = store.gc(keep_code="current")
+        assert sorted(report.by_kind) == ["result", "rtrace"]
+        assert report.by_kind["rtrace"] == 1
+        assert report.reclaimed_bytes > 0
+        assert store.get_recording(key) is None

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Regenerate the committed semantic-golden trace recordings.
+
+The baselines under ``goldens/recordings/`` are RTRACE1 files checked
+by the ``trace-diff`` CI job (and ``tests/observe/
+test_semantic_goldens.py``): each is re-recorded under the current
+code tree and *diffed*, so an intentional behaviour change fails with
+a mechanism-level report instead of a CRC mismatch.  After such an
+intentional change, re-baseline with::
+
+    PYTHONPATH=src python tools/record_goldens.py [name ...]
+
+and commit the rewritten files together with the change that moved
+them.  This is deliberately the same code path as
+``python -m repro.experiments diff golden --record``.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+
+def main(argv=None) -> int:
+    from repro.observe.diff import (GOLDEN_SPECS, golden_dir,
+                                    golden_names, golden_path,
+                                    record_golden)
+
+    names = list(sys.argv[1:] if argv is None else argv)
+    unknown = [n for n in names if n not in GOLDEN_SPECS]
+    if unknown:
+        print(f"unknown golden(s): {', '.join(unknown)} "
+              f"(have: {', '.join(golden_names())})", file=sys.stderr)
+        return 2
+    names = names or golden_names()
+    os.makedirs(golden_dir(), exist_ok=True)
+    for name in names:
+        path = record_golden(name).save(golden_path(name))
+        print(f"recorded {name} -> {path} "
+              f"({os.path.getsize(path)} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
