@@ -1,0 +1,213 @@
+"""simserve benchmark: HTTP campaign service vs the direct runner.
+
+Times one campaign three ways:
+
+* **direct** -- :func:`~repro.experiments.campaign.run_campaign` in
+  process, no service (the pre-simserve baseline);
+* **cold**   -- submitted over HTTP to a fresh server on an empty
+  store: full queue -> scheduler -> worker-pool -> fold -> artifact
+  round trip;
+* **warm**   -- re-submitted over HTTP to a *restarted* server on the
+  now-populated store (job journal cleared so nothing is remembered
+  at the job level): every cell is a content-key hit and the worker
+  pool must never be created.
+
+Byte-identity is part of the measurement, not a separate test: the
+cold HTTP artifact, the warm HTTP artifact, and the direct CLI export
+must all be the same bytes, or the benchmark fails.
+
+Measure and write (committed at the repo root, tracked PR-over-PR)::
+
+    PYTHONPATH=src python -m benchmarks.service_bench \
+        --output BENCH_service.json
+
+CI gate (quick sizes; asserts 100% warm hits, no warm workers,
+>=MIN_WARM_SPEEDUP, byte-identity)::
+
+    PYTHONPATH=src python -m benchmarks.service_bench --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from typing import Any, Dict
+
+from repro.experiments.campaign import run_campaign
+from repro.experiments.export import campaign_to_dict, to_json
+from repro.service.client import ServiceClient
+from repro.service.http import ServerThread
+
+SEEDS = 16
+SAMPLES = 300
+QUICK_SAMPLES = 120
+WORKERS = 4
+
+#: --check gates (the CI service-smoke job fails on any).
+MIN_HIT_RATE = 1.0
+MIN_WARM_SPEEDUP = 5.0
+
+
+def _job(seeds: int, samples: int) -> Dict[str, Any]:
+    return {"kind": "campaign", "scenarios": "fig7",
+            "seeds": f"1..{seeds}", "samples": samples}
+
+
+def _submit_and_wait(address: str, job: Dict[str, Any]
+                     ) -> Dict[str, Any]:
+    client = ServiceClient(address)
+    start = time.perf_counter()
+    job_id = client.submit(job)["id"]
+    final = client.wait(job_id, poll_s=10.0)
+    artifact = client.artifact(job_id)
+    elapsed = time.perf_counter() - start
+    if final["state"] != "done":
+        raise RuntimeError(f"job failed: {final.get('error', '?')}")
+    return {"elapsed": elapsed, "status": final, "artifact": artifact,
+            "health": client.health()}
+
+
+def measure(seeds: int = SEEDS, samples: int = SAMPLES,
+            workers: int = WORKERS) -> Dict[str, Any]:
+    job = _job(seeds, samples)
+    root = tempfile.mkdtemp(prefix="service-bench-")
+    store = f"{root}/store"
+    try:
+        start = time.perf_counter()
+        direct = run_campaign(("fig7",),
+                              seeds=tuple(range(1, seeds + 1)),
+                              samples=samples)
+        direct_s = time.perf_counter() - start
+        direct_bytes = (to_json(campaign_to_dict(direct))
+                        + "\n").encode("utf-8")
+
+        with ServerThread(store, workers=workers) as address:
+            cold = _submit_and_wait(address, job)
+
+        # Restart with an empty journal: the warm leg must rebuild
+        # the artifact purely from store hits, pool never created.
+        shutil.rmtree(f"{store}/service/jobs")
+        with ServerThread(store, workers=workers) as address:
+            warm = _submit_and_wait(address, job)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    cells = cold["status"]["cells_total"]
+    hit_rate = (warm["status"]["cache_hits"] / cells) if cells else 0.0
+    return {
+        "schema": 1,
+        "python": platform.python_version(),
+        "campaign": {"scenario": "fig7", "jobs": cells,
+                     "samples": samples, "workers": workers},
+        "byte_identical": (cold["artifact"] == warm["artifact"]
+                           == direct_bytes),
+        "rows": {
+            "direct": {"wall_s": round(direct_s, 4)},
+            "cold_http": {
+                "wall_s": round(cold["elapsed"], 4),
+                "cells_computed":
+                    cold["health"]["cells_computed"],
+                "overhead_vs_direct": round(
+                    cold["elapsed"] / direct_s, 2),
+            },
+            "warm_http": {
+                "wall_s": round(warm["elapsed"], 4),
+                "hit_rate": round(hit_rate, 4),
+                "workers_spawned":
+                    warm["health"]["workers_spawned"],
+                "speedup_vs_cold": round(
+                    cold["elapsed"] / warm["elapsed"], 1),
+            },
+        },
+    }
+
+
+def report(data: Dict[str, Any]) -> str:
+    rows = data["rows"]
+    spec = data["campaign"]
+    return "\n".join([
+        f"service bench: {spec['jobs']}-cell campaign over HTTP "
+        f"(fig7, samples={spec['samples']}, "
+        f"workers={spec['workers']})",
+        "",
+        f"  direct     {rows['direct']['wall_s']:>8.3f}s  "
+        f"(in-process runner, no service)",
+        f"  cold HTTP  {rows['cold_http']['wall_s']:>8.3f}s  "
+        f"({rows['cold_http']['cells_computed']} cells computed, "
+        f"{rows['cold_http']['overhead_vs_direct']:.2f}x direct)",
+        f"  warm HTTP  {rows['warm_http']['wall_s']:>8.3f}s  "
+        f"({rows['warm_http']['hit_rate'] * 100:.0f}% hits, "
+        f"workers spawned: "
+        f"{rows['warm_http']['workers_spawned']}, "
+        f"{rows['warm_http']['speedup_vs_cold']:.0f}x vs cold)",
+        "",
+        f"  artifacts byte-identical "
+        f"(direct == cold HTTP == warm HTTP): "
+        f"{data['byte_identical']}",
+    ])
+
+
+def check(data: Dict[str, Any]) -> int:
+    """Gate the freshly measured numbers (CI service-smoke job)."""
+    rows = data["rows"]
+    failures = []
+    if rows["warm_http"]["hit_rate"] < MIN_HIT_RATE:
+        failures.append(
+            f"warm hit rate {rows['warm_http']['hit_rate']:.2%} "
+            f"< {MIN_HIT_RATE:.0%}")
+    if rows["warm_http"]["workers_spawned"]:
+        failures.append("warm re-submission spawned a worker pool")
+    if rows["warm_http"]["speedup_vs_cold"] <= MIN_WARM_SPEEDUP:
+        failures.append(
+            f"warm speedup {rows['warm_http']['speedup_vs_cold']:.1f}x"
+            f" <= {MIN_WARM_SPEEDUP:.0f}x")
+    if not data["byte_identical"]:
+        failures.append("direct/cold/warm artifacts differ")
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    print("OK: warm hits, no-worker warm, speedup and byte-identity "
+          "gates all passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.service_bench")
+    parser.add_argument("--seeds", type=int, default=SEEDS,
+                        help="campaign seed count (default 16)")
+    parser.add_argument("--samples", type=int, default=SAMPLES)
+    parser.add_argument("--workers", type=int, default=WORKERS)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller samples (CI)")
+    parser.add_argument("--check", action="store_true",
+                        help="assert the hit/no-worker/speedup/"
+                             "identity gates (implies --quick)")
+    parser.add_argument("--output", default="",
+                        help="write BENCH_service.json here")
+    args = parser.parse_args(argv)
+
+    samples = args.samples
+    if args.quick or args.check:
+        samples = min(samples, QUICK_SAMPLES)
+
+    data = measure(seeds=args.seeds, samples=samples,
+                   workers=args.workers)
+    print(report(data))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.output}")
+    if args.check:
+        return check(data)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

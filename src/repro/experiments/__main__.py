@@ -23,9 +23,18 @@ resumable through the content-addressed result store)::
 
 Result store maintenance::
 
-    python -m repro.experiments store ls
+    python -m repro.experiments store ls [--kind rtrace]
     python -m repro.experiments store verify [--delete]
-    python -m repro.experiments store gc [--keep-days 30]
+    python -m repro.experiments store gc [--keep-days 30] \\
+        [--max-bytes 512M]                        # LRU byte budget
+
+Serving (simserve: async job queue + HTTP API over the store)::
+
+    python -m repro.experiments serve --store .repro-store
+    python -m repro.experiments submit campaign --scenarios fig5,fig6 \\
+        --seeds 1..4 --wait --json campaign.json
+    python -m repro.experiments submit margin --scenario fig6 --wait
+    python -m repro.experiments status [<job-id>] [--health]
 
 Tracing (ftrace/perf-style observability)::
 
@@ -56,6 +65,7 @@ or the fault/margin report.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -90,7 +100,10 @@ LATENCY = {
 }
 
 SUBCOMMANDS = ("bounds", "campaign", "diff", "faults", "list-scenarios",
-               "run", "store", "trace")
+               "run", "serve", "status", "store", "submit", "trace")
+
+#: Where `serve` listens and `submit`/`status` connect by default.
+DEFAULT_SERVER = "http://127.0.0.1:8642"
 
 
 def run_one(name: str, iterations: int, samples: int, seed: int,
@@ -194,6 +207,25 @@ def _store_arg(value):
         from repro.store import DEFAULT_STORE_DIR
 
         return DEFAULT_STORE_DIR
+    return value
+
+
+def parse_size(text: str) -> int:
+    """Parse a byte budget: plain bytes or K/M/G-suffixed ("512M")."""
+    text = text.strip()
+    multipliers = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+    factor = 1
+    if text and text[-1].upper() in multipliers:
+        factor = multipliers[text[-1].upper()]
+        text = text[:-1]
+    try:
+        value = int(float(text) * factor)
+    except ValueError:
+        raise ValueError(
+            f"malformed size {text!r} (expected bytes or K/M/G "
+            f"suffix, e.g. 512M)") from None
+    if value < 0:
+        raise ValueError(f"size budget must be >= 0, got {value}")
     return value
 
 
@@ -926,7 +958,8 @@ def _cmd_store(argv) -> int:
             "verify": "Fully decode every entry and flag corruption.",
             "gc": "Drop entries no current key can hit (other code "
                   "versions), optionally also entries older than "
-                  "--keep-days.",
+                  "--keep-days, then evict least-recently-used "
+                  "entries until the store fits --max-bytes.",
         }[action])
     parser.add_argument("--store", default=DEFAULT_STORE_DIR,
                         metavar="DIR",
@@ -944,6 +977,10 @@ def _cmd_store(argv) -> int:
         parser.add_argument("--keep-days", type=float, default=None,
                             help="also drop entries older than this "
                                  "many days")
+        parser.add_argument("--max-bytes", default=None, metavar="N",
+                            help="evict least-recently-used entries "
+                                 "until the store fits this budget "
+                                 "(suffixes K/M/G accepted, e.g. 512M)")
         parser.add_argument("--dry-run", action="store_true",
                             help="report what would be removed")
     args = parser.parse_args(rest)
@@ -986,8 +1023,14 @@ def _cmd_store(argv) -> int:
 
         now_s = time.time()
         max_age_s = args.keep_days * 86_400.0
+    max_bytes = None
+    if args.max_bytes is not None:
+        try:
+            max_bytes = parse_size(args.max_bytes)
+        except ValueError as exc:
+            parser.error(str(exc))
     report = store.gc(max_age_s=max_age_s, now_s=now_s,
-                      dry_run=args.dry_run)
+                      max_bytes=max_bytes, dry_run=args.dry_run)
     n = len(report.removed)
     verb = "would remove" if args.dry_run else "removed"
     kinds = ", ".join(f"{kind}={count}"
@@ -1000,6 +1043,230 @@ def _cmd_store(argv) -> int:
         print(f"gc: swept {report.tmp_swept} stale tmp file"
               f"{'' if report.tmp_swept == 1 else 's'}")
     return 0
+
+
+def _cmd_serve(argv) -> int:
+    """Run the simserve campaign service in the foreground."""
+    from repro.service.http import serve
+    from repro.store import DEFAULT_STORE_DIR
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments serve",
+        description="Serve campaign / margin / twin-diff jobs over "
+                    "HTTP, deduped against the result store. "
+                    "SIGTERM/Ctrl-C drains gracefully: in-flight "
+                    "chunks land, interrupted jobs re-queue in the "
+                    "journal and resume on restart.")
+    parser.add_argument("--store", default=DEFAULT_STORE_DIR,
+                        metavar="DIR",
+                        help=f"result store + job journal root "
+                             f"(default {DEFAULT_STORE_DIR})")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="listen port (default 8642; 0 for "
+                             "ephemeral)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="process-pool size for cache misses")
+    parser.add_argument("--capacity", type=int, default=64,
+                        help="max live (queued+running) jobs before "
+                             "submissions get 429")
+    parser.add_argument("--parallel-jobs", type=int, default=2,
+                        help="jobs executed concurrently")
+    args = parser.parse_args(argv)
+
+    import asyncio
+
+    try:
+        return asyncio.run(serve(
+            args.store, host=args.host, port=args.port,
+            workers=args.workers, capacity=args.capacity,
+            parallel_jobs=args.parallel_jobs, announce=print))
+    except KeyboardInterrupt:  # pragma: no cover - signal race
+        print(f"interrupted; resume with: python -m repro.experiments "
+              f"serve --store {args.store}")
+        return 0
+
+
+def _submit_spec(args) -> dict:
+    """The JSON job spec from `submit` flags (only set fields)."""
+    spec = {"kind": args.kind}
+    if args.scenarios:
+        spec["scenarios"] = args.scenarios
+    if args.seeds:
+        spec["seeds"] = args.seeds
+    if args.scenario:
+        spec["scenario"] = args.scenario
+    for name in ("seed", "samples", "iterations", "fault_intensity",
+                 "intensity", "bound_us", "priority", "max_workers"):
+        value = getattr(args, name)
+        if value is not None:
+            spec[name] = value
+    if args.plan:
+        spec["plan"] = args.plan
+    if args.fault_plan:
+        spec["fault_plan"] = args.fault_plan
+    if args.intensities:
+        spec["intensities"] = [float(x) for x
+                               in args.intensities.split(",")]
+    if args.no_cache:
+        spec["use_cache"] = False
+    return spec
+
+
+def _cmd_submit(argv) -> int:
+    """Submit one job to a running simserve and optionally wait."""
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.jobs import JOB_KINDS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments submit",
+        description="Submit a campaign/figure/margin/twin-diff job "
+                    "to a running `serve` instance. Identical specs "
+                    "dedupe onto one job; a fully cached job "
+                    "completes without spawning a worker.")
+    parser.add_argument("kind", choices=JOB_KINDS)
+    parser.add_argument("--server", default=DEFAULT_SERVER,
+                        help=f"service address (default "
+                             f"{DEFAULT_SERVER})")
+    parser.add_argument("--scenarios", default="",
+                        help="campaign: comma-separated scenario list")
+    parser.add_argument("--seeds", default="",
+                        help="campaign: '1..8' or '1,2,5'")
+    parser.add_argument("--scenario", default="",
+                        help="figure/margin/twin-diff: scenario name")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--samples", type=int, default=None)
+    parser.add_argument("--iterations", type=int, default=None)
+    parser.add_argument("--fault-plan", default="",
+                        help="campaign: run every job under this plan")
+    parser.add_argument("--fault-intensity", type=float, default=None)
+    parser.add_argument("--plan", default="",
+                        help="margin/twin-diff: fault plan (defaults "
+                             "to the scenario's own)")
+    parser.add_argument("--intensities", default="",
+                        help="margin: comma-separated ladder, e.g. "
+                             "0.5,1,2,4")
+    parser.add_argument("--bound-us", dest="bound_us", type=float,
+                        default=None,
+                        help="margin: latency bound in microseconds")
+    parser.add_argument("--intensity", type=float, default=None,
+                        help="twin-diff: plan intensity multiplier")
+    parser.add_argument("--priority", type=int, default=None,
+                        help="higher runs first (default 0)")
+    parser.add_argument("--max-workers", type=int, default=None,
+                        help="cap this job's worker share")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute even on store hits")
+    parser.add_argument("--wait", action="store_true",
+                        help="block until the job finishes and print "
+                             "its report")
+    parser.add_argument("--json", default="",
+                        help="with --wait: write the artifact here "
+                             "(byte-identical to the direct CLI's)")
+    args = parser.parse_args(argv)
+
+    client = ServiceClient(args.server)
+    try:
+        status = client.submit(_submit_spec(args))
+        job_id = status["id"]
+        created = "submitted" if status.get("created") else "deduped"
+        print(f"{created}: job {job_id} [{status['state']}] "
+              f"priority={status['priority']}")
+        if not args.wait:
+            print(f"follow with: python -m repro.experiments status "
+                  f"{job_id} --server {args.server}")
+            return 0
+        status = client.wait(job_id)
+        if status["state"] != "done":
+            print(f"job {job_id} {status['state']}: "
+                  f"{status.get('error', '')}", file=sys.stderr)
+            return 1
+        print(client.report(job_id))
+        if args.json:
+            with open(args.json, "wb") as fh:
+                fh.write(client.artifact(job_id))
+            print(f"wrote {args.json}")
+        return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ConnectionError:
+        print(f"error: no simserve at {args.server} (start one with: "
+              f"python -m repro.experiments serve)", file=sys.stderr)
+        return 1
+
+
+def _cmd_status(argv) -> int:
+    """Poll a running simserve: one job, all jobs, or health."""
+    from repro.service.client import ServiceClient, ServiceError
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments status",
+        description="Show job status from a running `serve` "
+                    "instance (all jobs when no id is given).")
+    parser.add_argument("job_id", nargs="?", default="")
+    parser.add_argument("--server", default=DEFAULT_SERVER,
+                        help=f"service address (default "
+                             f"{DEFAULT_SERVER})")
+    parser.add_argument("--stream", action="store_true",
+                        help="follow one job's status until it "
+                             "finishes")
+    parser.add_argument("--report", action="store_true",
+                        help="print the finished job's report")
+    parser.add_argument("--json", default="",
+                        help="write the finished job's artifact here")
+    parser.add_argument("--health", action="store_true",
+                        help="print queue/store/pool health instead")
+    args = parser.parse_args(argv)
+
+    client = ServiceClient(args.server)
+    try:
+        if args.health:
+            print(json.dumps(client.health(), indent=2,
+                             sort_keys=True))
+            return 0
+        if not args.job_id:
+            jobs = client.jobs()
+            if not jobs:
+                print("no jobs")
+                return 0
+            for status in jobs:
+                line = (f"{status['id']}  {status['kind']:<9} "
+                        f"{status['state']:<9} "
+                        f"{status['cells_done']}/"
+                        f"{status['cells_total']} cells "
+                        f"({status['cache_hits']} cached)")
+                if status.get("error"):
+                    line += f"  {status['error'].splitlines()[-1]}"
+                print(line)
+            return 0
+        if args.stream:
+            status = None
+            for status in client.stream(args.job_id):
+                print(f"{status['state']:<9} "
+                      f"{status['cells_done']}/"
+                      f"{status['cells_total']} cells")
+            if status is None or status["state"] != "done":
+                return 1
+        status = client.status(args.job_id)
+        print(json.dumps(status, indent=2, sort_keys=True))
+        if args.report and status["state"] == "done":
+            print(client.report(args.job_id))
+        if args.json:
+            if status["state"] != "done":
+                print(f"job is {status['state']}; no artifact yet",
+                      file=sys.stderr)
+                return 1
+            with open(args.json, "wb") as fh:
+                fh.write(client.artifact(args.job_id))
+            print(f"wrote {args.json}")
+        return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ConnectionError:
+        print(f"error: no simserve at {args.server}", file=sys.stderr)
+        return 1
 
 
 def _cmd_bounds(argv) -> int:
@@ -1130,8 +1397,14 @@ def main(argv=None) -> int:
             return _cmd_faults(rest)
         if command == "list-scenarios":
             return _cmd_list_scenarios(rest)
+        if command == "serve":
+            return _cmd_serve(rest)
+        if command == "status":
+            return _cmd_status(rest)
         if command == "store":
             return _cmd_store(rest)
+        if command == "submit":
+            return _cmd_submit(rest)
         if command == "trace":
             return _cmd_trace(rest)
         return _cmd_run(rest)

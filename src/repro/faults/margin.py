@@ -111,7 +111,14 @@ def _run_margin_job(job: MarginJob
     return job.index, result, None
 
 
-def _cell_from_result(result: ScenarioResult) -> Dict[str, Any]:
+def cell_from_result(result: ScenarioResult) -> Dict[str, Any]:
+    """One ladder cell from a completed run.
+
+    Public because it is the *only* way a run becomes a cell: the
+    in-process runner, the store-hit path and the simserve scheduler
+    all fold through here, which is what keeps a ladder's JSON
+    byte-identical whatever executed its cells.
+    """
     faults = result.faults
     cell: Dict[str, Any] = {
         "stalled": False,
@@ -125,7 +132,7 @@ def _cell_from_result(result: ScenarioResult) -> Dict[str, Any]:
     return cell
 
 
-def _stalled_cell(error: str) -> Dict[str, Any]:
+def stalled_cell(error: str) -> Dict[str, Any]:
     return {"stalled": True, "max_ns": None, "error": error,
             "faults": None}
 
@@ -318,9 +325,9 @@ def run_margin(spec: MarginSpec, workers: int = 1,
         if result_store is not None and use_cache:
             entry = result_store.get(job_key(job.spec, code))
             if entry is not None:
-                cells[job.index] = (_stalled_cell(entry.error)
+                cells[job.index] = (stalled_cell(entry.error)
                                     if entry.stalled
-                                    else _cell_from_result(entry.result))
+                                    else cell_from_result(entry.result))
                 continue
         pending.append(job)
 
@@ -334,8 +341,8 @@ def run_margin(spec: MarginSpec, workers: int = 1,
             else:
                 result_store.put_stalled(key, job.spec.name,
                                          error or "", code)
-        cells[index] = (_cell_from_result(result) if result is not None
-                        else _stalled_cell(error or ""))
+        cells[index] = (cell_from_result(result) if result is not None
+                        else stalled_cell(error or ""))
 
     if pending:
         if workers == 1 or len(pending) == 1:

@@ -1,0 +1,521 @@
+"""Declarative service jobs and their store-backed cell model.
+
+A :class:`JobSpec` is the wire format of one unit of service work --
+a campaign, a shield-margin ladder, a storm twin-diff, or a single
+figure export -- as plain JSON-able data.  Each job *expands* into
+:class:`Cell`\\ s: independent, picklable work units (one scenario run
+or one trace recording each) that carry their own content key into
+the result store.  The scheduler dedupes cells against the store,
+ships the misses to worker processes (:func:`run_cell` is the worker
+entry point), and *folds* the ordered outcomes back into the job's
+artifact with :func:`fold_job`.
+
+The fold goes through exactly the code paths the one-shot CLI uses
+(:func:`~repro.experiments.export.campaign_to_dict`,
+:class:`~repro.faults.margin.MarginResult`,
+:class:`~repro.faults.twindiff.TwinDiffResult`, ...), so the artifact
+text is **byte-identical** to what ``python -m repro.experiments``
+would have written to disk -- the service identity contract.
+
+Job identity (:meth:`JobSpec.job_id`) is content-derived: the
+canonical spec plus the code-tree digest.  Re-submitting the same
+spec names the same job (idempotent submission); editing the source
+tree names a new one, exactly like the store's cell keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments.scenario import (
+    ScenarioResult,
+    ScenarioSpec,
+    ShieldSpec,
+    UnknownScenarioError,
+    run_scenario,
+    scenario,
+)
+from repro.sim.errors import SimulationStalledError
+from repro.store.keys import code_version, digest_of, job_key, recording_key
+
+#: The job kinds the service accepts.
+JOB_KINDS = ("campaign", "figure", "margin", "twin-diff")
+
+#: Default margin intensity ladder (mirrors the faults CLI default).
+DEFAULT_INTENSITIES = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+class JobError(ValueError):
+    """A job spec that cannot be accepted (unknown kind/scenario/...)."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One service job, as plain data (the POST /jobs body).
+
+    Fields are a union over the kinds; each kind reads its own subset
+    and :meth:`validate` rejects specs whose required fields are
+    missing or name unknown registry entries.  ``priority`` and
+    ``max_workers`` are scheduling hints: they never enter the job
+    identity, so two clients racing to submit the same work at
+    different priorities still dedupe onto one job.
+    """
+
+    kind: str
+    # campaign
+    scenarios: Tuple[str, ...] = ()
+    seeds: Tuple[int, ...] = (1,)
+    fault_plan: str = ""
+    fault_intensity: Optional[float] = None
+    # figure / margin / twin-diff
+    scenario: str = ""
+    seed: Optional[int] = None
+    # margin / twin-diff
+    plan: str = ""
+    intensities: Tuple[float, ...] = DEFAULT_INTENSITIES
+    bound_us: float = 1000.0
+    # twin-diff
+    intensity: float = 1.0
+    capacity: int = 65536
+    # shared knobs
+    samples: Optional[int] = None
+    iterations: Optional[int] = None
+    # service hints (not part of the job identity)
+    priority: int = 0
+    max_workers: int = 0
+    use_cache: bool = True
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "scenarios": list(self.scenarios),
+            "seeds": list(self.seeds),
+            "fault_plan": self.fault_plan,
+            "fault_intensity": self.fault_intensity,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "plan": self.plan,
+            "intensities": list(self.intensities),
+            "bound_us": self.bound_us,
+            "intensity": self.intensity,
+            "capacity": self.capacity,
+            "samples": self.samples,
+            "iterations": self.iterations,
+            "priority": self.priority,
+            "max_workers": self.max_workers,
+            "use_cache": self.use_cache,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
+        if not isinstance(data, dict):
+            raise JobError("job spec must be a JSON object")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise JobError(f"unknown job field(s): {', '.join(unknown)}")
+        if "kind" not in data:
+            raise JobError(f"job spec needs a 'kind' "
+                           f"(one of {', '.join(JOB_KINDS)})")
+        out = dict(data)
+        if "scenarios" in out:
+            value = out["scenarios"]
+            if isinstance(value, str):
+                value = [n.strip() for n in value.split(",") if n.strip()]
+            out["scenarios"] = tuple(str(n) for n in value)
+        if "seeds" in out:
+            value = out["seeds"]
+            if isinstance(value, str):
+                from repro.experiments.campaign import parse_seeds
+
+                try:
+                    value = parse_seeds(value)
+                except ValueError as exc:
+                    raise JobError(str(exc)) from None
+            try:
+                out["seeds"] = tuple(int(s) for s in value)
+            except (TypeError, ValueError):
+                raise JobError(f"malformed seeds {value!r}") from None
+        if "intensities" in out:
+            try:
+                out["intensities"] = tuple(float(x)
+                                           for x in out["intensities"])
+            except (TypeError, ValueError):
+                raise JobError(
+                    f"malformed intensities {out['intensities']!r}"
+                ) from None
+        try:
+            spec = cls(**out)
+        except TypeError as exc:
+            raise JobError(str(exc)) from None
+        spec.validate()
+        return spec
+
+    # ------------------------------------------------------------------
+    def identity(self) -> Dict[str, Any]:
+        """The content identity: everything except scheduling hints."""
+        data = self.to_dict()
+        for hint in ("priority", "max_workers"):
+            data.pop(hint)
+        return data
+
+    def job_id(self, code: Optional[str] = None) -> str:
+        """Content-derived job name: same spec + same tree = same job."""
+        return digest_of({
+            "job": self.identity(),
+            "code": code if code is not None else code_version(),
+        })[:16]
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Reject specs the scheduler could never run (raises JobError)."""
+        if self.kind not in JOB_KINDS:
+            raise JobError(f"unknown job kind {self.kind!r} "
+                           f"(one of {', '.join(JOB_KINDS)})")
+        try:
+            if self.kind == "campaign":
+                if not self.scenarios:
+                    raise JobError("a campaign job needs 'scenarios'")
+                if not self.seeds:
+                    raise JobError("a campaign job needs 'seeds'")
+                for name in self.scenarios:
+                    scenario(name)
+            else:
+                if not self.scenario:
+                    raise JobError(
+                        f"a {self.kind} job needs 'scenario'")
+                base = scenario(self.scenario)
+                if self.kind in ("margin", "twin-diff"):
+                    self._resolve_plan(base)
+                if self.kind == "margin" and not self.intensities:
+                    raise JobError("a margin job needs 'intensities'")
+                if (self.kind == "twin-diff"
+                        and not base.shield.any_component):
+                    raise JobError(
+                        f"scenario {self.scenario!r} runs unshielded; "
+                        f"twin-diff needs a shielded baseline to strip")
+        except UnknownScenarioError as exc:
+            raise JobError(str(exc)) from None
+
+    def _resolve_plan(self, base: ScenarioSpec) -> str:
+        from repro.faults.plan import UnknownFaultPlanError, fault_plan
+        from repro.faults.twindiff import resolve_plan_name
+
+        name = resolve_plan_name(base, self.scenario, self.plan)
+        try:
+            return fault_plan(name).name
+        except UnknownFaultPlanError as exc:
+            raise JobError(str(exc)) from None
+
+
+# ----------------------------------------------------------------------
+# Cells: the independent, store-keyed work units of a job
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Cell:
+    """One picklable work unit: a scenario run or a trace recording.
+
+    ``op`` selects the worker behaviour and the store entry kind:
+
+    * ``"scenario"`` -- run and persist a full result; a stall is an
+      error (campaign semantics);
+    * ``"margin"`` -- run, but a stall is a *data point* (the ladder's
+      unbounded cell), persisted as a stalled marker;
+    * ``"record"`` -- run traced and persist the RTRACE1 body.
+    """
+
+    index: int
+    op: str
+    spec: ScenarioSpec
+    capacity: int = 0
+
+
+@dataclass
+class CellOutcome:
+    """What came back for one cell (exactly one field set per op)."""
+
+    index: int
+    result: Optional[ScenarioResult] = None
+    error: Optional[str] = None
+    body: Optional[Dict[str, Any]] = None
+
+
+def expand_cells(job: JobSpec) -> List[Cell]:
+    """The job's deterministic cell list (validates as a side effect)."""
+    job.validate()
+    if job.kind == "campaign":
+        spec = _campaign_spec(job)
+        return [Cell(index=cj.index, op="scenario", spec=cj.spec)
+                for cj in spec.expand()]
+    if job.kind == "figure":
+        spec = scenario(job.scenario).configured(
+            samples=job.samples, iterations=job.iterations,
+            seed=job.seed)
+        return [Cell(index=0, op="scenario", spec=spec)]
+    if job.kind == "margin":
+        return [Cell(index=mj.index, op="margin", spec=mj.spec)
+                for mj in _margin_spec(job).expand()]
+    # twin-diff: the shielded recording then its unshielded twin.
+    shielded, unshielded = _twin_specs(job)
+    return [Cell(index=0, op="record", spec=shielded,
+                 capacity=job.capacity),
+            Cell(index=1, op="record", spec=unshielded,
+                 capacity=job.capacity)]
+
+
+def cell_key(cell: Cell, code: str) -> str:
+    """The content-store key this cell's outcome lives under."""
+    if cell.op == "record":
+        return recording_key(cell.spec, cell.capacity, code=code)
+    return job_key(cell.spec, code)
+
+
+def load_cached(store: Any, cell: Cell, code: str
+                ) -> Optional[CellOutcome]:
+    """The cell's outcome from the store, or None on a miss.
+
+    A stalled marker is a *hit* for margin cells (the ladder caches
+    unbounded rungs) and a miss for scenario cells (the campaign
+    recomputes, mirroring :class:`CampaignRunner`).
+    """
+    if cell.op == "record":
+        body = store.get_recording(cell_key(cell, code))
+        if body is None:
+            return None
+        return CellOutcome(index=cell.index, body=body)
+    entry = store.get(cell_key(cell, code))
+    if entry is None:
+        return None
+    if entry.stalled:
+        if cell.op == "margin":
+            return CellOutcome(index=cell.index, error=entry.error or "")
+        return None
+    return CellOutcome(index=cell.index, result=entry.result)
+
+
+def persist(store: Any, cell: Cell, outcome: CellOutcome,
+            code: str) -> None:
+    """Write one computed outcome to the store (atomic, keyed)."""
+    key = cell_key(cell, code)
+    if cell.op == "record":
+        store.put_recording(key, outcome.body, code=code)
+    elif outcome.result is not None:
+        store.put(key, outcome.result, code)
+    else:
+        store.put_stalled(key, cell.spec.name, outcome.error or "", code)
+
+
+# ----------------------------------------------------------------------
+# Worker entry points (module-level: must pickle under spawn)
+# ----------------------------------------------------------------------
+def run_cell(cell: Cell) -> CellOutcome:
+    """Execute one cell in a worker process."""
+    if cell.op == "record":
+        from repro.observe.diff import record_scenario
+
+        rec, _result = record_scenario(cell.spec, capacity=cell.capacity)
+        return CellOutcome(index=cell.index, body=rec.to_body())
+    if cell.op == "margin":
+        try:
+            result = run_scenario(cell.spec)
+        except SimulationStalledError as exc:
+            return CellOutcome(index=cell.index, error=str(exc))
+        return CellOutcome(index=cell.index, result=result)
+    return CellOutcome(index=cell.index, result=run_scenario(cell.spec))
+
+
+def run_cells(cells: List[Cell]) -> List[CellOutcome]:
+    """One worker chunk: several cells, one IPC round trip."""
+    return [run_cell(cell) for cell in cells]
+
+
+# ----------------------------------------------------------------------
+# Folding: ordered outcomes -> the job's artifact
+# ----------------------------------------------------------------------
+@dataclass
+class JobArtifact:
+    """The finished job: exact CLI bytes plus the human report."""
+
+    #: The artifact text, byte-for-byte what the CLI would have
+    #: written with ``--json`` (trailing newline included).
+    artifact: str
+    #: The rendered human report (campaign summary, margin ladder,
+    #: twin-diff blame table, figure bucket table).
+    report: str
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+
+def fold_job(job: JobSpec, outcomes: List[CellOutcome]) -> JobArtifact:
+    """Fold ordered cell outcomes into the job artifact.
+
+    *outcomes* must be complete and in cell-index order; the fold is
+    pure, so re-folding the same outcomes (e.g. after a server
+    restart re-loads every cell from the store) reproduces the same
+    bytes.
+    """
+    from repro.experiments.export import to_json
+
+    if job.kind == "campaign":
+        return _fold_campaign(job, outcomes, to_json)
+    if job.kind == "figure":
+        return _fold_figure(job, outcomes, to_json)
+    if job.kind == "margin":
+        return _fold_margin(job, outcomes, to_json)
+    return _fold_twin(job, outcomes, to_json)
+
+
+def _artifact_text(to_json: Any, data: Dict[str, Any]) -> str:
+    # The CLI writes ``to_json(...) + "\n"`` to its --json sinks; the
+    # served artifact must be those bytes exactly.
+    return to_json(data) + "\n"
+
+
+def _fold_campaign(job: JobSpec, outcomes: List[CellOutcome],
+                   to_json: Any) -> JobArtifact:
+    from repro.experiments.campaign import CampaignResult
+    from repro.experiments.export import campaign_to_dict
+
+    spec = _campaign_spec(job)
+    jobs = spec.expand()
+    runs = []
+    for outcome in outcomes:
+        if outcome.result is None:
+            raise JobError(
+                f"campaign cell {outcome.index} has no result "
+                f"({outcome.error or 'missing'})")
+        runs.append(outcome.result)
+    result = CampaignResult(campaign=spec, jobs=jobs, runs=runs)
+    stats = {name: {"count": rec.count, "max_ns": int(rec.max())}
+             for name, rec in sorted(result.merged.items())}
+    return JobArtifact(
+        artifact=_artifact_text(to_json, campaign_to_dict(result)),
+        report=result.summary(),
+        stats={"jobs": len(jobs), "merged": stats})
+
+
+def _fold_figure(job: JobSpec, outcomes: List[CellOutcome],
+                 to_json: Any) -> JobArtifact:
+    from repro.experiments.export import scenario_to_dict
+
+    result = outcomes[0].result
+    if result is None:
+        raise JobError(f"figure cell has no result "
+                       f"({outcomes[0].error or 'missing'})")
+    return JobArtifact(
+        artifact=_artifact_text(to_json, scenario_to_dict(result)),
+        report=result.report(),
+        stats={"scenario": result.scenario, "seed": result.seed,
+               "max_ns": int(result.recorder.max())})
+
+
+def _fold_margin(job: JobSpec, outcomes: List[CellOutcome],
+                 to_json: Any) -> JobArtifact:
+    from repro.faults.margin import (
+        MarginResult,
+        cell_from_result,
+        stalled_cell,
+    )
+
+    mspec = _margin_spec(job)
+    jobs = mspec.expand()
+    cells = []
+    for outcome in outcomes:
+        if outcome.result is not None:
+            cells.append(cell_from_result(outcome.result))
+        else:
+            cells.append(stalled_cell(outcome.error or ""))
+    result = MarginResult(spec=mspec, jobs=jobs, cells=cells)
+    return JobArtifact(
+        artifact=_artifact_text(to_json, result.to_dict()),
+        report=result.summary(),
+        stats={"margin": result.margin,
+               "unshielded_degraded": result.unshielded_degraded})
+
+
+def _fold_twin(job: JobSpec, outcomes: List[CellOutcome],
+               to_json: Any) -> JobArtifact:
+    from repro.faults.twindiff import TwinDiffResult, TwinDiffSpec
+    from repro.observe.diff import TraceRecording, diff_recordings
+
+    recs = []
+    for outcome in outcomes:
+        if outcome.body is None:
+            raise JobError(
+                f"twin-diff cell {outcome.index} has no recording "
+                f"({outcome.error or 'missing'})")
+        recs.append(TraceRecording.from_body(outcome.body))
+    shielded, unshielded = recs
+    diff = diff_recordings(shielded, unshielded,
+                           a_label="shielded", b_label="unshielded")
+    twin = TwinDiffSpec(scenario=job.scenario, plan=job.plan,
+                        intensity=job.intensity, samples=job.samples,
+                        iterations=job.iterations, seed=job.seed,
+                        capacity=job.capacity)
+    plan_name = job._resolve_plan(scenario(job.scenario))
+    result = TwinDiffResult(spec=twin, shielded=shielded,
+                            unshielded=unshielded, diff=diff,
+                            details={"plan": plan_name})
+    return JobArtifact(
+        artifact=_artifact_text(to_json, result.to_dict()),
+        report=result.summary(),
+        stats={"shielded_within_bound": result.shielded_within_bound,
+               "shielded_max_ns": shielded.max_latency_ns(),
+               "unshielded_max_ns": unshielded.max_latency_ns()})
+
+
+# ----------------------------------------------------------------------
+# Spec builders (shared by expansion and fold: one source of truth)
+# ----------------------------------------------------------------------
+def _campaign_spec(job: JobSpec) -> Any:
+    from repro.experiments.campaign import CampaignSpec
+
+    return CampaignSpec(
+        scenarios=tuple(job.scenarios), seeds=tuple(job.seeds),
+        samples=job.samples, iterations=job.iterations,
+        fault_plan=job.fault_plan,
+        fault_intensity=job.fault_intensity)
+
+
+def _margin_spec(job: JobSpec) -> Any:
+    from repro.faults.margin import MarginSpec
+
+    base = scenario(job.scenario)
+    plan_name = job._resolve_plan(base)
+    return MarginSpec(
+        scenario=base.name, plan=plan_name,
+        intensities=tuple(job.intensities),
+        bound_ns=int(job.bound_us * 1_000),
+        samples=job.samples, seed=job.seed)
+
+
+def _twin_specs(job: JobSpec) -> Tuple[ScenarioSpec, ScenarioSpec]:
+    base = scenario(job.scenario)
+    plan_name = job._resolve_plan(base)
+    spec = base.configured(samples=job.samples,
+                           iterations=job.iterations, seed=job.seed,
+                           fault_plan=plan_name,
+                           fault_intensity=job.intensity)
+    unshielded = spec.with_overrides(
+        shield=ShieldSpec(cpu=spec.shield.cpu))
+    return spec, unshielded
+
+
+# Keep `replace` importable for callers tweaking specs functionally.
+__all__ = [
+    "JOB_KINDS",
+    "Cell",
+    "CellOutcome",
+    "JobArtifact",
+    "JobError",
+    "JobSpec",
+    "cell_key",
+    "expand_cells",
+    "fold_job",
+    "load_cached",
+    "persist",
+    "replace",
+    "run_cell",
+    "run_cells",
+]

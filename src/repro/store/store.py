@@ -25,6 +25,7 @@ a different matrix is ignored line by line).
 
 from __future__ import annotations
 
+import itertools
 import os
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
@@ -48,6 +49,15 @@ ENTRY_SUFFIXES = (".rrs", ".rts")
 #: Default store location (relative to the working directory); the
 #: CLI and benchmarks use this unless told otherwise.
 DEFAULT_STORE_DIR = ".repro-store"
+
+#: Process-wide tmp-file sequence.  Two *processes* writing the same
+#: key already get distinct tmp names from the pid; the counter makes
+#: the name unique per writer *within* a process too (the service
+#: scheduler and worker threads may race on one hot key), so no two
+#: writers ever share a tmp path and ``os.replace`` keeps every entry
+#: whole -- last writer wins, both succeed, no torn bytes.
+#: ``itertools.count`` is atomic under the GIL.
+_TMP_SEQ = itertools.count()
 
 
 @dataclass
@@ -114,6 +124,19 @@ class ResultStore:
     def contains(self, key: str) -> bool:
         return os.path.exists(self.path_for(key))
 
+    @staticmethod
+    def _touch(path: str) -> None:
+        """Bump an entry's mtime on a hit (best effort).
+
+        The mtime doubles as the recency clock for ``gc --max-bytes``:
+        entries a long-running service keeps hitting stay young,
+        entries nobody reads age out first (LRU, not insertion order).
+        """
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
     def get(self, key: str) -> Optional[StoreEntry]:
         """Load and validate one entry; None on miss *or* corruption."""
         path = self.path_for(key)
@@ -131,6 +154,7 @@ class ResultStore:
         except StoreCorruptError:
             self.corrupt_reads += 1
             return None
+        self._touch(path)
         return StoreEntry(key=key, meta=meta, result=result)
 
     def _write(self, key: str, blob: bytes,
@@ -138,7 +162,7 @@ class ResultStore:
         if path is None:
             path = self.path_for(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp = f"{path}.{os.getpid()}.tmp"
+        tmp = f"{path}.{os.getpid()}.{next(_TMP_SEQ)}.tmp"
         with open(tmp, "wb") as fh:
             fh.write(blob)
         os.replace(tmp, path)
@@ -180,6 +204,7 @@ class ResultStore:
         except StoreCorruptError:
             self.corrupt_reads += 1
             return None
+        self._touch(path)
         return body
 
     # -- maintenance ----------------------------------------------------
@@ -263,6 +288,7 @@ class ResultStore:
     def gc(self, keep_code: Optional[str] = None,
            max_age_s: Optional[float] = None,
            now_s: Optional[float] = None,
+           max_bytes: Optional[int] = None,
            dry_run: bool = False) -> GcReport:
         """Collect entries from other code versions (and stale temps).
 
@@ -271,14 +297,29 @@ class ResultStore:
         embeds the digest), so they are pure disk waste.  *max_age_s*
         additionally drops entries older than the given age relative
         to *now_s* (callers supply the clock; the store itself stays
-        wall-clock-free).  Returns a :class:`GcReport` with the
+        wall-clock-free).  *max_bytes* bounds the store for
+        long-running hosts (the service): after the code/age passes,
+        surviving entries are evicted least-recently-used first (the
+        store bumps an entry's mtime on every hit) until the total
+        size fits the budget.  Returns a :class:`GcReport` with the
         removed (or, under *dry_run*, removable) keys, the bytes they
         occupied and a per-entry-kind breakdown.
         """
         keep = keep_code if keep_code is not None else code_version()
         report = GcReport(removed=[], dry_run=dry_run)
+        kept: List[Tuple[float, str, str, int]] = []  # (mtime, path, kind, size)
+
+        def drop_path(path: str, kind: str, size: int) -> None:
+            report.removed.append(self._key_of(path))
+            report.reclaimed_bytes += size
+            report.by_kind[kind] = report.by_kind.get(kind, 0) + 1
+            if not dry_run:
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+
         for path in self._entry_paths():
-            key = self._key_of(path)
             kind = "corrupt"
             drop = False
             try:
@@ -288,21 +329,26 @@ class ResultStore:
                     drop = True
             except (OSError, StoreCorruptError):
                 drop = True
+            try:
+                size = os.path.getsize(path)
+                mtime = os.path.getmtime(path)
+            except OSError:
+                size, mtime = 0, 0.0
             if not drop and max_age_s is not None and now_s is not None:
-                if now_s - os.path.getmtime(path) > max_age_s:
+                if now_s - mtime > max_age_s:
                     drop = True
             if drop:
-                report.removed.append(key)
-                try:
-                    report.reclaimed_bytes += os.path.getsize(path)
-                except OSError:
-                    pass
-                report.by_kind[kind] = report.by_kind.get(kind, 0) + 1
-                if not dry_run:
-                    try:
-                        os.remove(path)
-                    except OSError:
-                        pass
+                drop_path(path, kind, size)
+            else:
+                kept.append((mtime, path, kind, size))
+        # LRU budget: evict the coldest survivors until we fit.
+        if max_bytes is not None:
+            total = sum(size for _, _, _, size in kept)
+            for mtime, path, kind, size in sorted(kept):
+                if total <= max_bytes:
+                    break
+                drop_path(path, kind, size)
+                total -= size
         # Sweep orphaned tmp files from interrupted writers.
         if not dry_run:
             for dirpath, _dirnames, filenames in os.walk(self.root):

@@ -1,0 +1,161 @@
+"""The queue state machine: admission, priority, journal recovery."""
+
+import json
+import os
+
+import pytest
+
+from repro.service.jobs import JobSpec
+from repro.service.queue import (
+    JobJournal,
+    JobQueue,
+    QueueFullError,
+    UnknownJobError,
+)
+
+
+def fig_spec(seed, priority=0):
+    return JobSpec.from_dict({"kind": "figure", "scenario": "fig7",
+                              "samples": 60, "seed": seed,
+                              "priority": priority})
+
+
+class TestAdmission:
+    def test_idempotent_by_job_id(self):
+        queue = JobQueue(capacity=4)
+        spec = fig_spec(1)
+        first, created = queue.submit(spec, "job-a")
+        again, created2 = queue.submit(spec, "job-a")
+        assert created and not created2
+        assert again is first
+        assert queue.live_count() == 1
+
+    def test_capacity_rejects_with_queue_full(self):
+        queue = JobQueue(capacity=2)
+        queue.submit(fig_spec(1), "a")
+        queue.submit(fig_spec(2), "b")
+        with pytest.raises(QueueFullError, match="2/2"):
+            queue.submit(fig_spec(3), "c")
+        # Known ids still dedupe fine at capacity.
+        _, created = queue.submit(fig_spec(1), "a")
+        assert not created
+
+    def test_finished_jobs_free_their_slot(self):
+        from repro.service.jobs import JobArtifact
+
+        queue = JobQueue(capacity=1)
+        queue.submit(fig_spec(1), "a")
+        queue.pop()
+        queue.finish("a", JobArtifact(artifact="{}\n", report="ok"))
+        record, created = queue.submit(fig_spec(2), "b")
+        assert created and record.state == "queued"
+
+    def test_unknown_job_raises(self):
+        with pytest.raises(UnknownJobError):
+            JobQueue().get("nope")
+
+
+class TestOrdering:
+    def test_priority_major_fifo_minor(self):
+        queue = JobQueue(capacity=8)
+        queue.submit(fig_spec(1, priority=0), "low-1")
+        queue.submit(fig_spec(2, priority=5), "high")
+        queue.submit(fig_spec(3, priority=0), "low-2")
+        order = [queue.pop().job_id for _ in range(3)]
+        assert order == ["high", "low-1", "low-2"]
+        assert queue.pop() is None
+
+    def test_cancelled_jobs_are_skipped(self):
+        queue = JobQueue(capacity=8)
+        queue.submit(fig_spec(1), "a")
+        queue.submit(fig_spec(2), "b")
+        queue.cancel("a")
+        assert queue.pop().job_id == "b"
+        assert queue.pop() is None
+        assert queue.get("a").state == "cancelled"
+
+
+class TestStateMachine:
+    def test_fail_and_finish_paths(self):
+        from repro.service.jobs import JobArtifact
+
+        queue = JobQueue(capacity=8)
+        queue.submit(fig_spec(1), "a")
+        queue.submit(fig_spec(2), "b")
+        queue.pop(), queue.pop()
+        done = queue.finish("a", JobArtifact(artifact="{}\n",
+                                             report="ok"))
+        failed = queue.fail("b", "worker exploded")
+        assert done.finished and done.state == "done"
+        assert failed.finished and failed.error == "worker exploded"
+        stats = queue.stats()
+        assert stats["by_state"]["done"] == 1
+        assert stats["by_state"]["failed"] == 1
+        assert stats["live"] == 0
+
+    def test_requeue_marks_resume(self):
+        queue = JobQueue(capacity=8)
+        queue.submit(fig_spec(1), "a")
+        record = queue.pop()
+        queue.requeue("a")
+        assert record.state == "queued"
+        assert record.resumes == 1
+        assert queue.pop() is record
+
+
+class TestJournal:
+    def test_recover_requeues_interrupted_jobs(self, tmp_path):
+        root = str(tmp_path / "journal")
+        journal = JobJournal(root)
+        queue = JobQueue(capacity=8, journal=journal)
+        queue.submit(fig_spec(1), "queued-job")
+        queue.submit(fig_spec(2), "running-job")
+        queue.submit(fig_spec(3), "done-job")
+        from repro.service.jobs import JobArtifact
+
+        # Drive running-job and done-job out of the queued state.
+        popped = {queue.pop().job_id, queue.pop().job_id,
+                  queue.pop().job_id}
+        assert popped == {"queued-job", "running-job", "done-job"}
+        queue.requeue("queued-job")
+        queue.finish("done-job", JobArtifact(
+            artifact='{"x": 1}\n', report="done", stats={"n": 1}))
+
+        # A fresh queue on the same journal: the kill-and-restart.
+        fresh = JobQueue(capacity=8, journal=JobJournal(root))
+        requeued = fresh.recover()
+        assert {r.job_id for r in requeued} == {"queued-job",
+                                               "running-job"}
+        assert fresh.get("running-job").state == "queued"
+        assert fresh.get("running-job").resumes == 1
+        done = fresh.get("done-job")
+        assert done.state == "done"
+        assert done.artifact.artifact == '{"x": 1}\n'
+        assert done.artifact.stats == {"n": 1}
+        # Recovery preserves dispatch order and new seqs continue on.
+        record, created = fresh.submit(fig_spec(9), "new-job")
+        assert created
+        assert record.seq > done.seq
+
+    def test_corrupt_journal_entry_is_skipped(self, tmp_path):
+        root = str(tmp_path / "journal")
+        journal = JobJournal(root)
+        queue = JobQueue(capacity=8, journal=journal)
+        queue.submit(fig_spec(1), "good")
+        with open(os.path.join(root, "bad.json"), "w") as fh:
+            fh.write("{torn")
+        fresh = JobQueue(capacity=8, journal=JobJournal(root))
+        fresh.recover()
+        assert [r.job_id for r in fresh.records()] == ["good"]
+
+    def test_journal_files_are_valid_json(self, tmp_path):
+        journal = JobJournal(str(tmp_path / "journal"))
+        queue = JobQueue(capacity=8, journal=journal)
+        record, _ = queue.submit(fig_spec(1), "a")
+        with open(journal.path_for("a")) as fh:
+            data = json.load(fh)
+        assert data["state"] == "queued"
+        assert data["spec"]["kind"] == "figure"
+        # No tmp files linger after the atomic replace.
+        assert [n for n in os.listdir(journal.root)
+                if n.endswith(".tmp")] == []
